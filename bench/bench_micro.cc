@@ -1,0 +1,140 @@
+// bench_micro — google-benchmark microbenchmarks for librock's hot paths:
+// Jaccard similarity, neighbor-graph construction, the updatable heap, the
+// goodness measure, reservoir sampling, and the synthetic generators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/goodness.h"
+#include "core/sampling.h"
+#include "data/dataset.h"
+#include "graph/neighbors.h"
+#include "similarity/jaccard.h"
+#include "synth/basket_generator.h"
+#include "synth/mushroom_generator.h"
+#include "util/updatable_heap.h"
+
+namespace rock {
+namespace {
+
+TransactionDataset MakeBaskets(size_t n) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {n / 2, n - n / 2};
+  opt.items_per_cluster = {20, 20};
+  opt.num_outliers = 0;
+  opt.seed = 99;
+  return std::move(GenerateBasketData(opt)).value();
+}
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  TransactionDataset ds = MakeBaskets(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double s = JaccardSimilarity(ds.transaction(i % ds.size()),
+                                       ds.transaction((i * 7 + 1) % ds.size()));
+    benchmark::DoNotOptimize(s);
+    ++i;
+  }
+}
+BENCHMARK(BM_JaccardSimilarity);
+
+void BM_NeighborGraph(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  TransactionDataset ds = MakeBaskets(n);
+  TransactionJaccard sim(ds);
+  for (auto _ : state) {
+    auto g = ComputeNeighbors(sim, 0.5);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_NeighborGraph)->Arg(256)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeapInsertEraseMixed(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    UpdatableHeap<uint32_t, double> heap;
+    for (int op = 0; op < 10000; ++op) {
+      const auto key = static_cast<uint32_t>(rng.UniformUint64(2000));
+      if (rng.Bernoulli(0.7)) {
+        heap.InsertOrUpdate(key, rng.UniformDouble());
+      } else {
+        heap.Erase(key);
+      }
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+}
+BENCHMARK(BM_HeapInsertEraseMixed)->Unit(benchmark::kMillisecond);
+
+void BM_HeapExtractAll(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdatableHeap<uint32_t, double> heap;
+    for (size_t i = 0; i < n; ++i) {
+      heap.InsertOrUpdate(static_cast<uint32_t>(i), rng.UniformDouble());
+    }
+    state.ResumeTiming();
+    while (!heap.empty()) {
+      benchmark::DoNotOptimize(heap.ExtractTop().key);
+    }
+  }
+}
+BENCHMARK(BM_HeapExtractAll)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GoodnessMeasure(benchmark::State& state) {
+  RockOptions opt;
+  opt.theta = 0.5;
+  GoodnessMeasure g(opt);
+  uint64_t links = 1;
+  for (auto _ : state) {
+    const double v = g.Goodness(links, (links % 100) + 1, 50);
+    benchmark::DoNotOptimize(v);
+    ++links;
+  }
+}
+BENCHMARK(BM_GoodnessMeasure);
+
+void BM_ReservoirSampling(benchmark::State& state) {
+  const auto stream = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    ReservoirSampler<size_t> sampler(1000, &rng);
+    for (size_t i = 0; i < stream; ++i) sampler.Offer(i);
+    benchmark::DoNotOptimize(sampler.sample().size());
+  }
+}
+BENCHMARK(BM_ReservoirSampling)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BasketGenerator(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    BasketGeneratorOptions opt;
+    opt.cluster_sizes = {n};
+    opt.items_per_cluster = {20};
+    opt.num_outliers = n / 20;
+    TransactionDataset ds = std::move(GenerateBasketData(opt)).value();
+    benchmark::DoNotOptimize(ds.size());
+  }
+}
+BENCHMARK(BM_BasketGenerator)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MushroomGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    MushroomGeneratorOptions opt;
+    opt.size_scale = 0.25;
+    auto ds = GenerateMushroomData(opt);
+    benchmark::DoNotOptimize(ds->size());
+  }
+}
+BENCHMARK(BM_MushroomGenerator)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rock
+
+BENCHMARK_MAIN();

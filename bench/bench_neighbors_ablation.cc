@@ -1,0 +1,150 @@
+// bench_neighbors_ablation — google-benchmark comparison of the neighbor-
+// graph construction strategies on basket data (the O(n²) phase of §4.5):
+//   * exact serial all-pairs Jaccard (the paper's algorithm),
+//   * exact multithreaded all-pairs,
+//   * MinHash/LSH candidate generation + exact verification,
+// plus the end-to-end clustering alternatives at high θ:
+//   * full merge engine vs the link-component shortcut.
+
+#include <benchmark/benchmark.h>
+
+#include "core/components.h"
+#include "core/rock.h"
+#include "graph/parallel.h"
+#include "similarity/jaccard.h"
+#include "similarity/minhash.h"
+#include "synth/basket_generator.h"
+#include "synth/mushroom_generator.h"
+
+namespace rock {
+namespace {
+
+TransactionDataset MakeBaskets(size_t n) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {n / 3, n / 3, n - 2 * (n / 3)};
+  opt.items_per_cluster = {20, 22, 18};
+  opt.num_outliers = n / 20;
+  opt.seed = 12345;
+  return std::move(GenerateBasketData(opt)).value();
+}
+
+void BM_NeighborsExactSerial(benchmark::State& state) {
+  TransactionDataset ds = MakeBaskets(static_cast<size_t>(state.range(0)));
+  TransactionJaccard sim(ds);
+  for (auto _ : state) {
+    auto g = ComputeNeighbors(sim, 0.5);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_NeighborsExactSerial)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborsExactParallel(benchmark::State& state) {
+  TransactionDataset ds = MakeBaskets(static_cast<size_t>(state.range(0)));
+  TransactionJaccard sim(ds);
+  ParallelOptions opt;
+  opt.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto g = ComputeNeighborsParallel(sim, 0.5, opt);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_NeighborsExactParallel)
+    ->ArgsProduct({{1000, 2000, 4000}, {2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborsLsh(benchmark::State& state) {
+  TransactionDataset ds = MakeBaskets(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto g = ComputeNeighborsLsh(ds, 0.5);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_NeighborsLsh)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+// With small (~15-item) transactions, an exact Jaccard costs tens of
+// nanoseconds and LSH's signature work cannot pay for itself — the honest
+// result the small-tx benchmarks above show. The crossover needs expensive
+// similarities: these variants use ~150-item transactions (wide baskets,
+// e.g. monthly shopping histories), where one exact comparison costs ~10×
+// more while signatures amortize.
+TransactionDataset MakeWideBaskets(size_t n) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {n / 2, n - n / 2};
+  opt.items_per_cluster = {300, 320};
+  opt.mean_tx_size = 150.0;
+  opt.stddev_tx_size = 15.0;
+  opt.num_outliers = n / 20;
+  opt.seed = 777;
+  return std::move(GenerateBasketData(opt)).value();
+}
+
+void BM_NeighborsExactSerialWideTx(benchmark::State& state) {
+  TransactionDataset ds = MakeWideBaskets(static_cast<size_t>(state.range(0)));
+  TransactionJaccard sim(ds);
+  for (auto _ : state) {
+    auto g = ComputeNeighbors(sim, 0.5);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_NeighborsExactSerialWideTx)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborsLshWideTx(benchmark::State& state) {
+  TransactionDataset ds = MakeWideBaskets(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto g = ComputeNeighborsLsh(ds, 0.5);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_NeighborsLshWideTx)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LinksParallelThreads(benchmark::State& state) {
+  TransactionDataset ds = MakeBaskets(2000);
+  TransactionJaccard sim(ds);
+  auto graph = ComputeNeighbors(sim, 0.5);
+  ParallelOptions opt;
+  opt.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LinkMatrix links = opt.num_threads == 1
+                           ? ComputeLinks(*graph)
+                           : ComputeLinksParallel(*graph, opt);
+    benchmark::DoNotOptimize(links.size());
+  }
+}
+BENCHMARK(BM_LinksParallelThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterMergeEngine(benchmark::State& state) {
+  MushroomGeneratorOptions gen;
+  gen.size_scale = 0.1;
+  auto ds = GenerateMushroomData(gen);
+  CategoricalJaccard sim(*ds);
+  for (auto _ : state) {
+    RockOptions opt;
+    opt.theta = 0.8;
+    opt.num_clusters = 1;
+    auto r = RockClusterer(opt).Cluster(sim);
+    benchmark::DoNotOptimize(r->clustering.num_clusters());
+  }
+}
+BENCHMARK(BM_ClusterMergeEngine)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterLinkComponents(benchmark::State& state) {
+  MushroomGeneratorOptions gen;
+  gen.size_scale = 0.1;
+  auto ds = GenerateMushroomData(gen);
+  CategoricalJaccard sim(*ds);
+  for (auto _ : state) {
+    auto r = ComputeLinkComponents(sim, 0.8);
+    benchmark::DoNotOptimize(r->clustering.num_clusters());
+  }
+}
+BENCHMARK(BM_ClusterLinkComponents)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// bench_table3_mushroom — reproduces paper Table 3 (and Tables 8–9):
+// mushroom data, traditional centroid-based hierarchical clustering (k=20)
+// vs ROCK (θ = 0.8, k = 20 — the paper's run stopped at 21 clusters with no
+// cross links left).
+//
+// Data: real UCI file from $ROCK_DATA_DIR/agaricus-lepiota.data (or
+// ./data/agaricus-lepiota.data) when present; otherwise the Table 3/8/9-
+// calibrated surrogate.
+//
+// The traditional baseline is O(n²·d)-heavy at n = 8124; pass a smaller
+// fraction as argv[1] (default 1.0 = full scale, a few minutes of compute;
+// 0.25 finishes in seconds and preserves every qualitative conclusion).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/binarize.h"
+#include "baselines/centroid_hierarchical.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/rock.h"
+#include "data/csv_reader.h"
+#include "eval/contingency.h"
+#include "eval/metrics.h"
+#include "eval/profiles.h"
+#include "similarity/jaccard.h"
+#include "synth/mushroom_generator.h"
+
+namespace rock {
+namespace {
+
+Result<CategoricalDataset> LoadMushroom(double scale) {
+  std::string path = "data/agaricus-lepiota.data";
+  if (const char* dir = std::getenv("ROCK_DATA_DIR")) {
+    path = std::string(dir) + "/agaricus-lepiota.data";
+  }
+  CsvOptions csv;
+  auto real = ReadCsvFile(path, csv);
+  if (real.ok()) {
+    std::printf("using real UCI data: %s (%zu records)\n", path.c_str(),
+                real->size());
+    return real;
+  }
+  std::printf("real UCI file not found — using Table 3/8/9-calibrated "
+              "surrogate (scale %.2f)\n",
+              scale);
+  MushroomGeneratorOptions gen;
+  gen.size_scale = scale;
+  return GenerateMushroomData(gen);
+}
+
+void SummarizePurity(const ContingencyTable& table) {
+  size_t pure = 0;
+  size_t over_1000 = 0, under_100 = 0;
+  uint64_t largest = 0, smallest = UINT64_MAX;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    bool is_pure = false;
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      if (table.Count(c, l) == table.ClusterTotal(c)) is_pure = true;
+    }
+    pure += is_pure ? 1 : 0;
+    const uint64_t size = table.ClusterTotal(c);
+    if (size > 1000) ++over_1000;
+    if (size < 100) ++under_100;
+    largest = std::max(largest, size);
+    smallest = std::min(smallest, size);
+  }
+  std::printf("pure clusters: %zu / %zu;  size>1000: %zu;  size<100: %zu;  "
+              "largest=%llu smallest=%llu\n",
+              pure, table.num_clusters(), over_1000, under_100,
+              static_cast<unsigned long long>(largest),
+              static_cast<unsigned long long>(smallest));
+}
+
+}  // namespace
+}  // namespace rock
+
+int main(int argc, char** argv) {
+  using namespace rock;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  bench::Banner("Table 3 — Mushroom: traditional vs ROCK");
+
+  auto ds = LoadMushroom(scale);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("records: %zu, attributes: %zu\n", ds->size(),
+              ds->schema().num_attributes());
+
+  // --- ROCK, θ = 0.8, k = 20 (paper stops at 21 with zero cross links). ---
+  bench::Section("ROCK (θ = 0.8, k = 20)");
+  Timer t2;
+  CategoricalJaccard sim(*ds);
+  RockOptions ropt;
+  ropt.theta = 0.8;
+  ropt.num_clusters = 20;
+  auto rock_result = RockClusterer(ropt).Cluster(sim);
+  if (!rock_result.ok()) {
+    std::fprintf(stderr, "ROCK failed: %s\n",
+                 rock_result.status().ToString().c_str());
+    return 1;
+  }
+  auto rt = ContingencyTable::Build(rock_result->clustering, ds->labels());
+  std::printf("ROCK found %zu clusters (paper: 21 — no links left between "
+              "them)\n",
+              rock_result->clustering.num_clusters());
+  bench::PrintContingency(*rt, ds->labels(), 25);
+  SummarizePurity(*rt);
+  std::printf("purity=%.4f  ARI=%.3f  time=%.1fs\n", Purity(*rt),
+              AdjustedRandIndex(*rt), t2.ElapsedSeconds());
+  std::printf("paper: all clusters pure except one (32 e + 72 p); sizes "
+              "8 … 1728; 3 clusters > 1000, 9 of 21 < 100\n");
+
+  // --- Traditional centroid-based hierarchical, k = 20. ---
+  bench::Section("traditional centroid-based hierarchical (k = 20)");
+  Timer t1;
+  BinarizedData bin = BinarizeRecords(*ds);
+  CentroidHierarchicalOptions copt;
+  copt.num_clusters = 20;
+  auto centroid = ClusterCentroidHierarchical(bin.points, copt);
+  if (!centroid.ok()) {
+    std::fprintf(stderr, "centroid clustering failed: %s\n",
+                 centroid.status().ToString().c_str());
+    return 1;
+  }
+  auto ct = ContingencyTable::Build(centroid->clustering, ds->labels());
+  std::printf("traditional found %zu clusters\n",
+              centroid->clustering.num_clusters());
+  bench::PrintContingency(*ct, ds->labels(), 25);
+  SummarizePurity(*ct);
+  std::printf("purity=%.4f  ARI=%.3f  time=%.1fs\n", Purity(*ct),
+              AdjustedRandIndex(*ct), t1.ElapsedSeconds());
+  std::printf("paper: NO pure clusters; >90%% of clusters sized 200–400 "
+              "(uniform); every cluster mixes edible & poisonous\n");
+
+  // --- Tables 8–9: profiles of the five largest ROCK clusters. ---
+  bench::Section("Tables 8–9 — profiles of the 5 largest ROCK clusters "
+                 "(support >= 0.3)");
+  ProfileOptions popt;
+  popt.min_support = 0.3;
+  auto profiles = ProfileClusters(*ds, rock_result->clustering, popt);
+  for (size_t c = 0; c < profiles.size() && c < 5; ++c) {
+    std::printf("%s", FormatProfile(profiles[c]).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// bench/bench_util.h — shared console-report helpers for the table/figure
+// reproduction harnesses. Each bench binary prints the paper's rows followed
+// by our measured values so EXPERIMENTS.md can quote them directly.
+
+#ifndef ROCK_BENCH_BENCH_UTIL_H_
+#define ROCK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "eval/contingency.h"
+
+namespace rock::bench {
+
+/// Prints a banner naming the experiment.
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Prints a contingency table: one row per found cluster, one column per
+/// ground-truth class, plus the outlier row.
+inline void PrintContingency(const ContingencyTable& table,
+                             const LabelSet& labels,
+                             size_t max_clusters = SIZE_MAX) {
+  std::printf("%-10s", "cluster");
+  for (size_t l = 0; l < table.num_classes(); ++l) {
+    std::printf("%14s", labels.Name(static_cast<LabelId>(l)).c_str());
+  }
+  std::printf("%10s\n", "total");
+  const size_t shown =
+      table.num_clusters() < max_clusters ? table.num_clusters() : max_clusters;
+  for (size_t c = 0; c < shown; ++c) {
+    std::printf("%-10zu", c + 1);
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      std::printf("%14llu",
+                  static_cast<unsigned long long>(table.Count(c, l)));
+    }
+    std::printf("%10llu\n",
+                static_cast<unsigned long long>(table.ClusterTotal(c)));
+  }
+  if (shown < table.num_clusters()) {
+    std::printf("  … %zu more clusters elided\n",
+                table.num_clusters() - shown);
+  }
+  std::printf("%-10s", "(outlier)");
+  uint64_t outlier_total = 0;
+  for (size_t l = 0; l < table.num_classes(); ++l) {
+    std::printf("%14llu", static_cast<unsigned long long>(
+                              table.outliers_per_class()[l]));
+    outlier_total += table.outliers_per_class()[l];
+  }
+  std::printf("%10llu\n", static_cast<unsigned long long>(outlier_total));
+}
+
+}  // namespace rock::bench
+
+#endif  // ROCK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,50 @@
+#include "baselines/binarize.h"
+
+namespace rock {
+
+BinarizedData BinarizeRecords(const CategoricalDataset& dataset) {
+  const Schema& schema = dataset.schema();
+  BinarizedData out;
+
+  // Column layout: attribute-major, value-minor.
+  std::vector<size_t> offsets(schema.num_attributes());
+  size_t total = 0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    offsets[a] = total;
+    total += schema.DomainSize(a);
+    for (size_t v = 0; v < schema.DomainSize(a); ++v) {
+      out.column_names.push_back(
+          schema.attribute_name(a) + "=" +
+          schema.ValueName(a, static_cast<ValueId>(v)));
+    }
+  }
+
+  out.points.assign(dataset.size(), std::vector<double>(total, 0.0));
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const Record& r = dataset.record(i);
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (r.IsMissing(a)) continue;
+      out.points[i][offsets[a] + r.value(a)] = 1.0;
+    }
+  }
+  return out;
+}
+
+BinarizedData BinarizeTransactions(const TransactionDataset& dataset) {
+  const size_t total = dataset.items().size();
+  BinarizedData out;
+  out.column_names.reserve(total);
+  for (size_t item = 0; item < total; ++item) {
+    out.column_names.push_back(dataset.items().Name(
+        static_cast<ItemId>(item)));
+  }
+  out.points.assign(dataset.size(), std::vector<double>(total, 0.0));
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (ItemId item : dataset.transaction(i)) {
+      out.points[i][item] = 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace rock

@@ -1,0 +1,34 @@
+// librock — baselines/binarize.h
+//
+// Categorical → boolean vectorization used by the traditional baselines
+// (paper §5: "we handle categorical attributes by converting them to boolean
+// attributes with 0/1 values. For every categorical attribute, we define a
+// new attribute for every value in its domain"). Missing values produce all
+// zeros across the attribute's indicator columns.
+
+#ifndef ROCK_BASELINES_BINARIZE_H_
+#define ROCK_BASELINES_BINARIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rock {
+
+/// Dense 0/1 vectors plus the name of each indicator column.
+struct BinarizedData {
+  std::vector<std::vector<double>> points;  ///< n × D indicator matrix
+  std::vector<std::string> column_names;    ///< "attr=value" per column
+};
+
+/// One indicator column per (attribute, value) pair of the schema.
+BinarizedData BinarizeRecords(const CategoricalDataset& dataset);
+
+/// One indicator column per item of the dictionary (market-basket view,
+/// paper §1: transactions become points with boolean attributes).
+BinarizedData BinarizeTransactions(const TransactionDataset& dataset);
+
+}  // namespace rock
+
+#endif  // ROCK_BASELINES_BINARIZE_H_

@@ -1,0 +1,182 @@
+#include "baselines/centroid_hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "similarity/lp_metric.h"
+
+namespace rock {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct CentroidCluster {
+  bool alive = false;
+  size_t size = 0;
+  std::vector<double> centroid;
+  std::vector<PointIndex> members;
+  // Cached nearest live partner (by squared centroid distance).
+  size_t nearest = 0;
+  double nearest_dist = kInf;
+};
+
+class Engine {
+ public:
+  Engine(const std::vector<std::vector<double>>& points,
+         const CentroidHierarchicalOptions& options)
+      : options_(options), n_(points.size()) {
+    clusters_.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      clusters_[i].alive = true;
+      clusters_[i].size = 1;
+      clusters_[i].centroid = points[i];
+      clusters_[i].members = {static_cast<PointIndex>(i)};
+    }
+    live_ = n_;
+  }
+
+  CentroidHierarchicalResult Run() {
+    CentroidHierarchicalResult result;
+    for (size_t i = 0; i < n_; ++i) {
+      if (clusters_[i].alive) ResolveNearest(i);
+    }
+
+    const size_t trigger = static_cast<size_t>(std::floor(
+        options_.outlier_trigger_fraction * static_cast<double>(n_)));
+    bool outliers_done = !options_.eliminate_singleton_outliers;
+
+    while (live_ > options_.num_clusters) {
+      if (!outliers_done && live_ <= trigger) {
+        EliminateSingletons(&result);
+        outliers_done = true;
+        if (live_ <= options_.num_clusters) break;
+      }
+      // Global closest pair via the cached per-cluster nearest entries.
+      size_t best_u = SIZE_MAX;
+      double best_dist = kInf;
+      for (size_t i = 0; i < clusters_.size(); ++i) {
+        if (clusters_[i].alive && clusters_[i].nearest_dist < best_dist) {
+          best_dist = clusters_[i].nearest_dist;
+          best_u = i;
+        }
+      }
+      if (best_u == SIZE_MAX || best_dist == kInf) break;  // disconnected
+      Merge(best_u, clusters_[best_u].nearest);
+      ++result.num_merges;
+    }
+
+    BuildClustering(&result);
+    return result;
+  }
+
+ private:
+  void ResolveNearest(size_t i) {
+    auto& ci = clusters_[i];
+    ci.nearest_dist = kInf;
+    ci.nearest = i;
+    for (size_t j = 0; j < clusters_.size(); ++j) {
+      if (j == i || !clusters_[j].alive) continue;
+      const double d = SquaredL2Distance(ci.centroid, clusters_[j].centroid);
+      if (d < ci.nearest_dist) {
+        ci.nearest_dist = d;
+        ci.nearest = j;
+      }
+    }
+  }
+
+  void Merge(size_t u, size_t v) {
+    auto& cu = clusters_[u];
+    auto& cv = clusters_[v];
+    const double wu = static_cast<double>(cu.size);
+    const double wv = static_cast<double>(cv.size);
+    for (size_t d = 0; d < cu.centroid.size(); ++d) {
+      cu.centroid[d] =
+          (wu * cu.centroid[d] + wv * cv.centroid[d]) / (wu + wv);
+    }
+    cu.size += cv.size;
+    cu.members.insert(cu.members.end(), cv.members.begin(), cv.members.end());
+    cv.alive = false;
+    cv.members.clear();
+    --live_;
+    RefreshAfterRemoval(u, v);
+  }
+
+  void EliminateSingletons(CentroidHierarchicalResult* result) {
+    std::vector<size_t> removed;
+    for (size_t i = 0; i < clusters_.size(); ++i) {
+      if (clusters_[i].alive && clusters_[i].size == 1) {
+        clusters_[i].alive = false;
+        --live_;
+        ++result->num_eliminated_singletons;
+        removed.push_back(i);
+      }
+    }
+    if (removed.empty()) return;
+    // Any cached nearest pointing at a removed singleton must re-resolve.
+    for (size_t i = 0; i < clusters_.size(); ++i) {
+      if (!clusters_[i].alive) continue;
+      if (!clusters_[clusters_[i].nearest].alive) ResolveNearest(i);
+    }
+  }
+
+  /// After merging v into u: u re-resolves; every x whose cached nearest
+  /// was u or v re-resolves; everyone else only checks the new centroid u.
+  void RefreshAfterRemoval(size_t u, size_t v) {
+    ResolveNearest(u);
+    for (size_t x = 0; x < clusters_.size(); ++x) {
+      if (!clusters_[x].alive || x == u) continue;
+      auto& cx = clusters_[x];
+      if (cx.nearest == u || cx.nearest == v) {
+        ResolveNearest(x);
+      } else {
+        const double d = SquaredL2Distance(cx.centroid, clusters_[u].centroid);
+        if (d < cx.nearest_dist) {
+          cx.nearest_dist = d;
+          cx.nearest = u;
+        }
+      }
+    }
+  }
+
+  void BuildClustering(CentroidHierarchicalResult* result) {
+    std::vector<ClusterIndex> assignment(n_, kUnassigned);
+    ClusterIndex next = 0;
+    for (const auto& c : clusters_) {
+      if (!c.alive) continue;
+      for (PointIndex p : c.members) assignment[p] = next;
+      ++next;
+    }
+    result->clustering = Clustering::FromAssignment(std::move(assignment));
+    result->clustering.SortBySizeDescending();
+  }
+
+  const CentroidHierarchicalOptions& options_;
+  size_t n_;
+  size_t live_ = 0;
+  std::vector<CentroidCluster> clusters_;
+};
+
+}  // namespace
+
+Result<CentroidHierarchicalResult> ClusterCentroidHierarchical(
+    const std::vector<std::vector<double>>& points,
+    const CentroidHierarchicalOptions& options) {
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  const size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+  Engine engine(points, options);
+  return engine.Run();
+}
+
+}  // namespace rock

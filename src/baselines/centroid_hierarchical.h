@@ -1,0 +1,48 @@
+// librock — baselines/centroid_hierarchical.h
+//
+// The traditional centroid-based agglomerative hierarchical algorithm ROCK
+// is compared against (paper §1.1, §5): start with singletons, repeatedly
+// merge the two clusters whose centroids (means of the 0/1-binarized
+// vectors) are closest in euclidean distance. Includes the paper's outlier
+// handling: "eliminating clusters with only one point when the number of
+// clusters reduces to 1/3 of the original number".
+
+#ifndef ROCK_BASELINES_CENTROID_HIERARCHICAL_H_
+#define ROCK_BASELINES_CENTROID_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/cluster.h"
+
+namespace rock {
+
+/// Options for the centroid-linkage baseline.
+struct CentroidHierarchicalOptions {
+  /// Desired number of clusters k.
+  size_t num_clusters = 2;
+  /// Drop singleton clusters when the live count first reaches
+  /// `outlier_trigger_fraction × n` (paper §5). Set false to disable.
+  bool eliminate_singleton_outliers = true;
+  /// The "1/3 of the original number" trigger point.
+  double outlier_trigger_fraction = 1.0 / 3.0;
+};
+
+/// Result: flat clustering (eliminated singletons are kUnassigned) plus the
+/// number of outliers removed.
+struct CentroidHierarchicalResult {
+  Clustering clustering;
+  size_t num_eliminated_singletons = 0;
+  size_t num_merges = 0;
+};
+
+/// Runs centroid-linkage agglomeration over dense numeric points.
+/// O(n²·d) initialization; each merge costs O(c·d) plus re-resolution of
+/// invalidated nearest-neighbor entries.
+Result<CentroidHierarchicalResult> ClusterCentroidHierarchical(
+    const std::vector<std::vector<double>>& points,
+    const CentroidHierarchicalOptions& options);
+
+}  // namespace rock
+
+#endif  // ROCK_BASELINES_CENTROID_HIERARCHICAL_H_

@@ -1,0 +1,132 @@
+#include "baselines/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "similarity/lp_metric.h"
+
+namespace rock {
+
+namespace {
+
+size_t NearestCentroid(const std::vector<double>& point,
+                       const std::vector<std::vector<double>>& centroids) {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d = SquaredL2Distance(point, centroids[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, size_t k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[static_cast<size_t>(rng->UniformUint64(points.size()))]);
+
+  std::vector<double> dist2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        dist2[i] = std::min(dist2[i], SquaredL2Distance(points[i], c));
+      }
+      total += dist2[i];
+    }
+    if (total == 0.0) {
+      // All remaining points coincide with centroids; pick uniformly.
+      centroids.push_back(
+          points[static_cast<size_t>(rng->UniformUint64(points.size()))]);
+      continue;
+    }
+    double target = rng->UniformDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> ClusterKMeans(
+    const std::vector<std::vector<double>>& points,
+    const KMeansOptions& options) {
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (points.size() < options.num_clusters) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  const size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(points, options.num_clusters, &rng);
+  std::vector<ClusterIndex> assignment(points.size(), kUnassigned);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<ClusterIndex>(
+          NearestCentroid(points[i], result.centroids));
+      if (c != assignment[i]) {
+        assignment[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    // Recompute centroids; empty clusters keep their previous centroid.
+    std::vector<std::vector<double>> sums(
+        options.num_clusters, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(options.num_clusters, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<size_t>(assignment[i]);
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < options.num_clusters; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.clustering = Clustering::FromAssignment(std::move(assignment));
+  result.clustering.SortBySizeDescending();
+
+  // E = Σ_i Σ_{x∈C_i} d(x, m_i): recompute against the final centroids,
+  // matching points through the final (pre-compaction) assignment.
+  result.criterion = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.criterion += std::sqrt(SquaredL2Distance(
+        points[i],
+        result.centroids[NearestCentroid(points[i], result.centroids)]));
+  }
+  return result;
+}
+
+}  // namespace rock

@@ -1,0 +1,200 @@
+#include "baselines/linkage_hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace rock {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct DisjointSet {
+  explicit DisjointSet(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent[Find(a)] = Find(b); }
+  std::vector<size_t> parent;
+};
+
+}  // namespace
+
+Result<Clustering> ClusterSingleLink(const PointSimilarity& sim,
+                                     size_t num_clusters) {
+  const size_t n = sim.size();
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (n == 0) return Clustering{};
+  if (num_clusters > n) num_clusters = n;
+
+  // Prim's algorithm on the complete similarity graph: maximum spanning
+  // tree == single-link dendrogram.
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_sim(n, kNegInf);
+  std::vector<size_t> best_from(n, 0);
+  struct Edge {
+    size_t a, b;
+    double s;
+  };
+  std::vector<Edge> tree_edges;
+  tree_edges.reserve(n - 1);
+
+  in_tree[0] = true;
+  for (size_t j = 1; j < n; ++j) {
+    best_sim[j] = sim.Similarity(0, j);
+    best_from[j] = 0;
+  }
+  for (size_t step = 1; step < n; ++step) {
+    size_t next = SIZE_MAX;
+    double next_sim = kNegInf;
+    for (size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best_sim[j] > next_sim) {
+        next_sim = best_sim[j];
+        next = j;
+      }
+    }
+    in_tree[next] = true;
+    tree_edges.push_back(Edge{best_from[next], next, next_sim});
+    for (size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      const double s = sim.Similarity(next, j);
+      if (s > best_sim[j]) {
+        best_sim[j] = s;
+        best_from[j] = next;
+      }
+    }
+  }
+
+  // Keep the n−k strongest edges; the k−1 weakest cuts define the clusters.
+  std::sort(tree_edges.begin(), tree_edges.end(),
+            [](const Edge& a, const Edge& b) { return a.s > b.s; });
+  DisjointSet ds(n);
+  const size_t keep = n - num_clusters;
+  for (size_t e = 0; e < keep; ++e) {
+    ds.Union(tree_edges[e].a, tree_edges[e].b);
+  }
+
+  std::vector<ClusterIndex> assignment(n, kUnassigned);
+  std::vector<ClusterIndex> root_to_cluster(n, kUnassigned);
+  ClusterIndex next_cluster = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const size_t root = ds.Find(p);
+    if (root_to_cluster[root] == kUnassigned) {
+      root_to_cluster[root] = next_cluster++;
+    }
+    assignment[p] = root_to_cluster[root];
+  }
+  Clustering out = Clustering::FromAssignment(std::move(assignment));
+  out.SortBySizeDescending();
+  return out;
+}
+
+Result<Clustering> ClusterGroupAverage(const PointSimilarity& sim,
+                                       size_t num_clusters) {
+  const size_t n = sim.size();
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (n == 0) return Clustering{};
+  if (num_clusters > n) num_clusters = n;
+
+  // S[i][j] = total pairwise similarity between clusters i and j; the
+  // group-average criterion is S[i][j] / (|i|·|j|). Merging u, v into u
+  // gives the exact Lance–Williams update S[w][x] = S[u][x] + S[v][x].
+  std::vector<std::vector<double>> total(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double s = sim.Similarity(i, j);
+      total[i][j] = s;
+      total[j][i] = s;
+    }
+  }
+
+  std::vector<bool> alive(n, true);
+  std::vector<size_t> size(n, 1);
+  std::vector<std::vector<PointIndex>> members(n);
+  for (size_t i = 0; i < n; ++i) members[i] = {static_cast<PointIndex>(i)};
+
+  // Cached best partner per cluster (lazy re-resolution, same scheme as the
+  // centroid engine).
+  std::vector<size_t> best(n, 0);
+  std::vector<double> best_avg(n, kNegInf);
+  auto resolve = [&](size_t i) {
+    best_avg[i] = kNegInf;
+    best[i] = i;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || !alive[j]) continue;
+      const double avg = total[i][j] /
+                         (static_cast<double>(size[i]) *
+                          static_cast<double>(size[j]));
+      if (avg > best_avg[i]) {
+        best_avg[i] = avg;
+        best[i] = j;
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) resolve(i);
+
+  size_t live = n;
+  while (live > num_clusters) {
+    size_t u = SIZE_MAX;
+    double u_avg = kNegInf;
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i] && best_avg[i] > u_avg) {
+        u_avg = best_avg[i];
+        u = i;
+      }
+    }
+    if (u == SIZE_MAX) break;
+    const size_t v = best[u];
+
+    for (size_t x = 0; x < n; ++x) {
+      if (!alive[x] || x == u || x == v) continue;
+      total[u][x] += total[v][x];
+      total[x][u] = total[u][x];
+    }
+    size[u] += size[v];
+    members[u].insert(members[u].end(), members[v].begin(), members[v].end());
+    alive[v] = false;
+    --live;
+
+    resolve(u);
+    for (size_t x = 0; x < n; ++x) {
+      if (!alive[x] || x == u) continue;
+      if (best[x] == u || best[x] == v) {
+        resolve(x);
+      } else {
+        const double avg = total[x][u] /
+                           (static_cast<double>(size[x]) *
+                            static_cast<double>(size[u]));
+        if (avg > best_avg[x]) {
+          best_avg[x] = avg;
+          best[x] = u;
+        }
+      }
+    }
+  }
+
+  std::vector<ClusterIndex> assignment(n, kUnassigned);
+  ClusterIndex next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    for (PointIndex p : members[i]) assignment[p] = next;
+    ++next;
+  }
+  Clustering out = Clustering::FromAssignment(std::move(assignment));
+  out.SortBySizeDescending();
+  return out;
+}
+
+}  // namespace rock

@@ -1,0 +1,36 @@
+// librock — baselines/linkage_hierarchical.h
+//
+// The two non-metric hierarchical baselines the paper discusses for
+// Jaccard-style similarities (§1.1):
+//   * single-link / MST clustering — "merges, at each step, the pair of
+//     clusters containing the most similar pair of points"; implemented as
+//     a maximum-similarity spanning tree with the k−1 weakest edges cut;
+//   * group-average clustering — merges the pair with the highest average
+//     pairwise similarity.
+// Both run on any PointSimilarity, metric or not.
+
+#ifndef ROCK_BASELINES_LINKAGE_HIERARCHICAL_H_
+#define ROCK_BASELINES_LINKAGE_HIERARCHICAL_H_
+
+#include "common/status.h"
+#include "core/cluster.h"
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// Single-link (MST) clustering into k clusters: build the maximum spanning
+/// tree under `sim` (Prim, O(n²)), then cut the k−1 smallest-similarity
+/// edges. Every point is assigned (the method has no outlier notion — its
+/// fragility on outliers is exactly what §1.1 critiques).
+Result<Clustering> ClusterSingleLink(const PointSimilarity& sim,
+                                     size_t num_clusters);
+
+/// Group-average agglomeration into k clusters: repeatedly merge the pair
+/// of clusters maximizing mean pairwise similarity. O(n²) memory for the
+/// similarity sums; suited to sampled inputs.
+Result<Clustering> ClusterGroupAverage(const PointSimilarity& sim,
+                                       size_t num_clusters);
+
+}  // namespace rock
+
+#endif  // ROCK_BASELINES_LINKAGE_HIERARCHICAL_H_

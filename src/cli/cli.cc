@@ -1,0 +1,752 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "baselines/binarize.h"
+#include "baselines/centroid_hierarchical.h"
+#include "baselines/kmeans.h"
+#include "baselines/linkage_hierarchical.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/components.h"
+#include "core/pipeline.h"
+#include "core/sweep.h"
+#include "core/rock.h"
+#include "data/arff_reader.h"
+#include "data/csv_reader.h"
+#include "data/disk_store.h"
+#include "data/transforms.h"
+#include "eval/contingency.h"
+#include "eval/metrics.h"
+#include "eval/profiles.h"
+#include "similarity/jaccard.h"
+#include "similarity/minhash.h"
+#include "synth/basket_generator.h"
+#include "synth/fund_generator.h"
+#include "synth/mushroom_generator.h"
+#include "synth/votes_generator.h"
+#include "util/flags.h"
+
+namespace rock {
+
+namespace {
+
+/// printf-style append to the output string.
+template <typename... Args>
+void Emit(std::string* out, const char* fmt, Args... args) {
+  char buf[4096];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  *out += buf;
+}
+
+void EmitStr(std::string* out, const std::string& s) { *out += s; }
+
+// ---------------------------------------------------------------- loading --
+
+/// A loaded input: either categorical records or transactions (one is
+/// populated based on --format).
+struct LoadedData {
+  bool is_categorical = false;
+  CategoricalDataset categorical;
+  TransactionDataset transactions;
+
+  size_t size() const {
+    return is_categorical ? categorical.size() : transactions.size();
+  }
+  const LabelSet& labels() const {
+    return is_categorical ? categorical.labels() : transactions.labels();
+  }
+};
+
+/// Reads basket-format text: one transaction per line, whitespace-separated
+/// item names; with label_first, the first token is the ground-truth label.
+Result<TransactionDataset> ReadBasketFile(const std::string& path,
+                                          bool label_first) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  TransactionDataset ds;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream tokens{std::string(trimmed)};
+    std::vector<std::string> items;
+    std::string token;
+    while (tokens >> token) items.push_back(token);
+    if (items.empty()) continue;
+    if (label_first) {
+      ds.labels().Append(items.front());
+      items.erase(items.begin());
+    }
+    ds.AddTransaction(items);
+  }
+  return ds;
+}
+
+Result<LoadedData> LoadInput(const std::string& path,
+                             const std::string& format, int64_t label_column,
+                             bool label_first) {
+  LoadedData data;
+  if (format == "csv") {
+    CsvOptions csv;
+    csv.label_column = static_cast<int>(label_column);
+    auto ds = ReadCsvFile(path, csv);
+    ROCK_RETURN_IF_ERROR(ds.status());
+    data.is_categorical = true;
+    data.categorical = std::move(*ds);
+    return data;
+  }
+  if (format == "arff") {
+    auto ds = ReadArffFile(path, ArffOptions{});
+    ROCK_RETURN_IF_ERROR(ds.status());
+    data.is_categorical = true;
+    data.categorical = std::move(*ds);
+    return data;
+  }
+  if (format == "basket") {
+    auto ds = ReadBasketFile(path, label_first);
+    ROCK_RETURN_IF_ERROR(ds.status());
+    data.transactions = std::move(*ds);
+    return data;
+  }
+  if (format == "store") {
+    auto ds = ReadStoreToDataset(path, nullptr);
+    ROCK_RETURN_IF_ERROR(ds.status());
+    data.transactions = std::move(*ds);
+    return data;
+  }
+  return Status::InvalidArgument("unknown --format '" + format +
+                                 "' (csv|arff|basket|store)");
+}
+
+// ----------------------------------------------------------------- output --
+
+Status WriteAssignments(const std::string& path,
+                        const std::vector<ClusterIndex>& assignment) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  out << "row,cluster\n";
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    out << i << ',' << assignment[i] << '\n';
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes a machine-readable run summary: cluster sizes, per-class
+/// compositions when labels exist, quality metrics.
+Status WriteJsonSummary(const std::string& path,
+                        const Clustering& clustering,
+                        const LabelSet& labels) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  out << "{\n  \"num_clusters\": " << clustering.num_clusters()
+      << ",\n  \"num_points\": " << clustering.assignment.size()
+      << ",\n  \"num_outliers\": " << clustering.num_outliers()
+      << ",\n  \"clusters\": [";
+  for (size_t c = 0; c < clustering.num_clusters(); ++c) {
+    out << (c == 0 ? "\n" : ",\n") << "    {\"id\": " << c
+        << ", \"size\": " << clustering.clusters[c].size();
+    if (!labels.empty()) {
+      std::map<LabelId, size_t> counts;
+      for (PointIndex p : clustering.clusters[c]) {
+        if (labels.label(p) != kNoLabel) ++counts[labels.label(p)];
+      }
+      out << ", \"composition\": {";
+      bool first = true;
+      for (const auto& [l, n] : counts) {
+        out << (first ? "" : ", ") << '"' << JsonEscape(labels.Name(l))
+            << "\": " << n;
+        first = false;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n  ]";
+  if (!labels.empty()) {
+    auto table = ContingencyTable::Build(clustering, labels);
+    if (table.ok()) {
+      const VMeasure v = ComputeVMeasure(*table);
+      out << ",\n  \"purity\": " << Purity(*table)
+          << ",\n  \"ari\": " << AdjustedRandIndex(*table)
+          << ",\n  \"nmi\": " << NormalizedMutualInformation(*table)
+          << ",\n  \"v_measure\": " << v.v;
+    }
+  }
+  out << "\n}\n";
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+void EmitClusteringSummary(const Clustering& clustering,
+                           const LabelSet& labels, std::string* out) {
+  Emit(out, "clusters: %zu   points: %zu   outliers: %zu\n",
+       clustering.num_clusters(), clustering.assignment.size(),
+       clustering.num_outliers());
+  for (size_t c = 0; c < clustering.num_clusters() && c < 30; ++c) {
+    Emit(out, "  cluster %zu: %zu points", c, clustering.clusters[c].size());
+    if (!labels.empty()) {
+      std::map<LabelId, size_t> counts;
+      for (PointIndex p : clustering.clusters[c]) {
+        if (labels.label(p) != kNoLabel) ++counts[labels.label(p)];
+      }
+      EmitStr(out, "  {");
+      bool first = true;
+      for (const auto& [l, n] : counts) {
+        Emit(out, "%s%s: %zu", first ? "" : ", ", labels.Name(l).c_str(), n);
+        first = false;
+      }
+      EmitStr(out, "}");
+    }
+    EmitStr(out, "\n");
+  }
+  if (clustering.num_clusters() > 30) {
+    Emit(out, "  … %zu more clusters\n", clustering.num_clusters() - 30);
+  }
+  if (!labels.empty()) {
+    auto table = ContingencyTable::Build(clustering, labels);
+    if (table.ok()) {
+      Emit(out, "purity: %.4f   ARI: %.4f   NMI: %.4f\n", Purity(*table),
+           AdjustedRandIndex(*table), NormalizedMutualInformation(*table));
+    }
+  }
+}
+
+// ------------------------------------------------------------ subcommands --
+
+int CmdGen(const std::vector<std::string>& args, std::string* out,
+           bool help_only) {
+  std::string dataset = "basket";
+  std::string out_path;
+  std::string format = "auto";
+  double scale = 1.0;
+  int64_t seed = 42;
+
+  FlagSet flags;
+  flags.AddString("dataset", &dataset,
+                  "which data set: basket | votes | mushroom | funds");
+  flags.AddString("out", &out_path, "output file path");
+  flags.AddString("format", &format,
+                  "output format: auto | csv | store (basket only)");
+  flags.AddDouble("scale", &scale, "size multiplier (basket/mushroom)");
+  flags.AddInt("seed", &seed, "generator seed");
+  if (help_only) {
+    EmitStr(out, "rock gen — generate a synthetic data set\n" + flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (out_path.empty()) {
+    EmitStr(out, "error: --out is required\n");
+    return 2;
+  }
+
+  const auto useed = static_cast<uint64_t>(seed);
+  if (dataset == "basket") {
+    BasketGeneratorOptions opt;
+    opt.seed = useed;
+    if (scale != 1.0) {
+      for (auto& s : opt.cluster_sizes) {
+        s = static_cast<size_t>(static_cast<double>(s) * scale);
+      }
+      opt.num_outliers = static_cast<size_t>(
+          static_cast<double>(opt.num_outliers) * scale);
+    }
+    auto ds = GenerateBasketData(opt);
+    if (!ds.ok()) {
+      EmitStr(out, "error: " + ds.status().ToString() + "\n");
+      return 1;
+    }
+    if (Status s = WriteDatasetToStore(*ds, out_path); !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "wrote %zu transactions to %s (store format)\n", ds->size(),
+         out_path.c_str());
+    return 0;
+  }
+
+  // Categorical data sets → CSV with the label in column 0.
+  CategoricalDataset ds;
+  if (dataset == "votes") {
+    VotesGeneratorOptions opt;
+    opt.seed = useed;
+    auto r = GenerateVotesData(opt);
+    if (!r.ok()) {
+      EmitStr(out, "error: " + r.status().ToString() + "\n");
+      return 1;
+    }
+    ds = std::move(*r);
+  } else if (dataset == "mushroom") {
+    MushroomGeneratorOptions opt;
+    opt.seed = useed;
+    opt.size_scale = scale;
+    auto r = GenerateMushroomData(opt);
+    if (!r.ok()) {
+      EmitStr(out, "error: " + r.status().ToString() + "\n");
+      return 1;
+    }
+    ds = std::move(*r);
+  } else if (dataset == "funds") {
+    FundGeneratorOptions opt;
+    opt.seed = useed;
+    auto set = GenerateFundData(opt);
+    if (!set.ok()) {
+      EmitStr(out, "error: " + set.status().ToString() + "\n");
+      return 1;
+    }
+    auto r = TimeSeriesToCategorical(*set);
+    if (!r.ok()) {
+      EmitStr(out, "error: " + r.status().ToString() + "\n");
+      return 1;
+    }
+    ds = std::move(*r);
+  } else {
+    EmitStr(out, "error: unknown --dataset '" + dataset + "'\n");
+    return 2;
+  }
+
+  std::ofstream file(out_path);
+  if (!file) {
+    EmitStr(out, "error: cannot create " + out_path + "\n");
+    return 1;
+  }
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const LabelId l = ds.labels().empty() ? kNoLabel : ds.labels().label(i);
+    file << (l == kNoLabel ? "?" : ds.labels().Name(l));
+    const Record& r = ds.record(i);
+    for (size_t a = 0; a < r.size(); ++a) {
+      file << ',';
+      file << (r.IsMissing(a) ? "?" : ds.schema().ValueName(a, r.value(a)));
+    }
+    file << '\n';
+  }
+  Emit(out, "wrote %zu records to %s (csv format)\n", ds.size(),
+       out_path.c_str());
+  return 0;
+}
+
+int CmdCluster(const std::vector<std::string>& args, std::string* out,
+               bool help_only) {
+  std::string input;
+  std::string format = "csv";
+  std::string algo = "rock";
+  std::string similarity = "jaccard";
+  std::string assignments_path;
+  std::string json_path;
+  double theta = 0.5;
+  size_t k = 2;
+  double stop_multiple = 0.0;
+  size_t min_support = 2;
+  int64_t label_column = 0;
+  bool label_first = false;
+  bool profiles = false;
+  int64_t seed = 42;
+  size_t threads = 1;
+  std::string neighbors = "exact";
+
+  FlagSet flags;
+  flags.AddString("input", &input, "input file");
+  flags.AddString("format", &format, "csv | arff | basket | store");
+  flags.AddString("algo", &algo,
+                  "rock | centroid | single-link | group-average | kmeans");
+  flags.AddString("similarity", &similarity,
+                  "jaccard | pairwise-missing (csv inputs)");
+  flags.AddString("assignments", &assignments_path,
+                  "write row,cluster CSV here");
+  flags.AddString("json", &json_path,
+                  "write a machine-readable run summary (JSON) here");
+  flags.AddDouble("theta", &theta, "neighbor threshold θ (rock)");
+  flags.AddSize("k", &k, "desired number of clusters");
+  flags.AddDouble("stop-multiple", &stop_multiple,
+                  "pause at stop-multiple×k clusters and weed small ones "
+                  "(0 = off, rock)");
+  flags.AddSize("min-support", &min_support,
+                "minimum cluster size surviving weeding (rock)");
+  flags.AddInt("label-column", &label_column,
+               "ground-truth column in csv (-1 = none)");
+  flags.AddBool("label-first", &label_first,
+                "basket format: first token of each line is the label");
+  flags.AddBool("profiles", &profiles,
+                "print per-cluster frequent attribute values (csv inputs)");
+  flags.AddInt("seed", &seed, "seed (kmeans)");
+  flags.AddSize("threads", &threads,
+                "worker threads for neighbors/links (0 = all cores, rock)");
+  flags.AddString("neighbors", &neighbors,
+                  "exact | lsh (MinHash-accelerated; basket/store inputs, "
+                  "rock only)");
+  if (help_only) {
+    EmitStr(out, "rock cluster — cluster a data file\n" + flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (input.empty()) {
+    EmitStr(out, "error: --input is required\n");
+    return 2;
+  }
+
+  auto loaded = LoadInput(input, format, label_column, label_first);
+  if (!loaded.ok()) {
+    EmitStr(out, "error: " + loaded.status().ToString() + "\n");
+    return 1;
+  }
+  Emit(out, "loaded %zu %s from %s\n", loaded->size(),
+       loaded->is_categorical ? "records" : "transactions", input.c_str());
+
+  Timer timer;
+  Clustering clustering;
+  if (algo == "rock" || algo == "single-link" || algo == "group-average") {
+    // Similarity-driven algorithms.
+    std::unique_ptr<PointSimilarity> sim;
+    if (loaded->is_categorical) {
+      if (similarity == "pairwise-missing") {
+        sim = std::make_unique<PairwiseMissingJaccard>(loaded->categorical);
+      } else {
+        sim = std::make_unique<CategoricalJaccard>(loaded->categorical);
+      }
+    } else {
+      sim = std::make_unique<TransactionJaccard>(loaded->transactions);
+    }
+    if (algo == "rock") {
+      RockOptions opt;
+      opt.theta = theta;
+      opt.num_clusters = k;
+      opt.outlier_stop_multiple = stop_multiple;
+      opt.min_cluster_support = min_support;
+      opt.num_threads = threads;
+      Result<RockResult> result = Status::Internal("unreachable");
+      if (neighbors == "lsh") {
+        if (loaded->is_categorical) {
+          EmitStr(out,
+                  "error: --neighbors=lsh needs basket/store input\n");
+          return 1;
+        }
+        auto graph = ComputeNeighborsLsh(loaded->transactions, theta);
+        if (!graph.ok()) {
+          EmitStr(out, "error: " + graph.status().ToString() + "\n");
+          return 1;
+        }
+        result = RockClusterer(opt).ClusterGraph(*graph);
+      } else if (neighbors == "exact") {
+        result = RockClusterer(opt).Cluster(*sim);
+      } else {
+        EmitStr(out, "error: unknown --neighbors '" + neighbors + "'\n");
+        return 2;
+      }
+      if (!result.ok()) {
+        EmitStr(out, "error: " + result.status().ToString() + "\n");
+        return 1;
+      }
+      clustering = std::move(result->clustering);
+      Emit(out,
+           "rock: θ=%.3f merges=%zu pruned=%zu weeded=%zu "
+           "criterion=%.2f\n",
+           theta, result->stats.num_merges, result->stats.num_pruned_points,
+           result->stats.num_weeded_clusters,
+           result->stats.criterion_value);
+    } else if (algo == "single-link") {
+      auto result = ClusterSingleLink(*sim, k);
+      if (!result.ok()) {
+        EmitStr(out, "error: " + result.status().ToString() + "\n");
+        return 1;
+      }
+      clustering = std::move(*result);
+    } else {
+      auto result = ClusterGroupAverage(*sim, k);
+      if (!result.ok()) {
+        EmitStr(out, "error: " + result.status().ToString() + "\n");
+        return 1;
+      }
+      clustering = std::move(*result);
+    }
+  } else if (algo == "centroid" || algo == "kmeans") {
+    BinarizedData bin = loaded->is_categorical
+                            ? BinarizeRecords(loaded->categorical)
+                            : BinarizeTransactions(loaded->transactions);
+    if (algo == "centroid") {
+      CentroidHierarchicalOptions opt;
+      opt.num_clusters = k;
+      auto result = ClusterCentroidHierarchical(bin.points, opt);
+      if (!result.ok()) {
+        EmitStr(out, "error: " + result.status().ToString() + "\n");
+        return 1;
+      }
+      clustering = std::move(result->clustering);
+    } else {
+      KMeansOptions opt;
+      opt.num_clusters = k;
+      opt.seed = static_cast<uint64_t>(seed);
+      auto result = ClusterKMeans(bin.points, opt);
+      if (!result.ok()) {
+        EmitStr(out, "error: " + result.status().ToString() + "\n");
+        return 1;
+      }
+      clustering = std::move(result->clustering);
+      Emit(out, "kmeans: iterations=%zu converged=%s criterion E=%.2f\n",
+           result->iterations, result->converged ? "yes" : "no",
+           result->criterion);
+    }
+  } else {
+    EmitStr(out, "error: unknown --algo '" + algo + "'\n");
+    return 2;
+  }
+  Emit(out, "clustered in %.2fs\n", timer.ElapsedSeconds());
+  EmitClusteringSummary(clustering, loaded->labels(), out);
+
+  if (profiles && loaded->is_categorical) {
+    ProfileOptions popt;
+    popt.min_support = 0.5;
+    for (const auto& p :
+         ProfileClusters(loaded->categorical, clustering, popt)) {
+      EmitStr(out, FormatProfile(p));
+    }
+  }
+  if (!assignments_path.empty()) {
+    if (Status s = WriteAssignments(assignments_path, clustering.assignment);
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "assignments written to %s\n", assignments_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (Status s =
+            WriteJsonSummary(json_path, clustering, loaded->labels());
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "summary written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int CmdPipeline(const std::vector<std::string>& args, std::string* out,
+                bool help_only) {
+  std::string store;
+  std::string assignments_path;
+  double theta = 0.5;
+  size_t k = 10;
+  size_t sample_size = 2000;
+  double labeling_fraction = 0.25;
+  double stop_multiple = 3.0;
+  size_t min_support = 5;
+  int64_t seed = 42;
+
+  FlagSet flags;
+  flags.AddString("store", &store, "transaction store file (see `rock gen`)");
+  flags.AddString("assignments", &assignments_path,
+                  "write row,cluster CSV here");
+  flags.AddDouble("theta", &theta, "neighbor threshold θ");
+  flags.AddSize("k", &k, "desired number of clusters");
+  flags.AddSize("sample-size", &sample_size, "random sample size");
+  flags.AddDouble("labeling-fraction", &labeling_fraction,
+                  "fraction of each cluster used for labeling");
+  flags.AddDouble("stop-multiple", &stop_multiple,
+                  "outlier weeding pause multiple (0 = off)");
+  flags.AddSize("min-support", &min_support, "weeding minimum cluster size");
+  flags.AddInt("seed", &seed, "sampling seed");
+  if (help_only) {
+    EmitStr(out,
+            "rock pipeline — disk-backed sample/cluster/label\n" +
+                flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (store.empty()) {
+    EmitStr(out, "error: --store is required\n");
+    return 2;
+  }
+
+  PipelineOptions opt;
+  opt.rock.theta = theta;
+  opt.rock.num_clusters = k;
+  opt.rock.outlier_stop_multiple = stop_multiple;
+  opt.rock.min_cluster_support = min_support;
+  opt.sample_size = sample_size;
+  opt.labeling.fraction = labeling_fraction;
+  opt.seed = static_cast<uint64_t>(seed);
+  auto result = RunRockPipeline(store, opt);
+  if (!result.ok()) {
+    EmitStr(out, "error: " + result.status().ToString() + "\n");
+    return 1;
+  }
+  Emit(out,
+       "pipeline: sample=%zu clusters=%zu outliers=%zu "
+       "(sample %.2fs, cluster %.2fs, label %.2fs)\n",
+       sample_size, result->sample_result.clustering.num_clusters(),
+       result->labeling.num_outliers, result->sample_seconds,
+       result->cluster_seconds, result->label_seconds);
+
+  std::map<ClusterIndex, size_t> sizes;
+  for (ClusterIndex c : result->labeling.assignments) ++sizes[c];
+  for (const auto& [c, n] : sizes) {
+    if (c == kUnassigned) {
+      Emit(out, "  outliers: %zu rows\n", n);
+    } else {
+      Emit(out, "  cluster %d: %zu rows\n", c, n);
+    }
+  }
+  if (!assignments_path.empty()) {
+    if (Status s =
+            WriteAssignments(assignments_path, result->labeling.assignments);
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "assignments written to %s\n", assignments_path.c_str());
+  }
+  return 0;
+}
+
+
+int CmdSweep(const std::vector<std::string>& args, std::string* out,
+             bool help_only) {
+  std::string input;
+  std::string format = "csv";
+  std::string similarity = "jaccard";
+  double lo = 0.3;
+  double hi = 0.9;
+  size_t steps = 7;
+  size_t k = 2;
+  int64_t label_column = 0;
+  bool label_first = false;
+
+  FlagSet flags;
+  flags.AddString("input", &input, "input file");
+  flags.AddString("format", &format, "csv | arff | basket | store");
+  flags.AddString("similarity", &similarity,
+                  "jaccard | pairwise-missing (csv inputs)");
+  flags.AddDouble("lo", &lo, "lowest theta");
+  flags.AddDouble("hi", &hi, "highest theta");
+  flags.AddSize("steps", &steps, "number of grid points");
+  flags.AddSize("k", &k, "desired number of clusters per run");
+  flags.AddInt("label-column", &label_column,
+               "ground-truth column in csv (-1 = none)");
+  flags.AddBool("label-first", &label_first,
+                "basket format: first token of each line is the label");
+  if (help_only) {
+    EmitStr(out, "rock sweep — run ROCK across a theta grid\n" +
+                     flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (input.empty()) {
+    EmitStr(out, "error: --input is required\n");
+    return 2;
+  }
+
+  auto loaded = LoadInput(input, format, label_column, label_first);
+  if (!loaded.ok()) {
+    EmitStr(out, "error: " + loaded.status().ToString() + "\n");
+    return 1;
+  }
+  std::unique_ptr<PointSimilarity> sim;
+  if (loaded->is_categorical) {
+    if (similarity == "pairwise-missing") {
+      sim = std::make_unique<PairwiseMissingJaccard>(loaded->categorical);
+    } else {
+      sim = std::make_unique<CategoricalJaccard>(loaded->categorical);
+    }
+  } else {
+    sim = std::make_unique<TransactionJaccard>(loaded->transactions);
+  }
+
+  RockOptions opt;
+  opt.num_clusters = k;
+  auto sweep = SweepTheta(*sim, opt, ThetaGrid(lo, hi, steps));
+  if (!sweep.ok()) {
+    EmitStr(out, "error: " + sweep.status().ToString() + "\n");
+    return 1;
+  }
+  Emit(out, "%-8s %10s %10s %10s %10s %14s %8s\n", "theta", "avg.deg",
+       "clusters", "outliers", "largest", "criterion", "sec");
+  for (const SweepPoint& p : *sweep) {
+    Emit(out, "%-8.3f %10.1f %10zu %10zu %10zu %14.2f %8.2f\n", p.theta,
+         p.average_degree, p.num_clusters, p.num_outliers,
+         p.largest_cluster, p.criterion, p.seconds);
+  }
+  return 0;
+}
+
+const char kUsage[] =
+    "rock — ROCK clustering for categorical attributes (ICDE 1999)\n"
+    "\n"
+    "usage: rock <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  gen       generate a synthetic data set (basket/votes/mushroom/funds)\n"
+    "  cluster   cluster a csv / basket / store file (rock or baselines)\n"
+    "  pipeline  disk pipeline: sample -> cluster -> label a store file\n"
+    "  sweep     run ROCK across a theta grid and tabulate the outcomes\n"
+    "  help      show this message\n"
+    "\n"
+    "run `rock <command> --help` for the command's flags\n";
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string* out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    EmitStr(out, kUsage);
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  const bool wants_help =
+      !rest.empty() && (rest[0] == "--help" || rest[0] == "help");
+
+  if (command == "gen") {
+    return CmdGen(rest, out, wants_help);
+  }
+  if (command == "cluster") {
+    return CmdCluster(rest, out, wants_help);
+  }
+  if (command == "pipeline") {
+    return CmdPipeline(rest, out, wants_help);
+  }
+  if (command == "sweep") {
+    return CmdSweep(rest, out, wants_help);
+  }
+  EmitStr(out, "error: unknown command '" + command + "'\n\n" + kUsage);
+  return 2;
+}
+
+}  // namespace rock

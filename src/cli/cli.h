@@ -1,0 +1,28 @@
+// librock — cli/cli.h
+//
+// The implementation behind the `rock` command-line tool (tools/rock_cli).
+// Lives in the library so the test suite can drive full command runs and
+// inspect their output without spawning processes.
+//
+// Subcommands:
+//   rock gen       --dataset=basket|votes|mushroom|funds --out=FILE …
+//   rock cluster   --input=FILE --format=csv|basket [--algo=…] …
+//   rock pipeline  --store=FILE --sample-size=N …
+//   rock help [subcommand]
+
+#ifndef ROCK_CLI_CLI_H_
+#define ROCK_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace rock {
+
+/// Runs one CLI invocation. `args` excludes the program name. All console
+/// output (stdout-style) is appended to *out; errors are also rendered
+/// there. Returns the process exit code (0 = success).
+int RunCli(const std::vector<std::string>& args, std::string* out);
+
+}  // namespace rock
+
+#endif  // ROCK_CLI_CLI_H_

@@ -1,0 +1,86 @@
+// librock — common/random.h
+//
+// Deterministic, seedable pseudo-random number generation. All randomized
+// librock components (synthetic generators, sampling, k-means init) draw from
+// Rng so that experiments reproduce bit-for-bit given a seed.
+//
+// The generator is xoshiro256**, seeded through splitmix64 — fast, high
+// quality, and trivially portable (no libstdc++ distribution quirks).
+
+#ifndef ROCK_COMMON_RANDOM_H_
+#define ROCK_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rock {
+
+/// Expands a 64-bit seed into well-mixed stream values (SplitMix64).
+/// Used for seeding and for deriving independent child seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value in the stream.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic PRNG (xoshiro256**) with convenience draws.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator (for parallel / modular seeding).
+  Rng Fork();
+
+  /// Fisher–Yates shuffle of the whole vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement
+  /// (partial Fisher–Yates); requires k <= n. Result order is random.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_RANDOM_H_

@@ -1,0 +1,151 @@
+// librock — common/status.h
+//
+// RocksDB-style Status / Result<T> error plumbing. Library code paths do not
+// throw; fallible operations return a Status (or a Result<T> when they also
+// produce a value). Callers are expected to check ok() before use.
+
+#ifndef ROCK_COMMON_STATUS_H_
+#define ROCK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rock {
+
+/// Outcome of a fallible librock operation.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy (the message is only
+/// allocated on the error path).
+class Status {
+ public:
+  /// Error taxonomy. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  /// Returns an IOError status with the given message.
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  /// Returns a Corruption status with the given message.
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+  /// The status code.
+  Code code() const { return code_; }
+  /// The error message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value-or-error sum type: holds either a T or a non-OK Status.
+///
+/// Mirrors rocksdb's StatusOr / arrow::Result. Dereferencing a Result that
+/// holds an error is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True iff the result holds a value.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// Access to the held value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the held value out; requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define ROCK_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::rock::Status _rock_status = (expr);     \
+    if (!_rock_status.ok()) return _rock_status; \
+  } while (false)
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+// librock — common/string_util.h
+//
+// Small string helpers shared by the CSV reader, profilers and report
+// printers. Kept deliberately minimal (no locale, no unicode).
+
+#ifndef ROCK_COMMON_STRING_UTIL_H_
+#define ROCK_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rock {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" → {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins the parts with the separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Formats a double with `digits` decimal places (fixed notation).
+std::string FormatDouble(double v, int digits);
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_STRING_UTIL_H_

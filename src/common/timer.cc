@@ -1,0 +1,9 @@
+#include "common/timer.h"
+
+namespace rock {
+
+double Timer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace rock

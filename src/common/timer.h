@@ -1,0 +1,34 @@
+// librock — common/timer.h
+//
+// Wall-clock stopwatch used by the benchmark harnesses (Figure 5 reproduces
+// runtime-vs-sample-size curves).
+
+#ifndef ROCK_COMMON_TIMER_H_
+#define ROCK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rock {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const;
+
+  /// Elapsed milliseconds since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_COMMON_TIMER_H_

@@ -1,0 +1,64 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rock {
+
+size_t Clustering::num_assigned() const {
+  size_t n = 0;
+  for (ClusterIndex c : assignment) {
+    if (c != kUnassigned) ++n;
+  }
+  return n;
+}
+
+Clustering Clustering::FromAssignment(std::vector<ClusterIndex> assignment) {
+  Clustering out;
+  out.assignment = std::move(assignment);
+  ClusterIndex max_id = -1;
+  for (ClusterIndex c : out.assignment) max_id = std::max(max_id, c);
+  std::vector<std::vector<PointIndex>> raw(
+      static_cast<size_t>(max_id + 1));
+  for (size_t p = 0; p < out.assignment.size(); ++p) {
+    const ClusterIndex c = out.assignment[p];
+    if (c != kUnassigned) raw[static_cast<size_t>(c)].push_back(
+        static_cast<PointIndex>(p));
+  }
+  // Compact away empty ids and rewrite the assignment.
+  std::vector<ClusterIndex> remap(raw.size(), kUnassigned);
+  for (size_t c = 0; c < raw.size(); ++c) {
+    if (raw[c].empty()) continue;
+    remap[c] = static_cast<ClusterIndex>(out.clusters.size());
+    out.clusters.push_back(std::move(raw[c]));
+  }
+  for (ClusterIndex& c : out.assignment) {
+    if (c != kUnassigned) c = remap[static_cast<size_t>(c)];
+  }
+  return out;
+}
+
+void Clustering::SortBySizeDescending() {
+  std::vector<size_t> order(clusters.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (clusters[a].size() != clusters[b].size()) {
+      return clusters[a].size() > clusters[b].size();
+    }
+    // Clusters are non-empty and sorted, so front() is the smallest member.
+    return clusters[a].front() < clusters[b].front();
+  });
+  std::vector<std::vector<PointIndex>> sorted;
+  sorted.reserve(clusters.size());
+  std::vector<ClusterIndex> remap(clusters.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<ClusterIndex>(rank);
+    sorted.push_back(std::move(clusters[order[rank]]));
+  }
+  clusters = std::move(sorted);
+  for (ClusterIndex& c : assignment) {
+    if (c != kUnassigned) c = remap[static_cast<size_t>(c)];
+  }
+}
+
+}  // namespace rock

@@ -1,0 +1,50 @@
+// librock — core/cluster.h
+//
+// Flat clustering result representation shared by ROCK and the baseline
+// algorithms: a list of clusters (member point indices) plus the inverse
+// point → cluster assignment, with kUnassigned marking outliers.
+
+#ifndef ROCK_CORE_CLUSTER_H_
+#define ROCK_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/neighbors.h"
+
+namespace rock {
+
+/// Cluster index within a Clustering; kUnassigned marks outlier points.
+using ClusterIndex = int32_t;
+inline constexpr ClusterIndex kUnassigned = -1;
+
+/// A flat partition (plus outliers) of n points.
+struct Clustering {
+  /// Member point indices per cluster; each inner vector is sorted.
+  std::vector<std::vector<PointIndex>> clusters;
+
+  /// Point → cluster index (kUnassigned for outliers). Size n.
+  std::vector<ClusterIndex> assignment;
+
+  /// Number of clusters.
+  size_t num_clusters() const { return clusters.size(); }
+
+  /// Number of points covered by clusters (excludes outliers).
+  size_t num_assigned() const;
+
+  /// Number of outlier points.
+  size_t num_outliers() const { return assignment.size() - num_assigned(); }
+
+  /// Builds the clusters list from an assignment vector over n points with
+  /// values in {kUnassigned, 0 … max}. Gaps in cluster ids are compacted.
+  static Clustering FromAssignment(std::vector<ClusterIndex> assignment);
+
+  /// Reorders clusters by decreasing size (ties: smaller first member
+  /// first) and rewrites the assignment accordingly. Gives deterministic,
+  /// human-stable cluster numbering in reports.
+  void SortBySizeDescending();
+};
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_CLUSTER_H_

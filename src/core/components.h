@@ -1,0 +1,49 @@
+// librock — core/components.h
+//
+// Fast path for the common high-θ regime: ROCK "stops clustering if the
+// number of links between every pair of the remaining clusters becomes
+// zero" (§4.3), so whenever the requested k is at or below the number of
+// connected components of the *link graph*, the final clustering is exactly
+// those components — no heaps, no merge ordering needed. (This observation
+// was later published as the QROCK variant.) The paper's own mushroom run
+// is an instance: 21 link-components at θ = 0.8.
+//
+// LinkComponents computes that clustering directly in O(edges) after link
+// computation, and reports whether the shortcut is exact for a given k
+// (k <= number of components). For k above the component count the merge
+// engine is still required.
+
+#ifndef ROCK_CORE_COMPONENTS_H_
+#define ROCK_CORE_COMPONENTS_H_
+
+#include "core/cluster.h"
+#include "core/options.h"
+#include "graph/links.h"
+#include "graph/neighbors.h"
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// Result of the component shortcut.
+struct LinkComponentsResult {
+  /// One cluster per link-graph component (isolated/pruned points are
+  /// kUnassigned), sorted by decreasing size.
+  Clustering clustering;
+  /// Number of points dropped by the min_neighbors prune.
+  size_t num_pruned_points = 0;
+};
+
+/// Connected components of the link graph (edges = point pairs with
+/// link > 0). Points with fewer than `min_neighbors` graph neighbors are
+/// pruned exactly as the clusterer would.
+LinkComponentsResult LinkComponents(const NeighborGraph& graph,
+                                    const LinkMatrix& links,
+                                    size_t min_neighbors = 1);
+
+/// Convenience: neighbors → links → components in one call.
+Result<LinkComponentsResult> ComputeLinkComponents(
+    const PointSimilarity& sim, double theta, size_t min_neighbors = 1);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_COMPONENTS_H_

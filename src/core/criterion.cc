@@ -1,0 +1,31 @@
+#include "core/criterion.h"
+
+namespace rock {
+
+uint64_t IntraClusterLinks(const LinkMatrix& links,
+                           const std::vector<PointIndex>& members) {
+  uint64_t total = 0;
+  for (size_t a = 0; a + 1 < members.size(); ++a) {
+    const auto& row = links.Row(members[a]);
+    for (size_t b = a + 1; b < members.size(); ++b) {
+      auto it = row.find(members[b]);
+      if (it != row.end()) total += it->second;
+    }
+  }
+  return total;
+}
+
+double CriterionFunction(const Clustering& clustering, const LinkMatrix& links,
+                         const GoodnessMeasure& goodness) {
+  double total = 0.0;
+  for (const auto& members : clustering.clusters) {
+    if (members.empty()) continue;
+    const double n = static_cast<double>(members.size());
+    const double intra =
+        static_cast<double>(IntraClusterLinks(links, members));
+    total += n * intra / goodness.ExpectedIntraLinks(members.size());
+  }
+  return total;
+}
+
+}  // namespace rock

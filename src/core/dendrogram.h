@@ -1,0 +1,69 @@
+// librock — core/dendrogram.h
+//
+// ROCK is agglomerative (paper §4.1), so a single run induces an entire
+// merge tree, not just the final flat clustering. Dendrogram captures the
+// RockResult merge history and lets callers cut it at any granularity
+// *without re-running the clusterer* — the standard workflow for choosing
+// k after the fact — and export the tree in Newick format for external
+// visualization.
+//
+// Cuts replay the recorded merges only: outlier handling (pruning/weeding)
+// is reflected by the affected points simply never appearing in any merge
+// (pruned) or by their final-cut membership (weeded mid-run).
+
+#ifndef ROCK_CORE_DENDROGRAM_H_
+#define ROCK_CORE_DENDROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cluster.h"
+#include "core/rock.h"
+
+namespace rock {
+
+/// An agglomerative merge tree over a ROCK run.
+class Dendrogram {
+ public:
+  /// Builds from a completed run. `num_points` must equal the clustered
+  /// point count (result.clustering.assignment.size()).
+  static Result<Dendrogram> FromRockResult(const RockResult& result,
+                                           size_t num_points);
+
+  /// Number of points participating in the tree (assigned at the end or
+  /// touched by any merge). Pruned isolated points are excluded.
+  size_t num_participants() const { return num_participants_; }
+
+  /// Number of merge steps recorded.
+  size_t num_merges() const { return merges_.size(); }
+
+  /// Flat clustering after replaying the first `m` merges (clamped to
+  /// num_merges()). Non-participating points are kUnassigned.
+  Clustering CutAfterMerges(size_t m) const;
+
+  /// The coarsest cut with at least `k` clusters: replays merges while
+  /// more than `k` clusters remain. With k below the run's final cluster
+  /// count this returns the full-history cut.
+  Clustering CutAtK(size_t k) const;
+
+  /// Goodness of the m-th merge (the paper's g(C_i, C_j) at merge time).
+  double MergeGoodness(size_t m) const { return merges_[m].goodness; }
+
+  /// Newick rendering of the merge forest: leaves are "p<index>", internal
+  /// nodes are labeled "g=<goodness>"; multiple roots are joined under an
+  /// unlabeled virtual root. Ends with ';'.
+  std::string ToNewick() const;
+
+ private:
+  Dendrogram() = default;
+
+  size_t num_points_ = 0;
+  size_t num_participants_ = 0;
+  std::vector<MergeRecord> merges_;
+  std::vector<bool> participates_;  // per point
+};
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_DENDROGRAM_H_

@@ -1,0 +1,25 @@
+#include "core/goodness.h"
+
+#include <cmath>
+
+namespace rock {
+
+double GoodnessMeasure::ExpectedIntraLinks(size_t n) const {
+  return std::pow(static_cast<double>(n), exponent_);
+}
+
+double GoodnessMeasure::ExpectedCrossLinks(size_t ni, size_t nj) const {
+  return ExpectedIntraLinks(ni + nj) - ExpectedIntraLinks(ni) -
+         ExpectedIntraLinks(nj);
+}
+
+double GoodnessMeasure::Goodness(uint64_t cross_links, size_t ni,
+                                 size_t nj) const {
+  const double expected = ExpectedCrossLinks(ni, nj);
+  // exponent >= 1 makes x^e strictly superadditive, so expected > 0 for
+  // ni, nj >= 1; guard anyway for degenerate f.
+  if (expected <= 0.0) return 0.0;
+  return static_cast<double>(cross_links) / expected;
+}
+
+}  // namespace rock

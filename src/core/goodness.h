@@ -1,0 +1,53 @@
+// librock — core/goodness.h
+//
+// The goodness measure of paper §4.2:
+//
+//     g(C_i, C_j) = link[C_i, C_j] / ((n_i+n_j)^{1+2f(θ)} − n_i^{1+2f(θ)} − n_j^{1+2f(θ)})
+//
+// The denominator is the *expected* number of cross-links between the two
+// clusters; dividing by it stops large clusters from swallowing everything
+// merely because they have more raw cross-links.
+
+#ifndef ROCK_CORE_GOODNESS_H_
+#define ROCK_CORE_GOODNESS_H_
+
+#include <cstdint>
+
+#include "core/options.h"
+
+namespace rock {
+
+/// Precomputed goodness evaluator for a fixed θ and f.
+class GoodnessMeasure {
+ public:
+  /// Captures exponent 1 + 2f(θ). `options.f` must be set.
+  explicit GoodnessMeasure(const RockOptions& options)
+      : exponent_(1.0 + 2.0 * options.f(options.theta)) {}
+
+  /// Direct construction from a precomputed f(θ) value.
+  GoodnessMeasure(double theta, double f_of_theta)
+      : exponent_(1.0 + 2.0 * f_of_theta) {
+    (void)theta;
+  }
+
+  /// The exponent 1 + 2f(θ).
+  double exponent() const { return exponent_; }
+
+  /// Expected number of intra-cluster links of an n-point cluster:
+  /// n^{1+2f(θ)}.
+  double ExpectedIntraLinks(size_t n) const;
+
+  /// Expected cross-links created by merging clusters of sizes ni and nj:
+  /// (ni+nj)^{1+2f(θ)} − ni^{1+2f(θ)} − nj^{1+2f(θ)}.
+  double ExpectedCrossLinks(size_t ni, size_t nj) const;
+
+  /// g(C_i, C_j) for the observed cross-link count.
+  double Goodness(uint64_t cross_links, size_t ni, size_t nj) const;
+
+ private:
+  double exponent_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_GOODNESS_H_

@@ -1,0 +1,194 @@
+#include "core/labeling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace rock {
+
+Result<TransactionLabeler> TransactionLabeler::Build(
+    const TransactionDataset& sample, const Clustering& clustering,
+    const RockOptions& rock_options, const LabelingOptions& options) {
+  ROCK_RETURN_IF_ERROR(rock_options.Validate());
+  if (!(options.fraction > 0.0 && options.fraction <= 1.0)) {
+    return Status::InvalidArgument("labeling fraction must be in (0, 1]");
+  }
+  if (clustering.assignment.size() != sample.size()) {
+    return Status::InvalidArgument(
+        "clustering does not cover the sample dataset");
+  }
+
+  TransactionLabeler labeler(rock_options.theta,
+                             rock_options.f(rock_options.theta));
+  labeler.sets_.resize(clustering.num_clusters());
+  labeler.normalizers_.resize(clustering.num_clusters());
+
+  Rng rng(options.seed);
+  for (size_t c = 0; c < clustering.num_clusters(); ++c) {
+    const auto& members = clustering.clusters[c];
+    size_t want = static_cast<size_t>(std::ceil(
+        options.fraction * static_cast<double>(members.size())));
+    want = std::max(want, options.min_labeling_points);
+    want = std::min(want, members.size());
+    std::vector<size_t> picked =
+        rng.SampleWithoutReplacement(members.size(), want);
+    auto& set = labeler.sets_[c];
+    set.reserve(want);
+    for (size_t idx : picked) {
+      set.push_back(sample.transaction(members[idx]));
+    }
+    labeler.normalizers_[c] =
+        std::pow(static_cast<double>(set.size()) + 1.0, labeler.f_exponent_);
+  }
+  return labeler;
+}
+
+ClusterIndex TransactionLabeler::Assign(const Transaction& tx) const {
+  ClusterIndex best = kUnassigned;
+  double best_score = 0.0;
+  for (size_t c = 0; c < sets_.size(); ++c) {
+    size_t neighbors = 0;
+    for (const Transaction& q : sets_[c]) {
+      if (JaccardSimilarity(tx, q) >= theta_) ++neighbors;
+    }
+    if (neighbors == 0) continue;
+    const double score =
+        static_cast<double>(neighbors) / normalizers_[c];
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<ClusterIndex>(c);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+constexpr uint64_t kLabelerMagic = 0x524f434b4c41424cULL;  // "ROCKLABL"
+constexpr uint32_t kLabelerVersion = 1;
+
+Status WriteRaw(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("short write to labeler file");
+  }
+  return Status::OK();
+}
+
+Status ReadRaw(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::Corruption("short read from labeler file");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TransactionLabeler::Save(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  std::FILE* f = file.get();
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &kLabelerMagic, sizeof(kLabelerMagic)));
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &kLabelerVersion, sizeof(kLabelerVersion)));
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &theta_, sizeof(theta_)));
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &f_exponent_, sizeof(f_exponent_)));
+  const uint64_t num_clusters = sets_.size();
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &num_clusters, sizeof(num_clusters)));
+  for (const auto& set : sets_) {
+    const uint64_t set_size = set.size();
+    ROCK_RETURN_IF_ERROR(WriteRaw(f, &set_size, sizeof(set_size)));
+    for (const Transaction& tx : set) {
+      const uint32_t n = static_cast<uint32_t>(tx.size());
+      ROCK_RETURN_IF_ERROR(WriteRaw(f, &n, sizeof(n)));
+      if (n > 0) {
+        ROCK_RETURN_IF_ERROR(
+            WriteRaw(f, tx.items().data(), n * sizeof(ItemId)));
+      }
+    }
+  }
+  if (std::fflush(f) != 0) {
+    return Status::IOError("flush failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<TransactionLabeler> TransactionLabeler::Load(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::FILE* f = file.get();
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &magic, sizeof(magic)));
+  if (magic != kLabelerMagic) {
+    return Status::Corruption("'" + path + "' is not a labeler file");
+  }
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &version, sizeof(version)));
+  if (version != kLabelerVersion) {
+    return Status::Corruption("unsupported labeler version " +
+                              std::to_string(version));
+  }
+  double theta = 0.0;
+  double exponent = 0.0;
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &theta, sizeof(theta)));
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &exponent, sizeof(exponent)));
+  if (!(theta >= 0.0 && theta <= 1.0) || !(exponent >= 0.0)) {
+    return Status::Corruption("implausible labeler parameters");
+  }
+  TransactionLabeler labeler(theta, exponent);
+  uint64_t num_clusters = 0;
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &num_clusters, sizeof(num_clusters)));
+  if (num_clusters > (1u << 24)) {
+    return Status::Corruption("implausible cluster count");
+  }
+  labeler.sets_.resize(num_clusters);
+  labeler.normalizers_.resize(num_clusters);
+  for (uint64_t c = 0; c < num_clusters; ++c) {
+    uint64_t set_size = 0;
+    ROCK_RETURN_IF_ERROR(ReadRaw(f, &set_size, sizeof(set_size)));
+    if (set_size > (1u << 28)) {
+      return Status::Corruption("implausible labeling-set size");
+    }
+    auto& set = labeler.sets_[c];
+    set.reserve(set_size);
+    for (uint64_t t = 0; t < set_size; ++t) {
+      uint32_t n = 0;
+      ROCK_RETURN_IF_ERROR(ReadRaw(f, &n, sizeof(n)));
+      if (n > (1u << 24)) {
+        return Status::Corruption("implausible transaction length");
+      }
+      std::vector<ItemId> items(n);
+      if (n > 0) {
+        ROCK_RETURN_IF_ERROR(ReadRaw(f, items.data(), n * sizeof(ItemId)));
+      }
+      set.emplace_back(std::move(items));
+    }
+    labeler.normalizers_[c] =
+        std::pow(static_cast<double>(set.size()) + 1.0, exponent);
+  }
+  return labeler;
+}
+
+Result<LabelingRunResult> LabelStore(const std::string& store_path,
+                                     const TransactionLabeler& labeler) {
+  auto reader = TransactionStoreReader::Open(store_path);
+  ROCK_RETURN_IF_ERROR(reader.status());
+  LabelingRunResult out;
+  out.assignments.reserve(reader->count());
+  out.ground_truth.reserve(reader->count());
+  while (reader->Next()) {
+    const ClusterIndex c = labeler.Assign(reader->transaction());
+    out.assignments.push_back(c);
+    out.ground_truth.push_back(reader->label());
+    if (c == kUnassigned) ++out.num_outliers;
+  }
+  ROCK_RETURN_IF_ERROR(reader->status());
+  return out;
+}
+
+}  // namespace rock

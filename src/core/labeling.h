@@ -1,0 +1,94 @@
+// librock — core/labeling.h
+//
+// Labeling phase (paper §4.6, "Labeling Data on Disk"): after clustering the
+// in-memory sample, every remaining point p on disk is assigned to the
+// cluster i maximizing its normalized neighbor count
+//
+//     score_i(p) = N_i(p) / (|L_i| + 1)^{f(θ)}
+//
+// where L_i is a fraction of cluster i's sampled points kept for labeling
+// and N_i(p) = |{ q ∈ L_i : sim(p, q) >= θ }|. Points with zero neighbors in
+// every labeling set are outliers.
+
+#ifndef ROCK_CORE_LABELING_H_
+#define ROCK_CORE_LABELING_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/cluster.h"
+#include "core/options.h"
+#include "data/dataset.h"
+#include "data/disk_store.h"
+#include "similarity/jaccard.h"
+
+namespace rock {
+
+/// Options for building a TransactionLabeler.
+struct LabelingOptions {
+  /// Fraction of each cluster's sampled points kept in L_i (0 < f <= 1).
+  double fraction = 0.25;
+  /// Floor on |L_i| so tiny clusters still label (capped at cluster size).
+  size_t min_labeling_points = 8;
+  /// Seed for the per-cluster subset draw.
+  uint64_t seed = 42;
+};
+
+/// Assigns market-basket transactions to the clusters discovered on a
+/// sample, per paper §4.6.
+class TransactionLabeler {
+ public:
+  /// Builds labeling sets L_i from `sample` and its `clustering`.
+  /// `rock_options` supplies θ and f(θ). Copies the selected transactions,
+  /// so the sample dataset may be discarded afterwards.
+  static Result<TransactionLabeler> Build(const TransactionDataset& sample,
+                                          const Clustering& clustering,
+                                          const RockOptions& rock_options,
+                                          const LabelingOptions& options);
+
+  /// Cluster index for `tx`, or kUnassigned when tx has no neighbor in any
+  /// labeling set.
+  ClusterIndex Assign(const Transaction& tx) const;
+
+  /// Number of clusters the labeler can assign to.
+  size_t num_clusters() const { return sets_.size(); }
+
+  /// Size of labeling set L_i.
+  size_t labeling_set_size(size_t i) const { return sets_[i].size(); }
+
+  /// Serializes the labeler (θ, f(θ), all labeling sets) to a binary file
+  /// so the labeling phase can run in a different process — e.g. sharded
+  /// over the store — without re-clustering the sample.
+  Status Save(const std::string& path) const;
+
+  /// Restores a labeler written by Save(). Item ids must come from the
+  /// same dictionary as the store being labeled (as with Build()).
+  static Result<TransactionLabeler> Load(const std::string& path);
+
+ private:
+  TransactionLabeler(double theta, double exponent)
+      : theta_(theta), f_exponent_(exponent) {}
+
+  double theta_;
+  double f_exponent_;  // f(θ), the normalization exponent
+  std::vector<std::vector<Transaction>> sets_;  // L_i per cluster
+  std::vector<double> normalizers_;             // (|L_i|+1)^{f(θ)}
+};
+
+/// Result of labeling one on-disk store.
+struct LabelingRunResult {
+  /// Cluster per store row (kUnassigned = outlier). Size = store count.
+  std::vector<ClusterIndex> assignments;
+  /// Ground-truth label ids carried by the store (kNoLabel where absent).
+  std::vector<LabelId> ground_truth;
+  size_t num_outliers = 0;
+};
+
+/// Streams `store_path` through the labeler, assigning every transaction.
+Result<LabelingRunResult> LabelStore(const std::string& store_path,
+                                     const TransactionLabeler& labeler);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_LABELING_H_

@@ -1,0 +1,73 @@
+// librock — core/options.h
+//
+// User-facing knobs for the ROCK clusterer, mirroring the paper's
+// parameters: the similarity threshold θ (§3.1), the link-expectation
+// exponent function f(θ) (§3.3), the desired cluster count k, and the two
+// outlier-handling controls of §4.6 (isolated-point pruning and small-
+// cluster weeding at a stop multiple of k).
+
+#ifndef ROCK_CORE_OPTIONS_H_
+#define ROCK_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace rock {
+
+/// The paper's market-basket estimate f(θ) = (1 − θ) / (1 + θ): each point
+/// of a cluster C_i has ≈ n_i^{f(θ)} neighbors inside C_i. Satisfies the
+/// paper's sanity checks f(1) = 0 (only identical points are neighbors) and
+/// f(0) = 1 (everyone is everyone's neighbor).
+double MarketBasketF(double theta);
+
+/// Alternative reading of the paper's (typographically garbled) market-
+/// basket formula: f(θ) = 1/(1+θ). Its larger exponent penalizes merges
+/// into big clusters more aggressively; unlike MarketBasketF it recovers
+/// the paper's Figure 1 example end-to-end (see EXPERIMENTS.md). Note it
+/// fails the paper's own boundary check f(1) = 0, so MarketBasketF is the
+/// canonical default.
+double ConservativeMarketBasketF(double theta);
+
+/// Parameters of a ROCK clustering run.
+struct RockOptions {
+  /// Similarity threshold θ ∈ [0, 1]: pairs with sim ≥ θ are neighbors.
+  double theta = 0.5;
+
+  /// Desired number of clusters k. The algorithm may stop with more
+  /// clusters if all cross-links are exhausted first (paper §5.2: mushroom
+  /// stopped at 21 with k = 20), or fewer after outlier weeding.
+  size_t num_clusters = 2;
+
+  /// Link-expectation exponent f(θ). Defaults to MarketBasketF.
+  std::function<double(double)> f = MarketBasketF;
+
+  /// Outlier pruning (§4.6 first stage): points with fewer neighbors than
+  /// this never participate in clustering. 0 disables pruning; the paper's
+  /// default is to discard points "with very few or no neighbors".
+  size_t min_neighbors = 1;
+
+  /// Outlier weeding (§4.6 second stage): when > 0, clustering pauses at
+  /// ceil(outlier_stop_multiple × k) clusters and discards clusters with
+  /// fewer than min_cluster_support points before continuing to k.
+  /// 0 disables the pause.
+  double outlier_stop_multiple = 0.0;
+
+  /// Minimum size a cluster must have to survive weeding.
+  size_t min_cluster_support = 2;
+
+  /// Worker threads for the neighbor-graph and link-computation phases
+  /// (the O(n²)-ish parts; the merge loop is inherently sequential).
+  /// 1 = serial (default), 0 = hardware concurrency. Results are
+  /// identical regardless of thread count.
+  size_t num_threads = 1;
+
+  /// Checks parameter sanity.
+  Status Validate() const;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_OPTIONS_H_

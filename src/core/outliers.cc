@@ -1,0 +1,25 @@
+#include "core/outliers.h"
+
+namespace rock {
+
+std::vector<PointIndex> FindIsolatedPoints(const NeighborGraph& graph,
+                                           size_t min_neighbors) {
+  std::vector<PointIndex> out;
+  for (size_t p = 0; p < graph.size(); ++p) {
+    if (graph.Degree(p) < min_neighbors) {
+      out.push_back(static_cast<PointIndex>(p));
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> FindLowSupportClusters(const Clustering& clustering,
+                                           size_t min_support) {
+  std::vector<size_t> out;
+  for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+    if (clustering.clusters[c].size() < min_support) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace rock

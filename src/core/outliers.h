@@ -1,0 +1,31 @@
+// librock — core/outliers.h
+//
+// Outlier-detection helpers (paper §4.6). The RockClusterer embeds both
+// stages (isolated-point pruning and small-cluster weeding); these free
+// functions expose the same predicates for analysis, tests and the labeling
+// phase's "no neighbors anywhere" fallback.
+
+#ifndef ROCK_CORE_OUTLIERS_H_
+#define ROCK_CORE_OUTLIERS_H_
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "graph/neighbors.h"
+
+namespace rock {
+
+/// Points with fewer than `min_neighbors` neighbors — the paper's
+/// "relatively isolated from the rest" points that are discarded before
+/// clustering. Returned sorted.
+std::vector<PointIndex> FindIsolatedPoints(const NeighborGraph& graph,
+                                           size_t min_neighbors);
+
+/// Indices of clusters whose size is below `min_support` — candidates for
+/// the weeding stage ("clusters that have very little support").
+std::vector<size_t> FindLowSupportClusters(const Clustering& clustering,
+                                           size_t min_support);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_OUTLIERS_H_

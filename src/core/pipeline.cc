@@ -1,0 +1,69 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "core/sampling.h"
+
+namespace rock {
+
+Result<PipelineResult> RunRockPipeline(const std::string& store_path,
+                                       const PipelineOptions& options) {
+  ROCK_RETURN_IF_ERROR(options.rock.Validate());
+  if (options.sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be > 0");
+  }
+
+  PipelineResult out;
+
+  // Pass 1: streaming reservoir sample of the store.
+  Timer sample_timer;
+  Rng rng(options.seed);
+  auto reader = TransactionStoreReader::Open(store_path);
+  ROCK_RETURN_IF_ERROR(reader.status());
+  if (reader->count() < options.sample_size) {
+    return Status::InvalidArgument("store has fewer rows than sample_size");
+  }
+  ReservoirSampler<Transaction> sampler(options.sample_size, &rng);
+  while (reader->Next()) sampler.Offer(reader->transaction());
+  ROCK_RETURN_IF_ERROR(reader->status());
+
+  // Keep sample rows in store order so results are stable and reportable.
+  std::vector<size_t> order(sampler.sample().size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sampler.sample_indices()[a] < sampler.sample_indices()[b];
+  });
+  TransactionDataset sample;
+  out.sample_rows.reserve(order.size());
+  for (size_t idx : order) {
+    sample.AddTransaction(sampler.sample()[idx]);
+    out.sample_rows.push_back(sampler.sample_indices()[idx]);
+  }
+  out.sample_seconds = sample_timer.ElapsedSeconds();
+
+  // Cluster the sample.
+  Timer cluster_timer;
+  TransactionJaccard sim(sample);
+  RockClusterer clusterer(options.rock);
+  auto rock_result = clusterer.Cluster(sim);
+  ROCK_RETURN_IF_ERROR(rock_result.status());
+  out.sample_result = std::move(*rock_result);
+  out.cluster_seconds = cluster_timer.ElapsedSeconds();
+
+  // Pass 2: stream the store through the labeler.
+  Timer label_timer;
+  auto labeler =
+      TransactionLabeler::Build(sample, out.sample_result.clustering,
+                                options.rock, options.labeling);
+  ROCK_RETURN_IF_ERROR(labeler.status());
+  auto labeling = LabelStore(store_path, *labeler);
+  ROCK_RETURN_IF_ERROR(labeling.status());
+  out.labeling = std::move(*labeling);
+  out.label_seconds = label_timer.ElapsedSeconds();
+
+  return out;
+}
+
+}  // namespace rock

@@ -1,0 +1,52 @@
+// librock — core/pipeline.h
+//
+// End-to-end ROCK pipeline over an on-disk database (paper Fig. 2):
+// draw random sample → cluster sample with links → label data on disk.
+// This is the entry point the scalability (Fig. 5) and labeling-quality
+// (Table 6) experiments drive.
+
+#ifndef ROCK_CORE_PIPELINE_H_
+#define ROCK_CORE_PIPELINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/labeling.h"
+#include "core/rock.h"
+
+namespace rock {
+
+/// Options for a full disk-backed pipeline run.
+struct PipelineOptions {
+  RockOptions rock;          ///< θ, k, f, outlier handling
+  size_t sample_size = 1000; ///< points drawn into memory (reservoir)
+  LabelingOptions labeling;  ///< L_i construction
+  uint64_t seed = 42;        ///< sampling seed
+};
+
+/// Result of a full pipeline run.
+struct PipelineResult {
+  /// Clustering of the in-memory sample.
+  RockResult sample_result;
+  /// Store row positions of the sampled transactions (sorted).
+  std::vector<uint64_t> sample_rows;
+  /// Labeling of the entire store (one entry per store row).
+  LabelingRunResult labeling;
+  /// Seconds spent drawing the sample / clustering / labeling. The paper's
+  /// Fig. 5 "execution time" excludes the final labeling phase, so the
+  /// benches report cluster_seconds separately.
+  double sample_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double label_seconds = 0.0;
+};
+
+/// Runs sample → cluster → label against a transaction store file.
+/// The sample is drawn with one streaming reservoir pass; labeling makes a
+/// second streaming pass. Fails if the store has fewer rows than
+/// `options.sample_size`.
+Result<PipelineResult> RunRockPipeline(const std::string& store_path,
+                                       const PipelineOptions& options);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_PIPELINE_H_

@@ -1,0 +1,280 @@
+#include "core/rock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "core/criterion.h"
+#include "graph/parallel.h"
+#include "util/updatable_heap.h"
+
+namespace rock {
+
+namespace {
+
+/// Internal cluster id. Initial clusters take ids 0 … n−1; every merge mints
+/// the next id, so ids never exceed 2n−1.
+using ClusterId = uint32_t;
+
+constexpr double kNoCandidate = -std::numeric_limits<double>::infinity();
+
+/// Live-cluster bookkeeping for the Fig. 3 merge loop.
+struct ClusterState {
+  std::vector<PointIndex> members;
+  /// Cross-link counts to other live clusters (the paper's link[C_i, C_j]).
+  std::unordered_map<ClusterId, uint64_t> links;
+  /// The paper's local heap q[i]: candidate partners ordered by goodness.
+  UpdatableHeap<ClusterId, double> local;
+};
+
+/// The merge engine: owns all live clusters and both heap layers.
+class MergeEngine {
+ public:
+  MergeEngine(const NeighborGraph& graph, const RockOptions& options)
+      : options_(options), goodness_(options), graph_(graph) {}
+
+  RockResult Run() {
+    Timer total_timer;
+    RockResult result;
+    result.stats.num_points = graph_.size();
+    result.stats.average_degree = graph_.AverageDegree();
+    result.stats.max_degree = graph_.MaxDegree();
+
+    PruneIsolatedPoints();
+    result.stats.num_pruned_points = pruned_.size();
+
+    Timer link_timer;
+    LinkMatrix links = options_.num_threads == 1
+                           ? ComputeLinks(graph_)
+                           : ComputeLinksParallel(
+                                 graph_, {options_.num_threads, 16});
+    result.stats.link_seconds = link_timer.ElapsedSeconds();
+
+    Timer merge_timer;
+    InitializeClusters(links);
+    MergeLoop(&result);
+    result.stats.merge_seconds = merge_timer.ElapsedSeconds();
+
+    BuildClustering(&result);
+    result.stats.total_seconds = total_timer.ElapsedSeconds();
+    result.stats.criterion_value =
+        CriterionFunction(result.clustering, links, goodness_);
+    return result;
+  }
+
+ private:
+  void PruneIsolatedPoints() {
+    for (size_t p = 0; p < graph_.size(); ++p) {
+      if (graph_.Degree(p) < options_.min_neighbors) {
+        pruned_.push_back(static_cast<PointIndex>(p));
+      }
+    }
+  }
+
+  bool IsPruned(PointIndex p) const {
+    return std::binary_search(pruned_.begin(), pruned_.end(), p);
+  }
+
+  void InitializeClusters(const LinkMatrix& links) {
+    const size_t n = graph_.size();
+    states_.resize(2 * n);  // ids 0 … 2n−1 suffice for n−1 merges
+    for (PointIndex p = 0; p < n; ++p) {
+      if (IsPruned(p)) continue;
+      auto state = std::make_unique<ClusterState>();
+      state->members.push_back(p);
+      states_[p] = std::move(state);
+      ++num_live_;
+    }
+    next_id_ = static_cast<ClusterId>(n);
+
+    // Seed cross-links and local heaps from the point-level link counts.
+    // Links to pruned points are ignored: pruned outliers never participate.
+    for (PointIndex p = 0; p < n; ++p) {
+      if (states_[p] == nullptr) continue;
+      auto& state = *states_[p];
+      for (const auto& [q, count] : links.Row(p)) {
+        if (states_[q] == nullptr) continue;
+        state.links.emplace(q, count);
+        state.local.InsertOrUpdate(q, goodness_.Goodness(count, 1, 1));
+      }
+    }
+    for (PointIndex p = 0; p < n; ++p) {
+      if (states_[p] != nullptr) global_.InsertOrUpdate(p, LocalBest(p));
+    }
+  }
+
+  double LocalBest(ClusterId c) const {
+    const auto& local = states_[c]->local;
+    return local.empty() ? kNoCandidate : local.Top().priority;
+  }
+
+  void MergeLoop(RockResult* result) {
+    const size_t k = options_.num_clusters;
+    const size_t weed_at = WeedThreshold();
+    bool weeded = (weed_at == 0);
+
+    while (num_live_ > k) {
+      if (!weeded && num_live_ <= weed_at) {
+        WeedSmallClusters(result);
+        weeded = true;
+        continue;
+      }
+      if (global_.empty()) break;
+      const auto top = global_.Top();
+      if (top.priority == kNoCandidate) break;  // all cross-links are zero
+      const ClusterId u = top.key;
+      const ClusterId v = states_[u]->local.Top().key;
+      Merge(u, v, result);
+    }
+    // A weeding pause configured below k (or exactly at k) still applies
+    // when the loop exits normally.
+    if (!weeded && num_live_ <= weed_at) {
+      WeedSmallClusters(result);
+    }
+  }
+
+  size_t WeedThreshold() const {
+    if (options_.outlier_stop_multiple <= 0.0) return 0;
+    const double raw = options_.outlier_stop_multiple *
+                       static_cast<double>(options_.num_clusters);
+    return static_cast<size_t>(std::ceil(raw));
+  }
+
+  void Merge(ClusterId u, ClusterId v, RockResult* result) {
+    ClusterState& su = *states_[u];
+    ClusterState& sv = *states_[v];
+    const ClusterId w = next_id_++;
+    auto sw = std::make_unique<ClusterState>();
+
+    sw->members.reserve(su.members.size() + sv.members.size());
+    sw->members = su.members;
+    sw->members.insert(sw->members.end(), sv.members.begin(),
+                       sv.members.end());
+    std::sort(sw->members.begin(), sw->members.end());
+    const size_t nw = sw->members.size();
+
+    result->merges.push_back(MergeRecord{
+        u, v, w, goodness_.Goodness(su.links.at(v), su.members.size(),
+                                    sv.members.size()),
+        nw});
+    ++result->stats.num_merges;
+
+    global_.Erase(u);
+    global_.Erase(v);
+
+    // Fig. 3 steps 10–15: every x linked to u or v relinks to w.
+    auto relink = [&](const std::unordered_map<ClusterId, uint64_t>& src) {
+      for (const auto& [x, _] : src) {
+        if (x == u || x == v) continue;
+        if (sw->links.count(x) > 0) continue;  // already handled via u
+        ClusterState& sx = *states_[x];
+        uint64_t count = 0;
+        if (auto it = sx.links.find(u); it != sx.links.end()) {
+          count += it->second;
+          sx.links.erase(it);
+        }
+        if (auto it = sx.links.find(v); it != sx.links.end()) {
+          count += it->second;
+          sx.links.erase(it);
+        }
+        sx.local.Erase(u);
+        sx.local.Erase(v);
+        const double g = goodness_.Goodness(count, sx.members.size(), nw);
+        sx.links.emplace(w, count);
+        sx.local.InsertOrUpdate(w, g);
+        sw->links.emplace(x, count);
+        sw->local.InsertOrUpdate(x, g);
+        global_.InsertOrUpdate(x, LocalBest(x));
+      }
+    };
+    relink(su.links);
+    relink(sv.links);
+
+    states_[u].reset();
+    states_[v].reset();
+    states_[w] = std::move(sw);
+    --num_live_;  // two die, one is born
+    global_.InsertOrUpdate(w, LocalBest(w));
+  }
+
+  void WeedSmallClusters(RockResult* result) {
+    std::vector<ClusterId> victims;
+    for (ClusterId c = 0; c < next_id_; ++c) {
+      if (states_[c] != nullptr &&
+          states_[c]->members.size() < options_.min_cluster_support) {
+        victims.push_back(c);
+      }
+    }
+    for (ClusterId c : victims) {
+      ClusterState& sc = *states_[c];
+      result->stats.num_weeded_points += sc.members.size();
+      for (PointIndex p : sc.members) weeded_points_.push_back(p);
+      for (const auto& [x, _] : sc.links) {
+        if (states_[x] == nullptr) continue;
+        ClusterState& sx = *states_[x];
+        sx.links.erase(c);
+        sx.local.Erase(c);
+        global_.InsertOrUpdate(x, LocalBest(x));
+      }
+      global_.Erase(c);
+      states_[c].reset();
+      --num_live_;
+      ++result->stats.num_weeded_clusters;
+    }
+  }
+
+  void BuildClustering(RockResult* result) {
+    std::vector<ClusterIndex> assignment(graph_.size(), kUnassigned);
+    ClusterIndex next = 0;
+    for (ClusterId c = 0; c < next_id_; ++c) {
+      if (states_[c] == nullptr) continue;
+      for (PointIndex p : states_[c]->members) {
+        assignment[p] = next;
+      }
+      ++next;
+    }
+    result->clustering = Clustering::FromAssignment(std::move(assignment));
+    result->clustering.SortBySizeDescending();
+  }
+
+  const RockOptions& options_;
+  GoodnessMeasure goodness_;
+  const NeighborGraph& graph_;
+
+  std::vector<std::unique_ptr<ClusterState>> states_;
+  UpdatableHeap<ClusterId, double> global_;
+  std::vector<PointIndex> pruned_;         // sorted by construction
+  std::vector<PointIndex> weeded_points_;
+  size_t num_live_ = 0;
+  ClusterId next_id_ = 0;
+};
+
+}  // namespace
+
+Result<RockResult> RockClusterer::Cluster(const PointSimilarity& sim) const {
+  ROCK_RETURN_IF_ERROR(options_.Validate());
+  Timer nbr_timer;
+  auto graph = options_.num_threads == 1
+                   ? ComputeNeighbors(sim, options_.theta)
+                   : ComputeNeighborsParallel(sim, options_.theta,
+                                              {options_.num_threads, 16});
+  ROCK_RETURN_IF_ERROR(graph.status());
+  const double nbr_seconds = nbr_timer.ElapsedSeconds();
+  auto result = ClusterGraph(*graph);
+  ROCK_RETURN_IF_ERROR(result.status());
+  result->stats.neighbor_seconds = nbr_seconds;
+  result->stats.total_seconds += nbr_seconds;
+  return result;
+}
+
+Result<RockResult> RockClusterer::ClusterGraph(
+    const NeighborGraph& graph) const {
+  ROCK_RETURN_IF_ERROR(options_.Validate());
+  MergeEngine engine(graph, options_);
+  return engine.Run();
+}
+
+}  // namespace rock

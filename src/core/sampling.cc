@@ -1,0 +1,52 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rock {
+
+std::vector<size_t> SampleIndices(size_t n, size_t k, Rng* rng) {
+  assert(k <= n);
+  std::vector<size_t> picked = rng->SampleWithoutReplacement(n, k);
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+size_t MinSampleSize(size_t population, size_t min_cluster_size,
+                     double fraction, double delta) {
+  assert(min_cluster_size > 0 && min_cluster_size <= population);
+  assert(fraction > 0.0 && fraction <= 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  const double n = static_cast<double>(population);
+  const double u = static_cast<double>(min_cluster_size);
+  const double log_inv_delta = std::log(1.0 / delta);
+  const double s =
+      fraction * n + (n / u) * log_inv_delta +
+      (n / u) * std::sqrt(log_inv_delta * log_inv_delta +
+                          2.0 * fraction * u * log_inv_delta);
+  const double capped = std::min(std::ceil(s), n);
+  return static_cast<size_t>(capped);
+}
+
+uint64_t VitterSkipX(uint64_t seen, size_t k, Rng* rng) {
+  // Algorithm X [Vit85]: draw V uniform in (0,1); skip S is the smallest
+  // integer with  prod_{i=0..S} (seen+1+i-k)/(seen+1+i)  <= V  — found by
+  // scanning. Expected O(skip) time, no large-deviation math needed.
+  assert(seen >= k);
+  double v = 0.0;
+  do {
+    v = rng->UniformDouble();
+  } while (v == 0.0);
+  uint64_t s = 0;
+  double quot = static_cast<double>(seen + 1 - k) /
+                static_cast<double>(seen + 1);
+  while (quot > v) {
+    ++s;
+    const double t = static_cast<double>(seen + 1 + s);
+    quot *= (t - static_cast<double>(k)) / t;
+  }
+  return s;
+}
+
+}  // namespace rock

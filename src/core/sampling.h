@@ -1,0 +1,90 @@
+// librock — core/sampling.h
+//
+// Random sampling (paper §4.6 / Fig. 2): for large databases ROCK clusters a
+// random sample that fits in memory, then labels the rest from disk. The
+// paper cites Vitter's reservoir sampling [Vit85]; we implement Algorithm R
+// (one uniform draw per element) and Vitter's Algorithm X (skip-based — the
+// draws-per-skipped-run variant that dominates when k << n).
+
+#ifndef ROCK_CORE_SAMPLING_H_
+#define ROCK_CORE_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace rock {
+
+/// Uniform reservoir sampler over a stream of T (Vitter's Algorithm R).
+/// After offering the whole stream, sample() holds a uniform k-subset.
+/// Items keep stream order of insertion positions only by accident; callers
+/// needing order should sort by OfferIndex.
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// Reservoir capacity k (> 0) and RNG (borrowed; must outlive sampler).
+  ReservoirSampler(size_t k, Rng* rng) : k_(k), rng_(rng) {
+    reservoir_.reserve(k);
+    indices_.reserve(k);
+  }
+
+  /// Offers the next stream element.
+  void Offer(const T& value) {
+    if (reservoir_.size() < k_) {
+      reservoir_.push_back(value);
+      indices_.push_back(seen_);
+    } else {
+      const uint64_t j = rng_->UniformUint64(seen_ + 1);
+      if (j < k_) {
+        reservoir_[static_cast<size_t>(j)] = value;
+        indices_[static_cast<size_t>(j)] = seen_;
+      }
+    }
+    ++seen_;
+  }
+
+  /// Elements currently in the reservoir (uniform subset after the stream
+  /// ends).
+  const std::vector<T>& sample() const { return reservoir_; }
+
+  /// Stream positions of the sampled elements (parallel to sample()).
+  const std::vector<uint64_t>& sample_indices() const { return indices_; }
+
+  /// Number of elements offered so far.
+  uint64_t seen() const { return seen_; }
+
+ private:
+  size_t k_;
+  Rng* rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> reservoir_;
+  std::vector<uint64_t> indices_;
+};
+
+/// Uniform k-subset of {0, …, n−1}, returned sorted. Requires k <= n.
+std::vector<size_t> SampleIndices(size_t n, size_t k, Rng* rng);
+
+/// Minimum random-sample size guaranteeing, with probability ≥ 1 − δ, that
+/// every cluster of at least `min_cluster_size` points contributes at least
+/// `fraction` of its points to the sample — the Chernoff-bound lemma of the
+/// CURE paper [GRS98], which §4.6 cites for "an analysis of the appropriate
+/// sample size for good quality clustering":
+///
+///   s ≥ f·n + (n / u) · log(1/δ)
+///       + (n / u) · sqrt( log²(1/δ) + 2·f·u·log(1/δ) )
+///
+/// where n = population, u = min_cluster_size, f = fraction.
+/// Result is capped at n.
+size_t MinSampleSize(size_t population, size_t min_cluster_size,
+                     double fraction, double delta);
+
+/// Vitter's Algorithm X: number of records to *skip* before the next
+/// reservoir replacement, given `seen` records so far and reservoir size k.
+/// Exposed for the sampling property tests; ReservoirSampler composes the
+/// same distribution one record at a time.
+uint64_t VitterSkipX(uint64_t seen, size_t k, Rng* rng);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_SAMPLING_H_

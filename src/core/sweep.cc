@@ -1,0 +1,51 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace rock {
+
+std::vector<double> ThetaGrid(double lo, double hi, size_t count) {
+  std::vector<double> grid;
+  if (count == 0) return grid;
+  if (count == 1) {
+    grid.push_back(lo);
+    return grid;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) {
+    grid.push_back(lo + step * static_cast<double>(i));
+  }
+  return grid;
+}
+
+Result<std::vector<SweepPoint>> SweepTheta(
+    const PointSimilarity& sim, const RockOptions& options,
+    const std::vector<double>& thetas) {
+  std::vector<SweepPoint> out;
+  out.reserve(thetas.size());
+  for (double theta : thetas) {
+    RockOptions opt = options;
+    opt.theta = theta;
+    Timer timer;
+    RockClusterer clusterer(opt);
+    auto result = clusterer.Cluster(sim);
+    ROCK_RETURN_IF_ERROR(result.status());
+
+    SweepPoint point;
+    point.theta = theta;
+    point.average_degree = result->stats.average_degree;
+    point.num_clusters = result->clustering.num_clusters();
+    point.num_outliers = result->clustering.num_outliers();
+    for (const auto& members : result->clustering.clusters) {
+      point.largest_cluster = std::max(point.largest_cluster, members.size());
+    }
+    point.criterion = result->stats.criterion_value;
+    point.seconds = timer.ElapsedSeconds();
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace rock

@@ -1,0 +1,42 @@
+// librock — core/sweep.h
+//
+// θ is ROCK's one judgment call (see docs/ALGORITHM.md §5). SweepTheta runs
+// the clusterer across a grid of thresholds and reports, per θ, the
+// structural quantities a practitioner reads to pick a value: neighbor-
+// graph density, pruned outliers, cluster count, biggest-cluster share and
+// the criterion E_l. The paper itself reports per-θ behavior in Fig. 5 and
+// Table 6; this utility packages that workflow.
+
+#ifndef ROCK_CORE_SWEEP_H_
+#define ROCK_CORE_SWEEP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/rock.h"
+
+namespace rock {
+
+/// One row of a θ sweep.
+struct SweepPoint {
+  double theta = 0.0;
+  double average_degree = 0.0;   ///< m_a of the neighbor graph
+  size_t num_clusters = 0;
+  size_t num_outliers = 0;       ///< pruned + weeded points
+  size_t largest_cluster = 0;
+  double criterion = 0.0;        ///< E_l of the final clustering
+  double seconds = 0.0;          ///< wall clock of this run
+};
+
+/// Runs ROCK once per θ in `thetas` (each must be in [0, 1]); all other
+/// options are taken from `options` (its theta field is overridden).
+Result<std::vector<SweepPoint>> SweepTheta(const PointSimilarity& sim,
+                                           const RockOptions& options,
+                                           const std::vector<double>& thetas);
+
+/// Convenience grid: `count` evenly spaced values in [lo, hi].
+std::vector<double> ThetaGrid(double lo, double hi, size_t count);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_SWEEP_H_

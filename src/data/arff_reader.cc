@@ -1,0 +1,188 @@
+#include "data/arff_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rock {
+
+namespace {
+
+/// "@attribute name {a, b, c}" → (name, values). Supports quoted names.
+struct AttributeDecl {
+  std::string name;
+  bool nominal = false;
+  std::vector<std::string> values;
+};
+
+Result<AttributeDecl> ParseAttribute(std::string_view rest, size_t line_no) {
+  AttributeDecl decl;
+  rest = Trim(rest);
+  if (rest.empty()) {
+    return Status::Corruption("line " + std::to_string(line_no) +
+                              ": @attribute without a name");
+  }
+  // Attribute name, possibly quoted.
+  if (rest.front() == '\'' || rest.front() == '"') {
+    const char quote = rest.front();
+    const size_t close = rest.find(quote, 1);
+    if (close == std::string_view::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": unterminated quoted attribute name");
+    }
+    decl.name = std::string(rest.substr(1, close - 1));
+    rest = Trim(rest.substr(close + 1));
+  } else {
+    size_t end = 0;
+    while (end < rest.size() &&
+           !std::isspace(static_cast<unsigned char>(rest[end]))) {
+      ++end;
+    }
+    decl.name = std::string(rest.substr(0, end));
+    rest = Trim(rest.substr(end));
+  }
+  if (rest.empty()) {
+    return Status::Corruption("line " + std::to_string(line_no) +
+                              ": @attribute '" + decl.name +
+                              "' lacks a type");
+  }
+  if (rest.front() == '{') {
+    if (rest.back() != '}') {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": unterminated nominal specification");
+    }
+    decl.nominal = true;
+    for (const std::string& v :
+         Split(rest.substr(1, rest.size() - 2), ',')) {
+      decl.values.emplace_back(Trim(v));
+    }
+    if (decl.values.empty() ||
+        (decl.values.size() == 1 && decl.values[0].empty())) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": empty nominal domain");
+    }
+    return decl;
+  }
+  return Status::InvalidArgument(
+      "line " + std::to_string(line_no) + ": attribute '" + decl.name +
+      "' has non-nominal type '" + std::string(rest) +
+      "' — librock's ARFF reader supports nominal attributes only");
+}
+
+}  // namespace
+
+Result<CategoricalDataset> ReadArffString(const std::string& text,
+                                          const ArffOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  std::vector<AttributeDecl> attributes;
+  bool in_data = false;
+  bool schema_built = false;
+  size_t label_index = SIZE_MAX;
+  CategoricalDataset dataset;
+
+  const std::string label_lower = ToLower(options.label_attribute);
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '%') continue;
+
+    if (!in_data) {
+      const std::string lower = ToLower(trimmed.substr(
+          0, std::min<size_t>(trimmed.size(), 10)));
+      if (StartsWith(lower, "@relation")) continue;
+      if (StartsWith(lower, "@attribute")) {
+        auto decl = ParseAttribute(trimmed.substr(10), line_no);
+        ROCK_RETURN_IF_ERROR(decl.status());
+        attributes.push_back(std::move(*decl));
+        continue;
+      }
+      if (StartsWith(lower, "@data")) {
+        if (attributes.empty()) {
+          return Status::Corruption("@data before any @attribute");
+        }
+        std::vector<std::string> names;
+        for (size_t a = 0; a < attributes.size(); ++a) {
+          if (!label_lower.empty() &&
+              ToLower(attributes[a].name) == label_lower) {
+            label_index = a;
+          } else {
+            names.push_back(attributes[a].name);
+          }
+        }
+        dataset = CategoricalDataset{Schema(std::move(names))};
+        schema_built = true;
+        in_data = true;
+        continue;
+      }
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": unrecognized header line");
+    }
+
+    // Data row.
+    std::vector<std::string> fields = Split(trimmed, ',');
+    for (auto& f : fields) f = std::string(Trim(f));
+    if (fields.size() != attributes.size()) {
+      return Status::Corruption(
+          "line " + std::to_string(line_no) + ": got " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(attributes.size()));
+    }
+    std::vector<std::string> values;
+    values.reserve(fields.size());
+    std::string label;
+    bool has_label = false;
+    for (size_t a = 0; a < fields.size(); ++a) {
+      // Validate the value against the declared domain (missing exempt).
+      if (fields[a] != options.missing_token) {
+        bool known = false;
+        for (const std::string& v : attributes[a].values) {
+          if (v == fields[a]) known = true;
+        }
+        if (!known) {
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": value '" + fields[a] +
+                                    "' not in the domain of attribute '" +
+                                    attributes[a].name + "'");
+        }
+      }
+      if (a == label_index) {
+        label = fields[a];
+        has_label = true;
+      } else {
+        values.push_back(fields[a]);
+      }
+    }
+    ROCK_RETURN_IF_ERROR(dataset.AddRecord(values, options.missing_token));
+    if (has_label) {
+      if (label == options.missing_token) {
+        dataset.labels().AppendUnlabeled();
+      } else {
+        dataset.labels().Append(label);
+      }
+    }
+  }
+
+  if (!schema_built) {
+    return Status::InvalidArgument("ARFF input contains no @data section");
+  }
+  return dataset;
+}
+
+Result<CategoricalDataset> ReadArffFile(const std::string& path,
+                                        const ArffOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on '" + path + "'");
+  return ReadArffString(buf.str(), options);
+}
+
+}  // namespace rock

@@ -1,0 +1,39 @@
+// librock — data/arff_reader.h
+//
+// Reader for Weka ARFF files restricted to the subset categorical
+// clustering needs: nominal attributes ("@attribute name {a,b,c}"),
+// '?' missing values, '%' comments, a designated class attribute for
+// ground-truth labels. Numeric/string/date attributes are rejected with a
+// clear error — binarize or discretize upstream.
+
+#ifndef ROCK_DATA_ARFF_READER_H_
+#define ROCK_DATA_ARFF_READER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rock {
+
+/// Options controlling ARFF → CategoricalDataset parsing.
+struct ArffOptions {
+  /// Name of the attribute holding ground-truth class labels
+  /// (case-insensitive). Empty = no label attribute; "class" by default,
+  /// falling back to "no labels" when absent.
+  std::string label_attribute = "class";
+  /// Token denoting a missing value.
+  std::string missing_token = "?";
+};
+
+/// Parses ARFF text into a categorical dataset.
+Result<CategoricalDataset> ReadArffString(const std::string& text,
+                                          const ArffOptions& options = {});
+
+/// Reads and parses an ARFF file.
+Result<CategoricalDataset> ReadArffFile(const std::string& path,
+                                        const ArffOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_ARFF_READER_H_

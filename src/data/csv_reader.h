@@ -1,0 +1,46 @@
+// librock — data/csv_reader.h
+//
+// Loader for UCI-style comma-separated categorical files (Congressional
+// Votes `house-votes-84.data`, Mushroom `agaricus-lepiota.data`). These
+// files are plain CSV with a class-label column and '?' missing markers.
+// When the real UCI files are present on disk the experiment harnesses load
+// them; otherwise the synth/ surrogate generators are used (see DESIGN.md
+// substitution table).
+
+#ifndef ROCK_DATA_CSV_READER_H_
+#define ROCK_DATA_CSV_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rock {
+
+/// Options controlling CSV → CategoricalDataset parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Column holding the ground-truth class; negative means "no label
+  /// column". UCI votes/mushroom put the class first (column 0).
+  int label_column = 0;
+  /// Token denoting a missing value.
+  std::string missing_token = "?";
+  /// Whether the first line is a header of attribute names. UCI .data files
+  /// have no header; attributes are then named "a0", "a1", ...
+  bool has_header = false;
+  /// Skip lines that are empty after trimming.
+  bool skip_blank_lines = true;
+};
+
+/// Parses CSV text into a categorical dataset.
+Result<CategoricalDataset> ReadCsvString(const std::string& text,
+                                         const CsvOptions& options);
+
+/// Reads and parses a CSV file.
+Result<CategoricalDataset> ReadCsvFile(const std::string& path,
+                                       const CsvOptions& options);
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_CSV_READER_H_

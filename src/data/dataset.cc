@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+namespace rock {
+
+void TransactionDataset::AddTransaction(
+    const std::vector<std::string>& item_names) {
+  std::vector<ItemId> ids;
+  ids.reserve(item_names.size());
+  for (const auto& name : item_names) ids.push_back(items_.Intern(name));
+  transactions_.emplace_back(std::move(ids));
+}
+
+double TransactionDataset::MeanTransactionSize() const {
+  if (transactions_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& tx : transactions_) total += tx.size();
+  return static_cast<double>(total) / static_cast<double>(transactions_.size());
+}
+
+Status CategoricalDataset::AddRecord(const std::vector<std::string>& values,
+                                     std::string_view missing_token) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("record arity does not match schema");
+  }
+  std::vector<ValueId> encoded(values.size());
+  for (size_t a = 0; a < values.size(); ++a) {
+    encoded[a] = (values[a] == missing_token)
+                     ? kMissingValue
+                     : schema_.InternValue(a, values[a]);
+  }
+  records_.emplace_back(std::move(encoded));
+  return Status::OK();
+}
+
+Status CategoricalDataset::AddRecord(Record record) {
+  if (record.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("record arity does not match schema");
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+double CategoricalDataset::MissingRate() const {
+  const size_t d = schema_.num_attributes();
+  if (records_.empty() || d == 0) return 0.0;
+  size_t missing = 0;
+  for (const auto& r : records_) missing += d - r.NumPresent();
+  return static_cast<double>(missing) /
+         (static_cast<double>(records_.size()) * static_cast<double>(d));
+}
+
+}  // namespace rock

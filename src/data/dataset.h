@@ -1,0 +1,144 @@
+// librock — data/dataset.h
+//
+// In-memory dataset containers. Two first-class shapes, mirroring the paper:
+//   * TransactionDataset — market-basket data (§3.1.1): item-set rows over a
+//     shared item dictionary.
+//   * CategoricalDataset — fixed-schema records (§3.1.2) with optional
+//     missing values.
+// Both optionally carry ground-truth class labels (Republican/Democrat,
+// edible/poisonous, cluster id of synthetic transactions) used only for
+// evaluation, never by the clustering algorithms.
+
+#ifndef ROCK_DATA_DATASET_H_
+#define ROCK_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dictionary.h"
+#include "data/record.h"
+#include "data/transaction.h"
+
+namespace rock {
+
+/// Dense ground-truth class id.
+using LabelId = uint32_t;
+
+/// Sentinel for rows without a ground-truth class.
+inline constexpr LabelId kNoLabel = static_cast<LabelId>(-1);
+
+/// Ground-truth class labels for a dataset (evaluation only).
+class LabelSet {
+ public:
+  /// Interns `name` and records it as the label of the next row.
+  void Append(std::string_view name) {
+    labels_.push_back(dict_.Intern(name));
+  }
+
+  /// Records an unlabeled row.
+  void AppendUnlabeled() { labels_.push_back(kNoLabel); }
+
+  /// Label of row `i` (kNoLabel if unlabeled).
+  LabelId label(size_t i) const { return labels_[i]; }
+
+  /// Display name of a label id.
+  const std::string& Name(LabelId id) const { return dict_.Name(id); }
+
+  /// Number of distinct label names.
+  size_t num_classes() const { return dict_.size(); }
+
+  /// Number of labeled rows recorded (== dataset size when labels exist).
+  size_t size() const { return labels_.size(); }
+
+  bool empty() const { return labels_.empty(); }
+
+  const std::vector<LabelId>& labels() const { return labels_; }
+
+ private:
+  Dictionary dict_;
+  std::vector<LabelId> labels_;
+};
+
+/// Market-basket dataset: transactions over a shared item dictionary.
+class TransactionDataset {
+ public:
+  /// Interns `item_names` and appends the transaction they form.
+  void AddTransaction(const std::vector<std::string>& item_names);
+
+  /// Appends a transaction of already-interned ids.
+  void AddTransaction(Transaction tx) {
+    transactions_.push_back(std::move(tx));
+  }
+
+  /// Number of transactions n.
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  /// Transaction `i`.
+  const Transaction& transaction(size_t i) const { return transactions_[i]; }
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  /// The shared item dictionary.
+  Dictionary& items() { return items_; }
+  const Dictionary& items() const { return items_; }
+
+  /// Ground-truth labels (may be empty).
+  LabelSet& labels() { return labels_; }
+  const LabelSet& labels() const { return labels_; }
+
+  /// Mean number of items per transaction (0 for an empty dataset).
+  double MeanTransactionSize() const;
+
+ private:
+  Dictionary items_;
+  std::vector<Transaction> transactions_;
+  LabelSet labels_;
+};
+
+/// Fixed-schema categorical dataset (records may have missing values).
+class CategoricalDataset {
+ public:
+  CategoricalDataset() = default;
+  explicit CategoricalDataset(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a record of raw string values; `missing_token` entries become
+  /// kMissingValue. Fails if the arity does not match the schema.
+  Status AddRecord(const std::vector<std::string>& values,
+                   std::string_view missing_token = "?");
+
+  /// Appends an already-encoded record; fails on arity mismatch.
+  Status AddRecord(Record record);
+
+  /// Number of records n.
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Record `i`.
+  const Record& record(size_t i) const { return records_[i]; }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  LabelSet& labels() { return labels_; }
+  const LabelSet& labels() const { return labels_; }
+
+  /// Fraction of (record, attribute) cells that are missing.
+  double MissingRate() const;
+
+ private:
+  Schema schema_;
+  std::vector<Record> records_;
+  LabelSet labels_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_DATASET_H_

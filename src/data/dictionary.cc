@@ -1,0 +1,19 @@
+#include "data/dictionary.h"
+
+namespace rock {
+
+ItemId Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+ItemId Dictionary::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNoItem : it->second;
+}
+
+}  // namespace rock

@@ -1,0 +1,49 @@
+// librock — data/dictionary.h
+//
+// String interning. Items ("A.v" attribute-value pairs, basket items, class
+// labels) are interned to dense uint32_t ids once at load time so that all
+// hot paths (similarity, neighbor and link computation) work on integers.
+
+#ifndef ROCK_DATA_DICTIONARY_H_
+#define ROCK_DATA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rock {
+
+/// Dense id assigned to an interned string. Ids start at 0 and are
+/// contiguous.
+using ItemId = uint32_t;
+
+/// Sentinel for "no id" (missing attribute values, failed lookups).
+inline constexpr ItemId kNoItem = static_cast<ItemId>(-1);
+
+/// Bidirectional string <-> dense-id map.
+class Dictionary {
+ public:
+  /// Returns the id for `s`, interning it if previously unseen.
+  ItemId Intern(std::string_view s);
+
+  /// Returns the id for `s`, or kNoItem if it was never interned.
+  ItemId Lookup(std::string_view s) const;
+
+  /// Returns the string for an id; id must be < size().
+  const std::string& Name(ItemId id) const { return names_[id]; }
+
+  /// Number of interned strings.
+  size_t size() const { return names_.size(); }
+
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, ItemId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_DICTIONARY_H_

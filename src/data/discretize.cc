@@ -1,0 +1,94 @@
+#include "data/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rock {
+
+Result<Discretizer> Discretizer::Fit(
+    const std::vector<std::optional<double>>& values, size_t num_bins,
+    BinningScheme scheme) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  std::vector<double> present;
+  present.reserve(values.size());
+  for (const auto& v : values) {
+    if (v.has_value()) {
+      if (!std::isfinite(*v)) {
+        return Status::InvalidArgument("non-finite value in numeric column");
+      }
+      present.push_back(*v);
+    }
+  }
+  if (present.empty()) {
+    return Status::InvalidArgument("cannot fit a discretizer on no values");
+  }
+  std::sort(present.begin(), present.end());
+
+  std::vector<double> cuts;
+  if (scheme == BinningScheme::kEqualWidth) {
+    const double lo = present.front();
+    const double hi = present.back();
+    if (hi > lo) {
+      const double width = (hi - lo) / static_cast<double>(num_bins);
+      for (size_t b = 1; b < num_bins; ++b) {
+        cuts.push_back(lo + width * static_cast<double>(b));
+      }
+    }
+  } else {
+    for (size_t b = 1; b < num_bins; ++b) {
+      const size_t idx = b * present.size() / num_bins;
+      cuts.push_back(present[std::min(idx, present.size() - 1)]);
+    }
+  }
+  // Collapse duplicate cut points (degenerate data → fewer bins).
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return Discretizer(std::move(cuts));
+}
+
+size_t Discretizer::Bin(double value) const {
+  // First bin whose upper cut exceeds the value.
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), value);
+  return static_cast<size_t>(it - cuts_.begin());
+}
+
+Result<CategoricalDataset> DiscretizeColumns(const NumericColumns& table,
+                                             size_t num_bins,
+                                             BinningScheme scheme) {
+  if (table.names.size() != table.columns.size()) {
+    return Status::InvalidArgument("names/columns size mismatch");
+  }
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("no columns to discretize");
+  }
+  const size_t rows = table.columns.front().size();
+  for (const auto& col : table.columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument("columns have unequal lengths");
+    }
+  }
+
+  std::vector<Discretizer> discretizers;
+  discretizers.reserve(table.columns.size());
+  for (const auto& col : table.columns) {
+    auto d = Discretizer::Fit(col, num_bins, scheme);
+    ROCK_RETURN_IF_ERROR(d.status());
+    discretizers.push_back(std::move(*d));
+  }
+
+  CategoricalDataset out{Schema(table.names)};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<ValueId> values(table.columns.size(), kMissingValue);
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const auto& cell = table.columns[c][r];
+      if (!cell.has_value()) continue;
+      values[c] = out.schema().InternValue(
+          c, Discretizer::BinLabel(discretizers[c].Bin(*cell)));
+    }
+    ROCK_RETURN_IF_ERROR(out.AddRecord(Record(std::move(values))));
+  }
+  return out;
+}
+
+}  // namespace rock

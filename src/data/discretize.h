@@ -1,0 +1,78 @@
+// librock — data/discretize.h
+//
+// Numeric → categorical discretization. ROCK consumes categorical
+// attributes; real UCI files often mix numeric columns in. These binners
+// turn a numeric column into a small ordinal domain ("bin0" … "binK-1"),
+// after which the usual Jaccard machinery applies. Two classic schemes:
+//
+//   equal-width     bins split [min, max] evenly — preserves scale, skewed
+//                   data lands in few bins;
+//   equal-frequency bins hold ~the same number of values — robust to
+//                   skew, adaptive cut points.
+//
+// The paper's own mutual-fund treatment (§5.1) is a domain-specific
+// instance of the same move (price deltas → {Up, Down, No}).
+
+#ifndef ROCK_DATA_DISCRETIZE_H_
+#define ROCK_DATA_DISCRETIZE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rock {
+
+/// Binning scheme.
+enum class BinningScheme { kEqualWidth, kEqualFrequency };
+
+/// A fitted discretizer for one numeric column: cut points c₁ < … < c_{K−1}
+/// mapping value v to the first bin whose upper cut exceeds it.
+class Discretizer {
+ public:
+  /// Fits cut points from the observed values (missing = nullopt entries
+  /// are skipped). num_bins >= 2; fewer distinct values than bins yields
+  /// fewer effective bins (duplicate cuts are collapsed).
+  static Result<Discretizer> Fit(
+      const std::vector<std::optional<double>>& values, size_t num_bins,
+      BinningScheme scheme);
+
+  /// Bin index for a value (values outside the fitted range clamp to the
+  /// first/last bin).
+  size_t Bin(double value) const;
+
+  /// Number of effective bins (≤ the requested count).
+  size_t num_bins() const { return cuts_.size() + 1; }
+
+  /// Human-readable bin label "binI".
+  static std::string BinLabel(size_t bin) {
+    return "bin" + std::to_string(bin);
+  }
+
+  /// The fitted cut points (ascending, strictly increasing).
+  const std::vector<double>& cuts() const { return cuts_; }
+
+ private:
+  explicit Discretizer(std::vector<double> cuts) : cuts_(std::move(cuts)) {}
+  std::vector<double> cuts_;
+};
+
+/// A numeric table with optional missing entries, column-major adjunct to
+/// CategoricalDataset construction.
+struct NumericColumns {
+  std::vector<std::string> names;
+  /// columns[c][row]; nullopt = missing.
+  std::vector<std::vector<std::optional<double>>> columns;
+};
+
+/// Discretizes every column into `num_bins` bins and returns the resulting
+/// categorical dataset (values "bin0"… per column). Missing stays missing.
+Result<CategoricalDataset> DiscretizeColumns(const NumericColumns& table,
+                                             size_t num_bins,
+                                             BinningScheme scheme);
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_DISCRETIZE_H_

@@ -1,0 +1,167 @@
+#include "data/disk_store.h"
+
+#include <cstring>
+
+namespace rock {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x524f434b53544f52ULL;  // "ROCKSTOR"
+constexpr uint32_t kVersion = 1;
+constexpr long kCountOffset = sizeof(uint64_t) + sizeof(uint32_t);
+
+// Sanity bound on items-per-transaction to catch corrupt length fields
+// before they turn into huge allocations.
+constexpr uint32_t kMaxTransactionItems = 1u << 24;
+
+Status WriteRaw(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("short write to transaction store");
+  }
+  return Status::OK();
+}
+
+Status ReadRaw(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::Corruption("short read from transaction store");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TransactionStoreWriter> TransactionStoreWriter::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  TransactionStoreWriter writer(f);
+  uint64_t count_placeholder = 0;
+  Status s = WriteRaw(f, &kMagic, sizeof(kMagic));
+  if (s.ok()) s = WriteRaw(f, &kVersion, sizeof(kVersion));
+  if (s.ok()) s = WriteRaw(f, &count_placeholder, sizeof(count_placeholder));
+  if (!s.ok()) return s;
+  return writer;
+}
+
+TransactionStoreWriter::~TransactionStoreWriter() = default;
+
+Status TransactionStoreWriter::Append(const Transaction& tx, LabelId label) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  std::FILE* f = file_.get();
+  uint32_t n = static_cast<uint32_t>(tx.size());
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &label, sizeof(label)));
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &n, sizeof(n)));
+  if (n > 0) {
+    ROCK_RETURN_IF_ERROR(
+        WriteRaw(f, tx.items().data(), n * sizeof(ItemId)));
+  }
+  ++count_;
+  return Status::OK();
+}
+
+Status TransactionStoreWriter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  std::FILE* f = file_.get();
+  if (std::fseek(f, kCountOffset, SEEK_SET) != 0) {
+    return Status::IOError("seek failure finalizing store");
+  }
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &count_, sizeof(count_)));
+  if (std::fflush(f) != 0) {
+    return Status::IOError("flush failure finalizing store");
+  }
+  file_.reset();
+  return Status::OK();
+}
+
+Result<TransactionStoreReader> TransactionStoreReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  TransactionStoreReader reader(f);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &magic, sizeof(magic)));
+  if (magic != kMagic) {
+    return Status::Corruption("'" + path + "' is not a transaction store");
+  }
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported store version " +
+                              std::to_string(version));
+  }
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &reader.count_, sizeof(reader.count_)));
+  return reader;
+}
+
+bool TransactionStoreReader::Next() {
+  if (!status_.ok() || read_ >= count_) return false;
+  std::FILE* f = file_.get();
+  uint32_t n = 0;
+  status_ = ReadRaw(f, &label_, sizeof(label_));
+  if (status_.ok()) status_ = ReadRaw(f, &n, sizeof(n));
+  if (status_.ok() && n > kMaxTransactionItems) {
+    status_ = Status::Corruption("implausible transaction length " +
+                                 std::to_string(n));
+  }
+  if (!status_.ok()) return false;
+  std::vector<ItemId> items(n);
+  if (n > 0) {
+    status_ = ReadRaw(f, items.data(), n * sizeof(ItemId));
+    if (!status_.ok()) return false;
+  }
+  current_ = Transaction(std::move(items));
+  ++read_;
+  return true;
+}
+
+Status TransactionStoreReader::Rewind() {
+  std::FILE* f = file_.get();
+  if (std::fseek(f, kCountOffset + static_cast<long>(sizeof(uint64_t)),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failure rewinding store");
+  }
+  read_ = 0;
+  status_ = Status::OK();
+  return Status::OK();
+}
+
+Status WriteDatasetToStore(const TransactionDataset& dataset,
+                           const std::string& path) {
+  auto writer = TransactionStoreWriter::Open(path);
+  ROCK_RETURN_IF_ERROR(writer.status());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    LabelId label =
+        dataset.labels().empty() ? kNoLabel : dataset.labels().label(i);
+    ROCK_RETURN_IF_ERROR(writer->Append(dataset.transaction(i), label));
+  }
+  return writer->Finish();
+}
+
+Result<TransactionDataset> ReadStoreToDataset(const std::string& path,
+                                              const LabelSet* label_names) {
+  auto reader = TransactionStoreReader::Open(path);
+  ROCK_RETURN_IF_ERROR(reader.status());
+  TransactionDataset out;
+  while (reader->Next()) {
+    out.AddTransaction(reader->transaction());
+    LabelId l = reader->label();
+    if (l == kNoLabel) {
+      out.labels().AppendUnlabeled();
+    } else if (label_names != nullptr && l < label_names->num_classes()) {
+      out.labels().Append(label_names->Name(l));
+    } else {
+      out.labels().Append("class" + std::to_string(l));
+    }
+  }
+  ROCK_RETURN_IF_ERROR(reader->status());
+  return out;
+}
+
+}  // namespace rock

@@ -1,0 +1,110 @@
+// librock — data/disk_store.h
+//
+// On-disk transaction store backing the paper's Figure 2 pipeline: the
+// database lives on disk; ROCK draws a random sample into memory, clusters
+// it, and then *streams* the remaining data from disk through the labeling
+// phase without ever materializing the whole database in memory.
+//
+// Format (little-endian, fixed magic + version header):
+//   [u64 magic][u32 version][u64 count]
+//   count × { u32 label; u32 n; n × u32 item; }
+// `label` is the ground-truth class id (kNoLabel when absent) — carried for
+// evaluation (Table 6 counts misclassified transactions), never consulted by
+// the clustering code.
+
+#ifndef ROCK_DATA_DISK_STORE_H_
+#define ROCK_DATA_DISK_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/transaction.h"
+
+namespace rock {
+
+/// Sequential writer for a transaction store file.
+class TransactionStoreWriter {
+ public:
+  /// Creates/truncates the file and writes the header.
+  static Result<TransactionStoreWriter> Open(const std::string& path);
+
+  TransactionStoreWriter(TransactionStoreWriter&&) = default;
+  TransactionStoreWriter& operator=(TransactionStoreWriter&&) = default;
+  ~TransactionStoreWriter();
+
+  /// Appends one transaction with an optional ground-truth label.
+  Status Append(const Transaction& tx, LabelId label = kNoLabel);
+
+  /// Back-patches the record count into the header and closes the file.
+  Status Finish();
+
+  /// Number of transactions appended so far.
+  uint64_t count() const { return count_; }
+
+ private:
+  explicit TransactionStoreWriter(std::FILE* f) : file_(f, &std::fclose) {}
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming reader. Usage:
+///   auto r = TransactionStoreReader::Open(path);
+///   while (r->Next()) { use r->transaction(), r->label(); }
+///   ROCK_RETURN_IF_ERROR(r->status());
+class TransactionStoreReader {
+ public:
+  /// Opens the file and validates the header.
+  static Result<TransactionStoreReader> Open(const std::string& path);
+
+  TransactionStoreReader(TransactionStoreReader&&) = default;
+  TransactionStoreReader& operator=(TransactionStoreReader&&) = default;
+
+  /// Advances to the next transaction. Returns false at end-of-stream or on
+  /// error (check status() to distinguish).
+  bool Next();
+
+  /// The current transaction (valid after Next() returned true).
+  const Transaction& transaction() const { return current_; }
+
+  /// Ground-truth label of the current transaction (kNoLabel if absent).
+  LabelId label() const { return label_; }
+
+  /// OK unless a read error or corruption was encountered.
+  const Status& status() const { return status_; }
+
+  /// Total number of transactions in the file (from the header).
+  uint64_t count() const { return count_; }
+
+  /// Rewinds the stream to the first transaction (labeling makes one pass,
+  /// but multi-θ experiments rescan the same store).
+  Status Rewind();
+
+ private:
+  explicit TransactionStoreReader(std::FILE* f) : file_(f, &std::fclose) {}
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  uint64_t count_ = 0;
+  uint64_t read_ = 0;
+  Transaction current_;
+  LabelId label_ = kNoLabel;
+  Status status_;
+};
+
+/// Writes an in-memory dataset to a store file (convenience for tests and
+/// the synthetic-data benches).
+Status WriteDatasetToStore(const TransactionDataset& dataset,
+                           const std::string& path);
+
+/// Reads an entire store into memory (convenience; the labeling phase itself
+/// streams instead).
+Result<TransactionDataset> ReadStoreToDataset(const std::string& path,
+                                              const LabelSet* label_names);
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_DISK_STORE_H_

@@ -1,0 +1,23 @@
+#include "data/record.h"
+
+namespace rock {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : attribute_names_(std::move(attribute_names)),
+      domains_(attribute_names_.size()) {}
+
+size_t Schema::TotalDomainSize() const {
+  size_t total = 0;
+  for (const auto& d : domains_) total += d.size();
+  return total;
+}
+
+size_t Record::NumPresent() const {
+  size_t n = 0;
+  for (ValueId v : values_) {
+    if (v != kMissingValue) ++n;
+  }
+  return n;
+}
+
+}  // namespace rock

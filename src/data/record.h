@@ -1,0 +1,103 @@
+// librock — data/record.h
+//
+// Fixed-schema categorical records (paper §3.1.2). A schema names d
+// attributes; each attribute has its own value domain (interned per
+// attribute). A record stores one value id per attribute, with kMissingValue
+// marking missing entries — the paper's treatment simply omits the item for a
+// missing attribute when the record is viewed as a transaction.
+
+#ifndef ROCK_DATA_RECORD_H_
+#define ROCK_DATA_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dictionary.h"
+
+namespace rock {
+
+/// Per-attribute value id. Dense within each attribute's domain.
+using ValueId = uint32_t;
+
+/// Sentinel marking a missing attribute value in a record.
+inline constexpr ValueId kMissingValue = static_cast<ValueId>(-1);
+
+/// Names the attributes of a categorical dataset and interns each
+/// attribute's value domain.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema with the given attribute names (domains start empty).
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Number of attributes d.
+  size_t num_attributes() const { return attribute_names_.size(); }
+
+  /// Name of attribute `a`.
+  const std::string& attribute_name(size_t a) const {
+    return attribute_names_[a];
+  }
+
+  /// Interns value `v` in attribute `a`'s domain and returns its ValueId.
+  ValueId InternValue(size_t a, std::string_view v) {
+    return domains_[a].Intern(v);
+  }
+
+  /// Looks up value `v` in attribute `a`'s domain (kNoItem if absent).
+  ValueId LookupValue(size_t a, std::string_view v) const {
+    return domains_[a].Lookup(v);
+  }
+
+  /// Name of value id `v` in attribute `a`'s domain.
+  const std::string& ValueName(size_t a, ValueId v) const {
+    return domains_[a].Name(v);
+  }
+
+  /// Size of attribute `a`'s value domain.
+  size_t DomainSize(size_t a) const { return domains_[a].size(); }
+
+  /// Total number of (attribute, value) pairs across all domains — the
+  /// number of distinct items when records are viewed as transactions.
+  size_t TotalDomainSize() const;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::vector<Dictionary> domains_;
+};
+
+/// One categorical record: a ValueId (or kMissingValue) per attribute.
+class Record {
+ public:
+  Record() = default;
+
+  /// Builds a record; `values.size()` must equal the schema's attribute
+  /// count (checked by the dataset on insertion).
+  explicit Record(std::vector<ValueId> values) : values_(std::move(values)) {}
+
+  /// Number of attributes in the record.
+  size_t size() const { return values_.size(); }
+
+  /// Value of attribute `a` (kMissingValue if missing).
+  ValueId value(size_t a) const { return values_[a]; }
+
+  /// True iff attribute `a` has no value.
+  bool IsMissing(size_t a) const { return values_[a] == kMissingValue; }
+
+  /// Number of attributes with a present value.
+  size_t NumPresent() const;
+
+  const std::vector<ValueId>& values() const { return values_; }
+
+  bool operator==(const Record& other) const = default;
+
+ private:
+  std::vector<ValueId> values_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_RECORD_H_

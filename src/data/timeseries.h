@@ -1,0 +1,52 @@
+// librock — data/timeseries.h
+//
+// Time-series → categorical transform (paper §5.1, US Mutual Funds): each
+// date becomes one categorical attribute whose value is the *direction* of
+// the closing-price change vs the previous business date — "Up", "Down" or
+// "No". Dates before a fund's inception (or otherwise unobserved) are
+// missing values, which the pairwise-missing similarity in similarity/
+// then ignores when comparing two funds.
+
+#ifndef ROCK_DATA_TIMESERIES_H_
+#define ROCK_DATA_TIMESERIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rock {
+
+/// One named price series over a shared date axis. Entries with no
+/// observation (e.g. before the fund's inception) are std::nullopt.
+struct TimeSeries {
+  std::string name;                          ///< e.g. ticker symbol
+  std::string group;                         ///< ground-truth category, eval only
+  std::vector<std::optional<double>> prices; ///< one entry per business date
+};
+
+/// A collection of series sharing one date axis of length num_dates.
+struct TimeSeriesSet {
+  size_t num_dates = 0;
+  std::vector<TimeSeries> series;
+};
+
+/// Direction-of-change encoding of one price step.
+enum class PriceMove { kUp, kDown, kNo };
+
+/// Classifies the move from `prev` to `cur`. Changes with magnitude below
+/// `epsilon` (relative to prev) count as "No" change.
+PriceMove ClassifyMove(double prev, double cur, double epsilon = 1e-9);
+
+/// Converts price series to a CategoricalDataset with one attribute per
+/// date-transition (num_dates − 1 attributes, domain {Up, Down, No}).
+/// A transition is missing unless both endpoints are observed.
+/// Series groups become ground-truth labels.
+Result<CategoricalDataset> TimeSeriesToCategorical(const TimeSeriesSet& set,
+                                                   double epsilon = 1e-9);
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_TIMESERIES_H_

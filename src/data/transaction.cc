@@ -1,0 +1,41 @@
+#include "data/transaction.h"
+
+#include <algorithm>
+
+namespace rock {
+
+Transaction::Transaction(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Transaction::Transaction(std::initializer_list<ItemId> items)
+    : Transaction(std::vector<ItemId>(items)) {}
+
+bool Transaction::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+size_t IntersectionSize(const Transaction& a, const Transaction& b) {
+  size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+size_t UnionSize(const Transaction& a, const Transaction& b) {
+  return a.size() + b.size() - IntersectionSize(a, b);
+}
+
+}  // namespace rock

@@ -1,0 +1,36 @@
+#include "data/transforms.h"
+
+namespace rock {
+
+Transaction RecordToTransaction(const Schema& schema, const Record& record,
+                                Dictionary& items) {
+  std::vector<ItemId> ids;
+  ids.reserve(record.size());
+  for (size_t a = 0; a < record.size(); ++a) {
+    if (record.IsMissing(a)) continue;
+    std::string item = schema.attribute_name(a);
+    item += '=';
+    item += schema.ValueName(a, record.value(a));
+    ids.push_back(items.Intern(item));
+  }
+  return Transaction(std::move(ids));
+}
+
+TransactionDataset RecordsToTransactions(const CategoricalDataset& dataset) {
+  TransactionDataset out;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    out.AddTransaction(
+        RecordToTransaction(dataset.schema(), dataset.record(i), out.items()));
+    if (!dataset.labels().empty()) {
+      LabelId l = dataset.labels().label(i);
+      if (l == kNoLabel) {
+        out.labels().AppendUnlabeled();
+      } else {
+        out.labels().Append(dataset.labels().Name(l));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rock

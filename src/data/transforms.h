@@ -1,0 +1,32 @@
+// librock — data/transforms.h
+//
+// Dataset transformations from the paper:
+//   * RecordsToTransactions (§3.1.2): "Corresponding to every attribute A and
+//     value v in its domain, we introduce an item A.v" — missing values are
+//     simply omitted. This lets the Jaccard machinery run on categorical
+//     records.
+//   * The pairwise-missing variant used for time-series (§3.1.2, mutual
+//     funds): when comparing two records, only attributes present in *both*
+//     are considered. That similarity lives in similarity/ (it needs record
+//     pairs, not a static transaction view); the transform here is the static
+//     one.
+
+#ifndef ROCK_DATA_TRANSFORMS_H_
+#define ROCK_DATA_TRANSFORMS_H_
+
+#include "data/dataset.h"
+
+namespace rock {
+
+/// Converts categorical records to transactions over "A.v" items, omitting
+/// missing values. Labels are carried over.
+TransactionDataset RecordsToTransactions(const CategoricalDataset& dataset);
+
+/// Builds the transaction for a single record against an existing item
+/// dictionary (items named "<attr>=<value>"). Used by streaming paths.
+Transaction RecordToTransaction(const Schema& schema, const Record& record,
+                                Dictionary& items);
+
+}  // namespace rock
+
+#endif  // ROCK_DATA_TRANSFORMS_H_

@@ -1,0 +1,73 @@
+#include "eval/contingency.h"
+
+namespace rock {
+
+Result<ContingencyTable> ContingencyTable::Build(
+    const std::vector<ClusterIndex>& assignment,
+    const std::vector<LabelId>& labels, size_t num_clusters,
+    size_t num_classes) {
+  if (assignment.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "assignment and labels must have equal length");
+  }
+  ContingencyTable table;
+  table.counts_.assign(num_clusters, std::vector<uint64_t>(num_classes, 0));
+  table.outlier_counts_.assign(num_classes, 0);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const LabelId l = labels[i];
+    if (l == kNoLabel) continue;
+    if (l >= num_classes) {
+      return Status::OutOfRange("label id exceeds num_classes");
+    }
+    const ClusterIndex c = assignment[i];
+    if (c == kUnassigned) {
+      ++table.outlier_counts_[l];
+    } else if (static_cast<size_t>(c) >= num_clusters) {
+      return Status::OutOfRange("cluster index exceeds num_clusters");
+    } else {
+      ++table.counts_[static_cast<size_t>(c)][l];
+    }
+  }
+  return table;
+}
+
+Result<ContingencyTable> ContingencyTable::Build(const Clustering& clustering,
+                                                 const LabelSet& labels) {
+  if (labels.size() != clustering.assignment.size()) {
+    return Status::InvalidArgument("label set does not cover clustering");
+  }
+  return Build(clustering.assignment, labels.labels(),
+               clustering.num_clusters(), labels.num_classes());
+}
+
+uint64_t ContingencyTable::ClusterTotal(size_t c) const {
+  uint64_t total = 0;
+  for (uint64_t v : counts_[c]) total += v;
+  return total;
+}
+
+uint64_t ContingencyTable::ClassTotal(size_t l) const {
+  uint64_t total = 0;
+  for (const auto& row : counts_) total += row[l];
+  return total;
+}
+
+uint64_t ContingencyTable::GrandTotal() const {
+  uint64_t total = 0;
+  for (size_t c = 0; c < counts_.size(); ++c) total += ClusterTotal(c);
+  return total;
+}
+
+size_t ContingencyTable::MajorityClass(size_t c) const {
+  size_t best = 0;
+  uint64_t best_count = 0;
+  for (size_t l = 0; l < counts_[c].size(); ++l) {
+    if (counts_[c][l] > best_count) {
+      best_count = counts_[c][l];
+      best = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace rock

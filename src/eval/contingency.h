@@ -1,0 +1,69 @@
+// librock — eval/contingency.h
+//
+// Cluster-vs-ground-truth contingency table. The paper's quality results are
+// all contingency readouts: Table 2 (Republicans/Democrats per cluster),
+// Table 3 (edible/poisonous per cluster), Table 6 (misclassified
+// transactions). Evaluation only — the clustering algorithms never see
+// labels.
+
+#ifndef ROCK_EVAL_CONTINGENCY_H_
+#define ROCK_EVAL_CONTINGENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cluster.h"
+#include "data/dataset.h"
+
+namespace rock {
+
+/// counts[c][l] = number of points in found cluster c with true class l.
+class ContingencyTable {
+ public:
+  /// Builds from a per-point cluster assignment (kUnassigned rows are
+  /// tallied as outliers, not in the table) and parallel true labels.
+  /// Rows with kNoLabel are skipped entirely.
+  static Result<ContingencyTable> Build(
+      const std::vector<ClusterIndex>& assignment,
+      const std::vector<LabelId>& labels, size_t num_clusters,
+      size_t num_classes);
+
+  /// Convenience overload pulling labels from a dataset's LabelSet.
+  static Result<ContingencyTable> Build(const Clustering& clustering,
+                                        const LabelSet& labels);
+
+  size_t num_clusters() const { return counts_.size(); }
+  size_t num_classes() const {
+    return counts_.empty() ? 0 : counts_[0].size();
+  }
+
+  /// Count of class `l` points inside cluster `c`.
+  uint64_t Count(size_t c, size_t l) const { return counts_[c][l]; }
+
+  /// Size of cluster `c` (labeled points only).
+  uint64_t ClusterTotal(size_t c) const;
+
+  /// Total points of class `l` that landed in any cluster.
+  uint64_t ClassTotal(size_t l) const;
+
+  /// Labeled points covered by clusters (excludes outliers).
+  uint64_t GrandTotal() const;
+
+  /// Labeled points left unassigned (outliers), per class.
+  const std::vector<uint64_t>& outliers_per_class() const {
+    return outlier_counts_;
+  }
+
+  /// Majority true class of cluster `c` (smallest class id wins ties).
+  size_t MajorityClass(size_t c) const;
+
+ private:
+  std::vector<std::vector<uint64_t>> counts_;
+  std::vector<uint64_t> outlier_counts_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_EVAL_CONTINGENCY_H_

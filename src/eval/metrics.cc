@@ -1,0 +1,159 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace rock {
+
+double Purity(const ContingencyTable& table) {
+  const uint64_t total = table.GrandTotal();
+  if (total == 0) return 0.0;
+  uint64_t agree = 0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    agree += table.Count(c, table.MajorityClass(c));
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+namespace {
+double Choose2(uint64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+}  // namespace
+
+double AdjustedRandIndex(const ContingencyTable& table) {
+  const uint64_t total = table.GrandTotal();
+  if (total < 2) return 0.0;
+  double sum_cells = 0.0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      sum_cells += Choose2(table.Count(c, l));
+    }
+  }
+  double sum_rows = 0.0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    sum_rows += Choose2(table.ClusterTotal(c));
+  }
+  double sum_cols = 0.0;
+  for (size_t l = 0; l < table.num_classes(); ++l) {
+    sum_cols += Choose2(table.ClassTotal(l));
+  }
+  const double expected = sum_rows * sum_cols / Choose2(total);
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 0.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const ContingencyTable& table) {
+  const double total = static_cast<double>(table.GrandTotal());
+  if (total == 0.0) return 0.0;
+  double mi = 0.0;
+  double h_clusters = 0.0;
+  double h_classes = 0.0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    const double pc = static_cast<double>(table.ClusterTotal(c)) / total;
+    if (pc > 0.0) h_clusters -= pc * std::log(pc);
+  }
+  for (size_t l = 0; l < table.num_classes(); ++l) {
+    const double pl = static_cast<double>(table.ClassTotal(l)) / total;
+    if (pl > 0.0) h_classes -= pl * std::log(pl);
+  }
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    const double pc = static_cast<double>(table.ClusterTotal(c)) / total;
+    if (pc == 0.0) continue;
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      const double pcl = static_cast<double>(table.Count(c, l)) / total;
+      if (pcl == 0.0) continue;
+      const double pl = static_cast<double>(table.ClassTotal(l)) / total;
+      mi += pcl * std::log(pcl / (pc * pl));
+    }
+  }
+  const double denom = 0.5 * (h_clusters + h_classes);
+  if (denom == 0.0) return (mi == 0.0) ? 1.0 : 0.0;
+  return mi / denom;
+}
+
+double FowlkesMallows(const ContingencyTable& table) {
+  // TP = co-clustered same-class pairs; FP = co-clustered different-class;
+  // FN = same-class pairs split across clusters.
+  double tp = 0.0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      tp += Choose2(table.Count(c, l));
+    }
+  }
+  double cluster_pairs = 0.0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    cluster_pairs += Choose2(table.ClusterTotal(c));
+  }
+  double class_pairs = 0.0;
+  for (size_t l = 0; l < table.num_classes(); ++l) {
+    class_pairs += Choose2(table.ClassTotal(l));
+  }
+  if (cluster_pairs == 0.0 || class_pairs == 0.0) return 0.0;
+  return tp / std::sqrt(cluster_pairs * class_pairs);
+}
+
+VMeasure ComputeVMeasure(const ContingencyTable& table) {
+  const double total = static_cast<double>(table.GrandTotal());
+  VMeasure out;
+  if (total == 0.0) return out;
+
+  double h_class = 0.0;    // H(C) — class entropy
+  double h_cluster = 0.0;  // H(K) — cluster entropy
+  for (size_t l = 0; l < table.num_classes(); ++l) {
+    const double p = static_cast<double>(table.ClassTotal(l)) / total;
+    if (p > 0.0) h_class -= p * std::log(p);
+  }
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    const double p = static_cast<double>(table.ClusterTotal(c)) / total;
+    if (p > 0.0) h_cluster -= p * std::log(p);
+  }
+  // Conditional entropies.
+  double h_class_given_cluster = 0.0;
+  double h_cluster_given_class = 0.0;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      const double joint = static_cast<double>(table.Count(c, l)) / total;
+      if (joint == 0.0) continue;
+      const double p_cluster =
+          static_cast<double>(table.ClusterTotal(c)) / total;
+      const double p_class =
+          static_cast<double>(table.ClassTotal(l)) / total;
+      h_class_given_cluster -= joint * std::log(joint / p_cluster);
+      h_cluster_given_class -= joint * std::log(joint / p_class);
+    }
+  }
+  out.homogeneity =
+      h_class == 0.0 ? 1.0 : 1.0 - h_class_given_cluster / h_class;
+  out.completeness =
+      h_cluster == 0.0 ? 1.0 : 1.0 - h_cluster_given_class / h_cluster;
+  const double sum = out.homogeneity + out.completeness;
+  out.v = sum == 0.0 ? 0.0
+                     : 2.0 * out.homogeneity * out.completeness / sum;
+  return out;
+}
+
+uint64_t MisclassificationCount(const ContingencyTable& table,
+                                const MisclassificationOptions& options) {
+  uint64_t wrong = 0;
+  // Points inside clusters disagreeing with the cluster majority.
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    const size_t majority = table.MajorityClass(c);
+    for (size_t l = 0; l < table.num_classes(); ++l) {
+      if (l != majority) wrong += table.Count(c, l);
+    }
+  }
+  // Unassigned points: true outliers are *correctly* dropped; everyone
+  // else was lost.
+  const auto& dropped = table.outliers_per_class();
+  for (size_t l = 0; l < dropped.size(); ++l) {
+    if (options.outlier_label != kNoLabel &&
+        l == static_cast<size_t>(options.outlier_label)) {
+      continue;
+    }
+    wrong += dropped[l];
+  }
+  return wrong;
+}
+
+}  // namespace rock

@@ -1,0 +1,59 @@
+// librock — eval/metrics.h
+//
+// External clustering-quality metrics. MisclassificationCount reproduces
+// the paper's Table 6 measure ("number of transactions misclassified");
+// purity, ARI and NMI are the standard modern complements used by the test
+// suite and the ablation benches.
+
+#ifndef ROCK_EVAL_METRICS_H_
+#define ROCK_EVAL_METRICS_H_
+
+#include "eval/contingency.h"
+
+namespace rock {
+
+/// Fraction of clustered points that belong to their cluster's majority
+/// class. Outliers are excluded from numerator and denominator.
+double Purity(const ContingencyTable& table);
+
+/// Adjusted Rand Index over clustered, labeled points (outliers excluded);
+/// 1 = perfect agreement, ≈0 = chance.
+double AdjustedRandIndex(const ContingencyTable& table);
+
+/// Normalized Mutual Information (arithmetic-mean normalization) over
+/// clustered, labeled points; in [0, 1].
+double NormalizedMutualInformation(const ContingencyTable& table);
+
+/// Options for the Table 6 misclassification measure on data with a
+/// designated ground-truth "outlier" class.
+struct MisclassificationOptions {
+  /// Label id of ground-truth outliers; kNoLabel when the dataset has none.
+  LabelId outlier_label = kNoLabel;
+};
+
+/// Fowlkes–Mallows index √(precision · recall) over co-clustered pairs of
+/// clustered, labeled points; in [0, 1], 1 = perfect.
+double FowlkesMallows(const ContingencyTable& table);
+
+/// Homogeneity (each cluster holds one class), completeness (each class
+/// lands in one cluster), and their harmonic mean (V-measure). All in
+/// [0, 1]; degenerate zero-entropy cases score 1 by convention.
+struct VMeasure {
+  double homogeneity = 0.0;
+  double completeness = 0.0;
+  double v = 0.0;
+};
+VMeasure ComputeVMeasure(const ContingencyTable& table);
+
+/// The paper's misclassification count: each found cluster is identified
+/// with its majority true class; a point is misclassified when
+///   * it sits in a cluster whose majority class differs from its own, or
+///   * it is a true cluster member left unassigned (dropped as an outlier), or
+///   * it is a true outlier that was assigned to some cluster.
+/// True outliers left unassigned are correct.
+uint64_t MisclassificationCount(const ContingencyTable& table,
+                                const MisclassificationOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_EVAL_METRICS_H_

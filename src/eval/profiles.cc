@@ -1,0 +1,132 @@
+#include "eval/profiles.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace rock {
+
+std::vector<ClusterProfile> ProfileClusters(const CategoricalDataset& dataset,
+                                            const Clustering& clustering,
+                                            const ProfileOptions& options) {
+  const Schema& schema = dataset.schema();
+  std::vector<ClusterProfile> out;
+  out.reserve(clustering.num_clusters());
+
+  for (size_t c = 0; c < clustering.num_clusters(); ++c) {
+    const auto& members = clustering.clusters[c];
+    ClusterProfile profile;
+    profile.cluster = c;
+    profile.size = members.size();
+
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      std::vector<uint64_t> counts(schema.DomainSize(a), 0);
+      uint64_t present = 0;
+      for (PointIndex p : members) {
+        const Record& r = dataset.record(p);
+        if (r.IsMissing(a)) continue;
+        ++present;
+        ++counts[r.value(a)];
+      }
+      if (present == 0) continue;
+      // Collect qualifying values for this attribute, best first.
+      std::vector<ProfileEntry> qualifying;
+      for (size_t v = 0; v < counts.size(); ++v) {
+        const double support = static_cast<double>(counts[v]) /
+                               static_cast<double>(present);
+        if (support >= options.min_support) {
+          qualifying.push_back(ProfileEntry{
+              schema.attribute_name(a),
+              schema.ValueName(a, static_cast<ValueId>(v)), support});
+        }
+      }
+      std::sort(qualifying.begin(), qualifying.end(),
+                [](const ProfileEntry& x, const ProfileEntry& y) {
+                  if (x.support != y.support) return x.support > y.support;
+                  return x.value < y.value;
+                });
+      for (auto& e : qualifying) profile.entries.push_back(std::move(e));
+    }
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+std::vector<std::vector<DiscriminativeEntry>> DiscriminativeProfiles(
+    const CategoricalDataset& dataset, const Clustering& clustering,
+    const DiscriminativeOptions& options) {
+  const Schema& schema = dataset.schema();
+
+  // Global value frequencies, per attribute, over present values.
+  std::vector<std::vector<double>> global_freq(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    std::vector<uint64_t> counts(schema.DomainSize(a), 0);
+    uint64_t present = 0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      const Record& r = dataset.record(i);
+      if (r.IsMissing(a)) continue;
+      ++present;
+      ++counts[r.value(a)];
+    }
+    global_freq[a].resize(counts.size(), 0.0);
+    if (present > 0) {
+      for (size_t v = 0; v < counts.size(); ++v) {
+        global_freq[a][v] = static_cast<double>(counts[v]) /
+                            static_cast<double>(present);
+      }
+    }
+  }
+
+  std::vector<std::vector<DiscriminativeEntry>> out(
+      clustering.num_clusters());
+  for (size_t c = 0; c < clustering.num_clusters(); ++c) {
+    const auto& members = clustering.clusters[c];
+    std::vector<DiscriminativeEntry> entries;
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      std::vector<uint64_t> counts(schema.DomainSize(a), 0);
+      uint64_t present = 0;
+      for (PointIndex p : members) {
+        const Record& r = dataset.record(p);
+        if (r.IsMissing(a)) continue;
+        ++present;
+        ++counts[r.value(a)];
+      }
+      if (present == 0) continue;
+      for (size_t v = 0; v < counts.size(); ++v) {
+        const double support = static_cast<double>(counts[v]) /
+                               static_cast<double>(present);
+        if (support < options.min_support) continue;
+        const double global = global_freq[a][v];
+        const double lift = global > 0.0 ? support / global : 0.0;
+        if (lift < options.min_lift) continue;
+        entries.push_back(DiscriminativeEntry{
+            schema.attribute_name(a),
+            schema.ValueName(a, static_cast<ValueId>(v)), support, lift});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const DiscriminativeEntry& x, const DiscriminativeEntry& y) {
+                if (x.lift != y.lift) return x.lift > y.lift;
+                if (x.support != y.support) return x.support > y.support;
+                if (x.attribute != y.attribute) return x.attribute < y.attribute;
+                return x.value < y.value;
+              });
+    if (options.top_k > 0 && entries.size() > options.top_k) {
+      entries.resize(options.top_k);
+    }
+    out[c] = std::move(entries);
+  }
+  return out;
+}
+
+std::string FormatProfile(const ClusterProfile& profile) {
+  std::string out = "Cluster " + std::to_string(profile.cluster + 1) +
+                    " (size " + std::to_string(profile.size) + "):\n";
+  for (const auto& e : profile.entries) {
+    out += "  (" + e.attribute + "," + e.value + "," +
+           FormatDouble(e.support, 2) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace rock

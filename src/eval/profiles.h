@@ -1,0 +1,80 @@
+// librock — eval/profiles.h
+//
+// Cluster characterization (paper Tables 7–9): for each cluster, the
+// frequent (attribute, value, support) triples — e.g. votes cluster 1:
+// "(el-salvador-aid, y, 0.99)". Support is computed over cluster members
+// with a present value for the attribute.
+
+#ifndef ROCK_EVAL_PROFILES_H_
+#define ROCK_EVAL_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "data/dataset.h"
+
+namespace rock {
+
+/// One frequent attribute value of a cluster.
+struct ProfileEntry {
+  std::string attribute;
+  std::string value;
+  double support = 0.0;  ///< fraction of members (with the attribute present)
+};
+
+/// Frequent values of one cluster, grouped per attribute in schema order;
+/// within an attribute, decreasing support.
+struct ClusterProfile {
+  size_t cluster = 0;
+  size_t size = 0;
+  std::vector<ProfileEntry> entries;
+};
+
+/// Options for profiling.
+struct ProfileOptions {
+  /// Keep values with support >= this threshold (paper tables list values
+  /// down to ~0.09, i.e. effectively all non-rare values).
+  double min_support = 0.5;
+};
+
+/// Profiles every cluster of `clustering` against the categorical dataset
+/// it was computed on.
+std::vector<ClusterProfile> ProfileClusters(const CategoricalDataset& dataset,
+                                            const Clustering& clustering,
+                                            const ProfileOptions& options);
+
+/// Renders a profile in the paper's "(attribute,value,support)" style.
+std::string FormatProfile(const ClusterProfile& profile);
+
+/// One discriminative attribute value of a cluster: frequent inside the
+/// cluster *and* over-represented relative to the whole data set.
+struct DiscriminativeEntry {
+  std::string attribute;
+  std::string value;
+  double support = 0.0;  ///< in-cluster frequency
+  double lift = 0.0;     ///< support / global frequency of the value
+};
+
+/// Options for discriminative profiling.
+struct DiscriminativeOptions {
+  /// Keep values with in-cluster support >= this.
+  double min_support = 0.5;
+  /// …and lift >= this (1 = no enrichment required; 2 = twice as common
+  /// inside the cluster as globally).
+  double min_lift = 1.5;
+  /// Entries per cluster (best lift first); 0 = unlimited.
+  size_t top_k = 8;
+};
+
+/// The values that *characterize* each cluster against the data set —
+/// frequent-and-enriched, unlike ProfileClusters which reports frequency
+/// alone (a value common everywhere, e.g. veil-type=partial in the
+/// mushroom data, scores lift ≈ 1 and drops out here).
+std::vector<std::vector<DiscriminativeEntry>> DiscriminativeProfiles(
+    const CategoricalDataset& dataset, const Clustering& clustering,
+    const DiscriminativeOptions& options);
+
+}  // namespace rock
+
+#endif  // ROCK_EVAL_PROFILES_H_

@@ -1,0 +1,48 @@
+// librock — graph/parallel.h
+//
+// Multithreaded versions of the two O(n²)-ish phases that dominate ROCK's
+// runtime (paper §4.5 / Fig. 5): neighbor-graph construction (n²/2
+// similarity evaluations) and link computation (Σ mᵢ² pair updates).
+// Results are bit-identical to the serial ComputeNeighbors / ComputeLinks.
+//
+// Parallelization strategy:
+//   * neighbors — workers claim dynamic chunks of rows i and evaluate
+//     sim(i, j) for j > i into per-worker edge buffers; buffers are
+//     scattered into the final adjacency lists single-threaded (cheap,
+//     O(edges)).
+//   * links — the upper-triangular count array is partitioned into
+//     contiguous row ranges balanced by a precomputed per-row write count;
+//     every worker scans all neighbor lists but only touches its own rows,
+//     so no synchronization is needed on the hot path.
+
+#ifndef ROCK_GRAPH_PARALLEL_H_
+#define ROCK_GRAPH_PARALLEL_H_
+
+#include "graph/links.h"
+#include "graph/neighbors.h"
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// Options for the parallel graph algorithms.
+struct ParallelOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Rows claimed per scheduling step in neighbor construction.
+  size_t row_chunk = 16;
+};
+
+/// Parallel thresholded neighbor graph; equals ComputeNeighbors(sim, theta).
+Result<NeighborGraph> ComputeNeighborsParallel(
+    const PointSimilarity& sim, double theta,
+    const ParallelOptions& options = {});
+
+/// Parallel Fig. 4 link counting; equals ComputeLinks(graph).
+/// Uses a single dense upper-triangular accumulator (n(n−1)/2 counts), so
+/// memory is the same as the serial dense path regardless of thread count.
+LinkMatrix ComputeLinksParallel(const NeighborGraph& graph,
+                                const ParallelOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_GRAPH_PARALLEL_H_

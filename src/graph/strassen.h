@@ -1,0 +1,34 @@
+// librock — graph/strassen.h
+//
+// Strassen's O(n^2.81) matrix multiplication [CLR90], referenced by paper
+// §4.4 as the sub-cubic route to link counts via adjacency-matrix squaring.
+// Implemented with power-of-two zero padding and a naive-product cutoff for
+// small blocks (Strassen's constant factors lose below the cutoff).
+
+#ifndef ROCK_GRAPH_STRASSEN_H_
+#define ROCK_GRAPH_STRASSEN_H_
+
+#include "graph/dense_matrix.h"
+
+namespace rock {
+
+/// Options for the Strassen product.
+struct StrassenOptions {
+  /// Blocks at or below this dimension multiply naively.
+  size_t cutoff = 64;
+};
+
+/// Strassen product of two square matrices of equal dimension.
+/// Fails on dimension mismatch or non-square inputs.
+Result<DenseMatrix> StrassenMultiply(const DenseMatrix& a,
+                                     const DenseMatrix& b,
+                                     const StrassenOptions& options = {});
+
+/// Computes links by Strassen-squaring the adjacency matrix; matches
+/// ComputeLinks exactly.
+LinkMatrix ComputeLinksStrassen(const NeighborGraph& graph,
+                                const StrassenOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_GRAPH_STRASSEN_H_

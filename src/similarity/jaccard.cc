@@ -1,0 +1,48 @@
+#include "similarity/jaccard.h"
+
+namespace rock {
+
+double JaccardSimilarity(const Transaction& a, const Transaction& b) {
+  const size_t uni = UnionSize(a, b);
+  if (uni == 0) return 0.0;
+  const size_t inter = a.size() + b.size() - uni;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CategoricalJaccard::Similarity(size_t i, size_t j) const {
+  const Record& r1 = dataset_.record(i);
+  const Record& r2 = dataset_.record(j);
+  size_t equal = 0;
+  size_t present1 = 0;
+  size_t present2 = 0;
+  const size_t d = r1.size();
+  for (size_t a = 0; a < d; ++a) {
+    const bool p1 = !r1.IsMissing(a);
+    const bool p2 = !r2.IsMissing(a);
+    present1 += p1 ? 1 : 0;
+    present2 += p2 ? 1 : 0;
+    if (p1 && p2 && r1.value(a) == r2.value(a)) ++equal;
+  }
+  const size_t uni = present1 + present2 - equal;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(equal) / static_cast<double>(uni);
+}
+
+double PairwiseMissingJaccard::Similarity(size_t i, size_t j) const {
+  const Record& r1 = dataset_.record(i);
+  const Record& r2 = dataset_.record(j);
+  size_t both = 0;
+  size_t equal = 0;
+  const size_t d = r1.size();
+  for (size_t a = 0; a < d; ++a) {
+    if (r1.IsMissing(a) || r2.IsMissing(a)) continue;
+    ++both;
+    if (r1.value(a) == r2.value(a)) ++equal;
+  }
+  if (both == 0) return 0.0;
+  // Each restricted transaction has `both` items; the union therefore has
+  // 2·both − equal items.
+  return static_cast<double>(equal) / static_cast<double>(2 * both - equal);
+}
+
+}  // namespace rock

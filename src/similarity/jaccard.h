@@ -1,0 +1,73 @@
+// librock — similarity/jaccard.h
+//
+// Jaccard-coefficient similarities (paper §3.1.1–§3.1.2):
+//   * transactions: sim(T1, T2) = |T1 ∩ T2| / |T1 ∪ T2|;
+//   * categorical records via the A.v item view, missing values omitted;
+//   * the pairwise-missing variant for time-series-style data, where only
+//     attributes observed in *both* records participate.
+
+#ifndef ROCK_SIMILARITY_JACCARD_H_
+#define ROCK_SIMILARITY_JACCARD_H_
+
+#include "data/dataset.h"
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// sim(T1, T2) = |T1 ∩ T2| / |T1 ∪ T2|; two empty transactions get 0.
+double JaccardSimilarity(const Transaction& a, const Transaction& b);
+
+/// Jaccard over a transaction dataset (market-basket data).
+class TransactionJaccard final : public PointSimilarity {
+ public:
+  /// Binds to `dataset`, which must outlive this object.
+  explicit TransactionJaccard(const TransactionDataset& dataset)
+      : dataset_(dataset) {}
+
+  size_t size() const override { return dataset_.size(); }
+  double Similarity(size_t i, size_t j) const override {
+    return JaccardSimilarity(dataset_.transaction(i),
+                             dataset_.transaction(j));
+  }
+
+ private:
+  const TransactionDataset& dataset_;
+};
+
+/// Jaccard over categorical records through the static A.v item view
+/// (§3.1.2): intersection counts attributes present-and-equal in both;
+/// union counts every present (attribute, value) item of either record.
+/// Missing values simply contribute no item.
+class CategoricalJaccard final : public PointSimilarity {
+ public:
+  /// Binds to `dataset`, which must outlive this object.
+  explicit CategoricalJaccard(const CategoricalDataset& dataset)
+      : dataset_(dataset) {}
+
+  size_t size() const override { return dataset_.size(); }
+  double Similarity(size_t i, size_t j) const override;
+
+ private:
+  const CategoricalDataset& dataset_;
+};
+
+/// Pairwise-missing Jaccard (§3.1.2, time-series): for records r1, r2, form
+/// each record's transaction only over attributes observed in *both*, then
+/// take Jaccard. Two records identical on their common observed attributes
+/// score 1 regardless of how much history either is missing.
+class PairwiseMissingJaccard final : public PointSimilarity {
+ public:
+  /// Binds to `dataset`, which must outlive this object.
+  explicit PairwiseMissingJaccard(const CategoricalDataset& dataset)
+      : dataset_(dataset) {}
+
+  size_t size() const override { return dataset_.size(); }
+  double Similarity(size_t i, size_t j) const override;
+
+ private:
+  const CategoricalDataset& dataset_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_SIMILARITY_JACCARD_H_

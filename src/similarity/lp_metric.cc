@@ -1,0 +1,75 @@
+#include "similarity/lp_metric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rock {
+
+double LpDistance(std::span<const double> x, std::span<const double> y,
+                  double p) {
+  assert(x.size() == y.size());
+  assert(p >= 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum += std::pow(std::abs(x[i] - y[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+double L1Distance(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sum += std::abs(x[i] - y[i]);
+  return sum;
+}
+
+double SquaredL2Distance(std::span<const double> x,
+                         std::span<const double> y) {
+  assert(x.size() == y.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L2Distance(std::span<const double> x, std::span<const double> y) {
+  return std::sqrt(SquaredL2Distance(x, y));
+}
+
+double LInfDistance(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double best = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    best = std::max(best, std::abs(x[i] - y[i]));
+  }
+  return best;
+}
+
+NormalizedLpSimilarity::NormalizedLpSimilarity(
+    const std::vector<std::vector<double>>& points, double p)
+    : points_(points), p_(p), max_distance_(0.0) {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    for (size_t j = i + 1; j < points_.size(); ++j) {
+      max_distance_ = std::max(max_distance_, Distance(i, j));
+    }
+  }
+}
+
+double NormalizedLpSimilarity::Distance(size_t i, size_t j) const {
+  std::span<const double> x(points_[i]);
+  std::span<const double> y(points_[j]);
+  if (p_ == kInfinity) return LInfDistance(x, y);
+  if (p_ == 1.0) return L1Distance(x, y);
+  if (p_ == 2.0) return L2Distance(x, y);
+  return LpDistance(x, y, p_);
+}
+
+double NormalizedLpSimilarity::Similarity(size_t i, size_t j) const {
+  if (max_distance_ == 0.0) return 1.0;
+  return 1.0 - Distance(i, j) / max_distance_;
+}
+
+}  // namespace rock

@@ -1,0 +1,60 @@
+// librock — similarity/lp_metric.h
+//
+// L_p distance metrics (paper §1: "Lp = (Σ |x_i − y_i|^p)^{1/p}, 1 ≤ p ≤ ∞")
+// and a normalizer turning them into [0, 1] similarities for the neighbor
+// threshold. The centroid-based baseline uses L2 directly.
+
+#ifndef ROCK_SIMILARITY_LP_METRIC_H_
+#define ROCK_SIMILARITY_LP_METRIC_H_
+
+#include <span>
+#include <vector>
+
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// L_p distance between equal-length vectors; p must be >= 1. Use
+/// LInfDistance for p = ∞.
+double LpDistance(std::span<const double> x, std::span<const double> y,
+                  double p);
+
+/// L1 (Manhattan) distance.
+double L1Distance(std::span<const double> x, std::span<const double> y);
+
+/// L2 (euclidean) distance.
+double L2Distance(std::span<const double> x, std::span<const double> y);
+
+/// L∞ (Chebyshev) distance.
+double LInfDistance(std::span<const double> x, std::span<const double> y);
+
+/// Squared L2 distance (no sqrt; what k-means actually minimizes).
+double SquaredL2Distance(std::span<const double> x, std::span<const double> y);
+
+/// Similarity view over numeric vectors: sim = 1 − d(x, y) / d_max where
+/// d_max is the largest pairwise distance in the bound set (precomputed at
+/// construction). Degenerate all-equal sets score 1 everywhere.
+class NormalizedLpSimilarity final : public PointSimilarity {
+ public:
+  /// Binds to `points` (must outlive this object) with exponent `p`
+  /// (p >= 1; use kInfinity for L∞).
+  NormalizedLpSimilarity(const std::vector<std::vector<double>>& points,
+                         double p);
+
+  /// Sentinel exponent selecting the L∞ metric.
+  static constexpr double kInfinity = -1.0;
+
+  size_t size() const override { return points_.size(); }
+  double Similarity(size_t i, size_t j) const override;
+
+ private:
+  double Distance(size_t i, size_t j) const;
+
+  const std::vector<std::vector<double>>& points_;
+  double p_;
+  double max_distance_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_SIMILARITY_LP_METRIC_H_

@@ -1,0 +1,131 @@
+#include "similarity/minhash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "similarity/jaccard.h"
+
+namespace rock {
+
+namespace {
+
+/// Stateless 64-bit mix (splitmix64 finalizer) — a cheap hash whose
+/// per-function variation comes from xoring a random mixer first.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed) {
+  SplitMix64 sm(seed);
+  mix_.resize(num_hashes);
+  for (auto& m : mix_) m = sm.Next();
+}
+
+std::vector<uint64_t> MinHasher::Signature(const Transaction& tx) const {
+  std::vector<uint64_t> sig(mix_.size(),
+                            std::numeric_limits<uint64_t>::max());
+  for (ItemId item : tx) {
+    for (size_t k = 0; k < mix_.size(); ++k) {
+      const uint64_t h = Mix64(static_cast<uint64_t>(item) ^ mix_[k]);
+      sig[k] = std::min(sig[k], h);
+    }
+  }
+  return sig;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  size_t match = 0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k] == b[k]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+Status LshOptions::Validate() const {
+  if (num_bands == 0 || rows_per_band == 0) {
+    return Status::InvalidArgument("num_bands and rows_per_band must be >= 1");
+  }
+  return Status::OK();
+}
+
+double LshCollisionProbability(double s, const LshOptions& options) {
+  const double per_band = std::pow(s, static_cast<double>(
+                                          options.rows_per_band));
+  return 1.0 - std::pow(1.0 - per_band,
+                        static_cast<double>(options.num_bands));
+}
+
+Result<NeighborGraph> ComputeNeighborsLsh(const TransactionDataset& dataset,
+                                          double theta,
+                                          const LshOptions& options) {
+  if (!(theta >= 0.0 && theta <= 1.0)) {
+    return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  ROCK_RETURN_IF_ERROR(options.Validate());
+
+  const size_t n = dataset.size();
+  const size_t sig_len = options.num_bands * options.rows_per_band;
+  MinHasher hasher(sig_len, options.seed);
+
+  std::vector<std::vector<uint64_t>> signatures(n);
+  for (size_t i = 0; i < n; ++i) {
+    signatures[i] = hasher.Signature(dataset.transaction(i));
+  }
+
+  // Banding: bucket each point by the hash of every band slice; points
+  // sharing any bucket become candidates. Candidate pairs are collected
+  // with duplicates and batch-deduplicated (sort + unique) before the
+  // exact verification pass.
+  std::vector<uint64_t> candidates;  // (lo << 32) | hi
+  std::unordered_map<uint64_t, std::vector<PointIndex>> buckets;
+  for (size_t band = 0; band < options.num_bands; ++band) {
+    buckets.clear();
+    for (size_t i = 0; i < n; ++i) {
+      // Hash the band slice.
+      uint64_t h = 0x9e3779b97f4a7c15ULL ^ (band * 0xff51afd7ed558ccdULL);
+      for (size_t r = 0; r < options.rows_per_band; ++r) {
+        h = Mix64(h ^ signatures[i][band * options.rows_per_band + r]);
+      }
+      buckets[h].push_back(static_cast<PointIndex>(i));
+    }
+    for (const auto& [_, members] : buckets) {
+      if (members.size() < 2) continue;
+      for (size_t a = 0; a + 1 < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          const uint64_t lo = std::min(members[a], members[b]);
+          const uint64_t hi = std::max(members[a], members[b]);
+          candidates.push_back((lo << 32) | hi);
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  NeighborGraph graph;
+  graph.nbrlist.resize(n);
+  for (uint64_t key : candidates) {
+    const auto lo = static_cast<PointIndex>(key >> 32);
+    const auto hi = static_cast<PointIndex>(key & 0xffffffffu);
+    // Exact verification keeps precision at 1.
+    if (JaccardSimilarity(dataset.transaction(lo),
+                          dataset.transaction(hi)) >= theta) {
+      graph.nbrlist[lo].push_back(hi);
+      graph.nbrlist[hi].push_back(lo);
+    }
+  }
+  for (auto& l : graph.nbrlist) std::sort(l.begin(), l.end());
+  return graph;
+}
+
+}  // namespace rock

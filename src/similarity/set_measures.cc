@@ -1,0 +1,63 @@
+#include "similarity/set_measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "similarity/jaccard.h"
+
+namespace rock {
+
+double DiceSimilarity(const Transaction& a, const Transaction& b) {
+  const size_t total = a.size() + b.size();
+  if (total == 0) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(total);
+}
+
+double CosineSimilarity(const Transaction& a, const Transaction& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+double OverlapSimilarity(const Transaction& a, const Transaction& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = IntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double TransactionSetSimilarity::Similarity(size_t i, size_t j) const {
+  const Transaction& a = dataset_.transaction(i);
+  const Transaction& b = dataset_.transaction(j);
+  switch (measure_) {
+    case SetMeasure::kJaccard:
+      return JaccardSimilarity(a, b);
+    case SetMeasure::kDice:
+      return DiceSimilarity(a, b);
+    case SetMeasure::kCosine:
+      return CosineSimilarity(a, b);
+    case SetMeasure::kOverlap:
+      return OverlapSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+double SimpleMatchingSimilarity::Similarity(size_t i, size_t j) const {
+  const Record& r1 = dataset_.record(i);
+  const Record& r2 = dataset_.record(j);
+  const size_t d = r1.size();
+  if (d == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t a = 0; a < d; ++a) {
+    if (!r1.IsMissing(a) && !r2.IsMissing(a) &&
+        r1.value(a) == r2.value(a)) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(d);
+}
+
+}  // namespace rock

@@ -1,0 +1,70 @@
+// librock — similarity/set_measures.h
+//
+// Additional normalized set-similarity measures for transaction data.
+// The paper uses the Jaccard coefficient (§3.1.1) but stresses that ROCK
+// accepts *any* normalized similarity, including non-metric ones (§1.2);
+// these are the standard alternatives a practitioner will want to sweep:
+//
+//   Dice     2|A∩B| / (|A|+|B|)      — forgiving of size imbalance
+//   cosine   |A∩B| / √(|A|·|B|)      — the IR staple for sets
+//   overlap  |A∩B| / min(|A|,|B|)    — containment (subsets score 1)
+//
+// For fixed-schema categorical records, SMC (simple matching) counts
+// agreeing attributes over all attributes, treating a shared missing
+// value as an agreement-free slot.
+
+#ifndef ROCK_SIMILARITY_SET_MEASURES_H_
+#define ROCK_SIMILARITY_SET_MEASURES_H_
+
+#include "data/dataset.h"
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// Dice coefficient 2|A∩B| / (|A|+|B|); 0 when both sets are empty.
+double DiceSimilarity(const Transaction& a, const Transaction& b);
+
+/// Cosine (Ochiai) coefficient |A∩B| / √(|A|·|B|); 0 when either empty.
+double CosineSimilarity(const Transaction& a, const Transaction& b);
+
+/// Overlap coefficient |A∩B| / min(|A|,|B|); 0 when either empty.
+double OverlapSimilarity(const Transaction& a, const Transaction& b);
+
+/// Kind selector for TransactionSetSimilarity.
+enum class SetMeasure { kJaccard, kDice, kCosine, kOverlap };
+
+/// Indexed PointSimilarity over a transaction dataset with a selectable
+/// measure — drop-in alternative to TransactionJaccard.
+class TransactionSetSimilarity final : public PointSimilarity {
+ public:
+  /// Binds to `dataset` (must outlive this object).
+  TransactionSetSimilarity(const TransactionDataset& dataset,
+                           SetMeasure measure)
+      : dataset_(dataset), measure_(measure) {}
+
+  size_t size() const override { return dataset_.size(); }
+  double Similarity(size_t i, size_t j) const override;
+
+ private:
+  const TransactionDataset& dataset_;
+  SetMeasure measure_;
+};
+
+/// Simple-matching coefficient over categorical records: agreeing present
+/// attributes / total attributes. Missing-on-either counts as disagreement
+/// (the conservative convention).
+class SimpleMatchingSimilarity final : public PointSimilarity {
+ public:
+  explicit SimpleMatchingSimilarity(const CategoricalDataset& dataset)
+      : dataset_(dataset) {}
+
+  size_t size() const override { return dataset_.size(); }
+  double Similarity(size_t i, size_t j) const override;
+
+ private:
+  const CategoricalDataset& dataset_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_SIMILARITY_SET_MEASURES_H_

@@ -1,0 +1,5 @@
+#include "similarity/similarity.h"
+
+// PointSimilarity is a pure interface; this TU only anchors its vtable.
+
+namespace rock {}  // namespace rock

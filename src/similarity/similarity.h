@@ -1,0 +1,35 @@
+// librock — similarity/similarity.h
+//
+// The similarity abstraction of paper §3.1: a normalized function
+// sim(p_i, p_j) ∈ [0, 1], larger = more similar. It "could be one of the
+// well-known distance metrics or it could even be non-metric (e.g., a
+// distance/similarity function provided by a domain expert)". ROCK's
+// neighbor/link machinery depends only on this interface, which is what lets
+// the algorithm extend to non-metric expert-supplied similarities.
+
+#ifndef ROCK_SIMILARITY_SIMILARITY_H_
+#define ROCK_SIMILARITY_SIMILARITY_H_
+
+#include <cstddef>
+
+namespace rock {
+
+/// Normalized pairwise similarity over an indexed point set.
+///
+/// Contract: Similarity(i, j) ∈ [0, 1]; Similarity(i, j) == Similarity(j, i);
+/// Similarity(i, i) == 1 for non-degenerate points. No triangle inequality is
+/// assumed anywhere in librock.
+class PointSimilarity {
+ public:
+  virtual ~PointSimilarity() = default;
+
+  /// Number of points n in the indexed set.
+  virtual size_t size() const = 0;
+
+  /// Similarity between points i and j; both must be < size().
+  virtual double Similarity(size_t i, size_t j) const = 0;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_SIMILARITY_SIMILARITY_H_

@@ -1,0 +1,45 @@
+#include "similarity/similarity_table.h"
+
+#include <cmath>
+
+namespace rock {
+
+SimilarityTable::SimilarityTable(size_t n) : n_(n), data_(n * n, 0.0) {
+  for (size_t i = 0; i < n_; ++i) data_[i * n_ + i] = 1.0;
+}
+
+Status SimilarityTable::Set(size_t i, size_t j, double v) {
+  if (i >= n_ || j >= n_) {
+    return Status::OutOfRange("similarity index out of range");
+  }
+  if (!(v >= 0.0 && v <= 1.0)) {
+    return Status::InvalidArgument("similarity must be in [0, 1]");
+  }
+  data_[i * n_ + j] = v;
+  data_[j * n_ + i] = v;
+  return Status::OK();
+}
+
+Result<SimilarityTable> SimilarityTable::FromMatrix(
+    const std::vector<std::vector<double>>& matrix) {
+  const size_t n = matrix.size();
+  SimilarityTable table(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (matrix[i].size() != n) {
+      return Status::InvalidArgument("similarity matrix is not square");
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const double v = matrix[i][j];
+      if (!(v >= 0.0 && v <= 1.0)) {
+        return Status::InvalidArgument("similarity entries must be in [0, 1]");
+      }
+      if (std::abs(v - matrix[j][i]) > 1e-12) {
+        return Status::InvalidArgument("similarity matrix is not symmetric");
+      }
+      table.data_[i * n + j] = v;
+    }
+  }
+  return table;
+}
+
+}  // namespace rock

@@ -1,0 +1,47 @@
+// librock — similarity/similarity_table.h
+//
+// Domain-expert similarity table (paper §1.2 / §3.1: "a domain
+// expert/similarity table is the only source of knowledge"). An explicit
+// symmetric n×n matrix of similarities in [0, 1]; ROCK runs on it unchanged
+// because nothing in the algorithm requires a metric.
+
+#ifndef ROCK_SIMILARITY_SIMILARITY_TABLE_H_
+#define ROCK_SIMILARITY_SIMILARITY_TABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "similarity/similarity.h"
+
+namespace rock {
+
+/// Explicit pairwise-similarity matrix.
+class SimilarityTable final : public PointSimilarity {
+ public:
+  /// Builds an n-point table initialized to identity (1 on the diagonal,
+  /// 0 elsewhere). Entries are then filled with Set().
+  explicit SimilarityTable(size_t n);
+
+  /// Validates and builds a table from a full row-major n×n matrix: entries
+  /// must be in [0, 1] and the matrix symmetric (diagonal entries are taken
+  /// as given — an expert may declare self-similarity < 1, librock does not
+  /// rely on it).
+  static Result<SimilarityTable> FromMatrix(
+      const std::vector<std::vector<double>>& matrix);
+
+  /// Sets sim(i, j) = sim(j, i) = v; v must be in [0, 1].
+  Status Set(size_t i, size_t j, double v);
+
+  size_t size() const override { return n_; }
+  double Similarity(size_t i, size_t j) const override {
+    return data_[i * n_ + j];
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> data_;  // row-major, kept symmetric by Set()
+};
+
+}  // namespace rock
+
+#endif  // ROCK_SIMILARITY_SIMILARITY_TABLE_H_

@@ -1,0 +1,271 @@
+#include "synth/mushroom_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace rock {
+
+Status MushroomGeneratorOptions::Validate() const {
+  if (size_scale <= 0.0) {
+    return Status::InvalidArgument("size_scale must be > 0");
+  }
+  if (values_per_multivalued < 2) {
+    return Status::InvalidArgument("values_per_multivalued must be >= 2");
+  }
+  if (!(missing_rate >= 0.0 && missing_rate < 1.0)) {
+    return Status::InvalidArgument("missing_rate must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct AttributeSpec {
+  const char* name;
+  std::vector<const char*> values;
+};
+
+/// The 22 UCI mushroom attributes with their real domains. The odor domain
+/// is split below into edible/poisonous halves.
+const std::vector<AttributeSpec>& Attributes() {
+  static const std::vector<AttributeSpec> kAttrs = {
+      {"cap-shape", {"bell", "conical", "convex", "flat", "knobbed", "sunken"}},
+      {"cap-surface", {"fibrous", "grooves", "scaly", "smooth"}},
+      {"cap-color",
+       {"brown", "buff", "cinnamon", "gray", "green", "pink", "purple", "red",
+        "white", "yellow"}},
+      {"bruises", {"bruises", "no"}},
+      {"odor", {}},  // handled separately by edibility
+      {"gill-attachment", {"attached", "free"}},
+      {"gill-spacing", {"close", "crowded"}},
+      {"gill-size", {"broad", "narrow"}},
+      {"gill-color",
+       {"black", "brown", "buff", "chocolate", "gray", "green", "orange",
+        "pink", "purple", "red", "white", "yellow"}},
+      {"stalk-shape", {"enlarging", "tapering"}},
+      {"stalk-root", {"bulbous", "club", "equal", "rhizomorphs", "rooted"}},
+      {"stalk-surface-above-ring", {"fibrous", "scaly", "silky", "smooth"}},
+      {"stalk-surface-below-ring", {"fibrous", "scaly", "silky", "smooth"}},
+      {"stalk-color-above-ring",
+       {"brown", "buff", "cinnamon", "gray", "orange", "pink", "red", "white",
+        "yellow"}},
+      {"stalk-color-below-ring",
+       {"brown", "buff", "cinnamon", "gray", "orange", "pink", "red", "white",
+        "yellow"}},
+      {"veil-type", {"partial"}},
+      {"veil-color", {"brown", "orange", "white", "yellow"}},
+      {"ring-number", {"none", "one", "two"}},
+      {"ring-type", {"evanescent", "flaring", "large", "none", "pendant"}},
+      {"spore-print-color",
+       {"black", "brown", "buff", "chocolate", "green", "orange", "purple",
+        "white", "yellow"}},
+      {"population",
+       {"abundant", "clustered", "numerous", "scattered", "several",
+        "solitary"}},
+      {"habitat",
+       {"grasses", "leaves", "meadows", "paths", "urban", "waste", "woods"}},
+  };
+  return kAttrs;
+}
+
+constexpr size_t kOdorAttribute = 4;
+
+const std::vector<const char*>& EdibleOdors() {
+  static const std::vector<const char*> kOdors = {"none", "anise", "almond"};
+  return kOdors;
+}
+
+const std::vector<const char*>& PoisonousOdors() {
+  static const std::vector<const char*> kOdors = {"foul",    "fishy",
+                                                  "spicy",   "pungent",
+                                                  "creosote", "musty"};
+  return kOdors;
+}
+
+/// Latent sub-populations: (edible, poisonous) record counts taken from the
+/// paper's Table 3 ROCK clusters (cluster 15 was the one mixed cluster).
+struct GroupSpec {
+  size_t edible;
+  size_t poisonous;
+};
+
+constexpr std::array<GroupSpec, 21> kGroups = {{
+    {96, 0},  {0, 256},  {704, 0}, {96, 0},  {768, 0},  {0, 192}, {1728, 0},
+    {0, 32},  {0, 1296}, {0, 8},   {48, 0},  {48, 0},   {0, 288}, {192, 0},
+    {32, 72}, {0, 1728}, {288, 0}, {0, 8},   {192, 0},  {16, 0},  {0, 36},
+}};
+
+/// One group's template: per (non-odor) attribute, the admitted value ids
+/// and their cumulative weights; plus per-edibility odor subsets.
+struct GroupTemplate {
+  std::vector<std::vector<size_t>> values;   // per attribute
+  std::vector<std::vector<double>> weights;  // parallel, cumulative in [0,1]
+  std::vector<size_t> edible_odors;          // indices into EdibleOdors()
+  std::vector<size_t> poison_odors;          // indices into PoisonousOdors()
+};
+
+std::vector<size_t> PickSubset(size_t domain, size_t max_values, Rng* rng) {
+  const size_t nv = 1 + static_cast<size_t>(rng->UniformUint64(
+                            std::min(max_values, domain)));
+  std::vector<size_t> picked = rng->SampleWithoutReplacement(domain, nv);
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::vector<double> CumulativeWeights(size_t n, Rng* rng) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (double& x : w) {
+    x = 0.25 + rng->UniformDouble();  // floor keeps every value observable
+    total += x;
+  }
+  double acc = 0.0;
+  for (double& x : w) {
+    acc += x / total;
+    x = acc;
+  }
+  w.back() = 1.0;
+  return w;
+}
+
+size_t DrawWeighted(const std::vector<size_t>& values,
+                    const std::vector<double>& cumulative, Rng* rng) {
+  const double u = rng->UniformDouble();
+  for (size_t i = 0; i < cumulative.size(); ++i) {
+    if (u <= cumulative[i]) return values[i];
+  }
+  return values.back();
+}
+
+GroupTemplate MakeTemplate(const MushroomGeneratorOptions& options,
+                           Rng* rng) {
+  const auto& attrs = Attributes();
+  GroupTemplate t;
+  t.values.resize(attrs.size());
+  t.weights.resize(attrs.size());
+
+  // Choose which non-odor attributes vary within this group; everything
+  // else is pinned to one value (Tables 8–9 shape: most attributes at
+  // support 1.0, a handful at 0.5).
+  std::vector<size_t> non_odor;
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    if (a != kOdorAttribute && attrs[a].values.size() > 1) {
+      non_odor.push_back(a);
+    }
+  }
+  const size_t num_multi =
+      std::min(options.num_multivalued_attributes, non_odor.size());
+  std::vector<size_t> multi_picks =
+      rng->SampleWithoutReplacement(non_odor.size(), num_multi);
+  std::vector<bool> is_multi(attrs.size(), false);
+  for (size_t idx : multi_picks) is_multi[non_odor[idx]] = true;
+
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    if (a == kOdorAttribute) continue;
+    const size_t domain = attrs[a].values.size();
+    if (is_multi[a]) {
+      const size_t nv = std::min(options.values_per_multivalued, domain);
+      t.values[a] = rng->SampleWithoutReplacement(domain, nv);
+      std::sort(t.values[a].begin(), t.values[a].end());
+    } else {
+      t.values[a] = {static_cast<size_t>(rng->UniformUint64(domain))};
+    }
+    t.weights[a] = CumulativeWeights(t.values[a].size(), rng);
+  }
+  // Odor: one or two admitted odors per edibility within a group (the real
+  // data's groups are near-deterministic in odor).
+  t.edible_odors = PickSubset(EdibleOdors().size(), 2, rng);
+  t.poison_odors = PickSubset(PoisonousOdors().size(), 2, rng);
+  return t;
+}
+
+Result<CategoricalDataset> Generate(const MushroomGeneratorOptions& options,
+                                    bool truth_labels) {
+  ROCK_RETURN_IF_ERROR(options.Validate());
+  Rng rng(options.seed);
+  const auto& attrs = Attributes();
+
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (const auto& a : attrs) names.emplace_back(a.name);
+  CategoricalDataset out{Schema(std::move(names))};
+
+  std::vector<GroupTemplate> templates;
+  templates.reserve(kGroups.size());
+  for (size_t g = 0; g < kGroups.size(); ++g) {
+    templates.push_back(MakeTemplate(options, &rng));
+  }
+
+  auto scaled = [&](size_t n) {
+    if (n == 0) return size_t{0};
+    return std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               options.size_scale * static_cast<double>(n))));
+  };
+
+  struct Row {
+    std::vector<std::string> values;
+    std::string label;
+  };
+  std::vector<Row> rows;
+
+  for (size_t g = 0; g < kGroups.size(); ++g) {
+    const GroupTemplate& t = templates[g];
+    const size_t n_edible = scaled(kGroups[g].edible);
+    const size_t n_poison = scaled(kGroups[g].poisonous);
+    for (size_t r = 0; r < n_edible + n_poison; ++r) {
+      const bool edible = r < n_edible;
+      Row row;
+      row.label = truth_labels ? "group" + std::to_string(g)
+                               : (edible ? "edible" : "poisonous");
+      row.values.reserve(attrs.size());
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        if (options.missing_rate > 0.0 &&
+            rng.Bernoulli(options.missing_rate)) {
+          row.values.emplace_back("?");
+          continue;
+        }
+        if (a == kOdorAttribute) {
+          const auto& odor_ids = edible ? t.edible_odors : t.poison_odors;
+          const auto& odor_names =
+              edible ? EdibleOdors() : PoisonousOdors();
+          const size_t pick = odor_ids[static_cast<size_t>(
+              rng.UniformUint64(odor_ids.size()))];
+          row.values.emplace_back(odor_names[pick]);
+        } else {
+          const size_t v = DrawWeighted(t.values[a], t.weights[a], &rng);
+          row.values.emplace_back(attrs[a].values[v]);
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  rng.Shuffle(rows);
+
+  for (const Row& row : rows) {
+    ROCK_RETURN_IF_ERROR(out.AddRecord(row.values, "?"));
+    out.labels().Append(row.label);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CategoricalDataset> GenerateMushroomData(
+    const MushroomGeneratorOptions& options) {
+  return Generate(options, /*truth_labels=*/false);
+}
+
+Result<CategoricalDataset> GenerateMushroomDataWithTruth(
+    const MushroomGeneratorOptions& options) {
+  return Generate(options, /*truth_labels=*/true);
+}
+
+size_t MushroomNumGroups() { return kGroups.size(); }
+
+}  // namespace rock

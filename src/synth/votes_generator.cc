@@ -1,0 +1,101 @@
+#include "synth/votes_generator.h"
+
+#include <array>
+#include <string>
+
+#include "common/random.h"
+
+namespace rock {
+
+Status VotesGeneratorOptions::Validate() const {
+  if (num_republicans + num_democrats == 0) {
+    return Status::InvalidArgument("need at least one record");
+  }
+  if (!(missing_rate >= 0.0 && missing_rate < 1.0)) {
+    return Status::InvalidArgument("missing_rate must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One issue with P(vote = Yes) per party, transcribed from paper Table 7
+/// (supports of the frequent value; "n" supports converted to Yes
+/// probabilities). water-project-cost-sharing has no Democrat entry in
+/// Table 7 — the real data splits it nearly evenly, so 0.5.
+struct Issue {
+  const char* name;
+  double republican_yes;
+  double democrat_yes;
+};
+
+constexpr std::array<Issue, 16> kIssues = {{
+    {"handicapped-infants", 0.15, 0.65},
+    {"water-project-cost-sharing", 0.51, 0.50},
+    {"adoption-of-the-budget-resolution", 0.13, 0.94},
+    {"physician-fee-freeze", 0.92, 0.04},
+    {"el-salvador-aid", 0.99, 0.08},
+    {"religious-groups-in-schools", 0.93, 0.33},
+    {"anti-satellite-test-ban", 0.16, 0.89},
+    {"aid-to-nicaraguan-contras", 0.10, 0.97},
+    {"mx-missile", 0.07, 0.86},
+    {"immigration", 0.51, 0.51},
+    {"synfuels-corporation-cutback", 0.23, 0.44},
+    {"education-spending", 0.86, 0.10},
+    {"superfund-right-to-sue", 0.90, 0.21},
+    {"crime", 0.98, 0.27},
+    {"duty-free-exports", 0.11, 0.68},
+    {"export-administration-act-south-africa", 0.55, 0.70},
+}};
+
+}  // namespace
+
+Result<CategoricalDataset> GenerateVotesData(
+    const VotesGeneratorOptions& options) {
+  ROCK_RETURN_IF_ERROR(options.Validate());
+  Rng rng(options.seed);
+
+  std::vector<std::string> attr_names;
+  attr_names.reserve(kIssues.size());
+  for (const Issue& issue : kIssues) attr_names.emplace_back(issue.name);
+  CategoricalDataset out{Schema(std::move(attr_names))};
+
+  struct Row {
+    std::vector<std::string> values;
+    const char* label;
+  };
+  std::vector<Row> rows;
+  rows.reserve(options.num_republicans + options.num_democrats);
+
+  auto make_record = [&](bool republican) {
+    Row row;
+    row.label = republican ? "republican" : "democrat";
+    row.values.reserve(kIssues.size());
+    for (const Issue& issue : kIssues) {
+      if (rng.Bernoulli(options.missing_rate)) {
+        row.values.emplace_back("?");
+        continue;
+      }
+      const double p_yes =
+          republican ? issue.republican_yes : issue.democrat_yes;
+      row.values.emplace_back(rng.Bernoulli(p_yes) ? "y" : "n");
+    }
+    return row;
+  };
+
+  for (size_t i = 0; i < options.num_republicans; ++i) {
+    rows.push_back(make_record(true));
+  }
+  for (size_t i = 0; i < options.num_democrats; ++i) {
+    rows.push_back(make_record(false));
+  }
+  rng.Shuffle(rows);
+
+  for (const Row& row : rows) {
+    ROCK_RETURN_IF_ERROR(out.AddRecord(row.values, "?"));
+    out.labels().Append(row.label);
+  }
+  return out;
+}
+
+}  // namespace rock

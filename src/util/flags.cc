@@ -1,0 +1,156 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace rock {
+
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+template <typename T>
+bool ParseIntegral(const std::string& s, T* out) {
+  T v{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& s, bool* out) {
+  const std::string lower = ToLower(s);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    *out = true;
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void FlagSet::Register(Flag flag) { flags_.push_back(std::move(flag)); }
+
+void FlagSet::AddString(const std::string& name, std::string* dest,
+                        const std::string& help) {
+  Register(Flag{name, help, "string", *dest, false,
+                [dest](const std::string& v) {
+                  *dest = v;
+                  return true;
+                }});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* dest,
+                        const std::string& help) {
+  Register(Flag{name, help, "double", FormatDouble(*dest, 4), false,
+                [dest](const std::string& v) { return ParseDouble(v, dest); }});
+}
+
+void FlagSet::AddInt(const std::string& name, int64_t* dest,
+                     const std::string& help) {
+  Register(Flag{name, help, "int", std::to_string(*dest), false,
+                [dest](const std::string& v) {
+                  return ParseIntegral(v, dest);
+                }});
+}
+
+void FlagSet::AddSize(const std::string& name, size_t* dest,
+                      const std::string& help) {
+  Register(Flag{name, help, "size", std::to_string(*dest), false,
+                [dest](const std::string& v) {
+                  return ParseIntegral(v, dest);
+                }});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* dest,
+                      const std::string& help) {
+  Register(Flag{name, help, "bool", *dest ? "true" : "false", true,
+                [dest](const std::string& v) { return ParseBool(v, dest); }});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+Status FlagSet::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const size_t eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    const Flag* flag = Find(body);
+    // "--no-<bool>" negation.
+    if (flag == nullptr && StartsWith(body, "no-")) {
+      const Flag* negated = Find(body.substr(3));
+      if (negated != nullptr && negated->is_bool) {
+        if (has_value) {
+          return Status::InvalidArgument("--no-" + negated->name +
+                                         " does not take a value");
+        }
+        negated->set("false");
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+
+    if (!has_value) {
+      if (flag->is_bool) {
+        value = "true";
+      } else if (i + 1 < args.size()) {
+        value = args[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + body +
+                                       " expects a value");
+      }
+    }
+    if (!flag->set(value)) {
+      return Status::InvalidArgument("cannot parse '" + value +
+                                     "' for --" + body + " (" +
+                                     flag->type_name + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Help() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    out += "  --" + f.name + " (" + f.type_name +
+           ", default: " + f.default_value + ")\n      " + f.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace rock

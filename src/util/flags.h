@@ -1,0 +1,69 @@
+// librock — util/flags.h
+//
+// Minimal typed command-line flag parser for the rock_cli tool. Flags are
+// registered with a pointer to their destination, parsed from
+// "--name=value" / "--name value" syntax, and rendered into a --help text.
+// No global state; each FlagSet is independent (testable).
+
+#ifndef ROCK_UTIL_FLAGS_H_
+#define ROCK_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rock {
+
+/// A set of typed flags plus positional-argument collection.
+class FlagSet {
+ public:
+  /// Registers a flag bound to `*dest`; the current value of `*dest` is
+  /// the default shown in help. `name` excludes the leading dashes.
+  void AddString(const std::string& name, std::string* dest,
+                 const std::string& help);
+  void AddDouble(const std::string& name, double* dest,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t* dest,
+              const std::string& help);
+  void AddSize(const std::string& name, size_t* dest,
+               const std::string& help);
+  void AddBool(const std::string& name, bool* dest, const std::string& help);
+
+  /// Parses arguments (excluding argv[0]). Accepts "--name=value",
+  /// "--name value", and for bools "--name" / "--no-name". Non-flag
+  /// arguments are collected into positional(). Unknown flags fail.
+  Status Parse(const std::vector<std::string>& args);
+
+  /// Arguments that were not flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a help block listing every flag with its default.
+  std::string Help() const;
+
+  /// True iff a flag with this name is registered.
+  bool Has(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string type_name;
+    std::string default_value;
+    bool is_bool = false;
+    // Returns false if the value cannot be parsed.
+    std::function<bool(const std::string&)> set;
+  };
+
+  void Register(Flag flag);
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_UTIL_FLAGS_H_

@@ -1,0 +1,157 @@
+// librock — util/updatable_heap.h
+//
+// Handle-based binary max-heap with O(log n) insert / erase / update of
+// arbitrary keys. The ROCK clusterer (paper Fig. 3) maintains one *local*
+// heap q[i] per live cluster (candidate partners ordered by goodness) plus a
+// *global* heap Q (clusters ordered by their best local goodness); merges
+// require delete(Q, v), delete(q[x], u) and update(Q, x, q[x]) — operations
+// std::priority_queue cannot do, hence this structure.
+//
+// Determinism: equal priorities are broken toward the smaller key, so runs
+// are reproducible regardless of insertion order.
+
+#ifndef ROCK_UTIL_UPDATABLE_HEAP_H_
+#define ROCK_UTIL_UPDATABLE_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rock {
+
+/// Max-heap over (Key → Priority) with updatable/erasable entries.
+///
+/// Key must be hashable and equality-comparable; Priority must be
+/// less-than-comparable. Each key appears at most once.
+template <typename Key, typename Priority>
+class UpdatableHeap {
+ public:
+  /// One heap entry.
+  struct Entry {
+    Key key;
+    Priority priority;
+  };
+
+  /// Number of entries.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True iff `key` is present.
+  bool Contains(const Key& key) const { return index_.count(key) > 0; }
+
+  /// Priority of `key`; key must be present.
+  const Priority& PriorityOf(const Key& key) const {
+    auto it = index_.find(key);
+    assert(it != index_.end());
+    return entries_[it->second].priority;
+  }
+
+  /// Inserts `key` with `priority`, or changes its priority if present.
+  void InsertOrUpdate(const Key& key, const Priority& priority) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      entries_.push_back(Entry{key, priority});
+      index_[key] = entries_.size() - 1;
+      SiftUp(entries_.size() - 1);
+    } else {
+      const size_t pos = it->second;
+      entries_[pos].priority = priority;
+      if (!SiftUp(pos)) SiftDown(pos);
+    }
+  }
+
+  /// Removes `key` if present; returns whether it was present.
+  bool Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const size_t pos = it->second;
+    RemoveAt(pos);
+    return true;
+  }
+
+  /// The maximum entry; heap must be non-empty.
+  const Entry& Top() const {
+    assert(!entries_.empty());
+    return entries_[0];
+  }
+
+  /// Removes and returns the maximum entry; heap must be non-empty.
+  Entry ExtractTop() {
+    assert(!entries_.empty());
+    Entry top = entries_[0];
+    RemoveAt(0);
+    return top;
+  }
+
+  /// All entries in unspecified (heap) order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Removes all entries.
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  // Entry ordering: higher priority wins; ties go to the smaller key.
+  bool Before(const Entry& a, const Entry& b) const {
+    if (b.priority < a.priority) return true;
+    if (a.priority < b.priority) return false;
+    return a.key < b.key;
+  }
+
+  void RemoveAt(size_t pos) {
+    index_.erase(entries_[pos].key);
+    const size_t last = entries_.size() - 1;
+    if (pos != last) {
+      entries_[pos] = std::move(entries_[last]);
+      index_[entries_[pos].key] = pos;
+      entries_.pop_back();
+      if (!SiftUp(pos)) SiftDown(pos);
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  // Returns true if the entry moved.
+  bool SiftUp(size_t pos) {
+    bool moved = false;
+    while (pos > 0) {
+      const size_t parent = (pos - 1) / 2;
+      if (!Before(entries_[pos], entries_[parent])) break;
+      SwapEntries(pos, parent);
+      pos = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(size_t pos) {
+    const size_t n = entries_.size();
+    while (true) {
+      size_t best = pos;
+      const size_t l = 2 * pos + 1;
+      const size_t r = 2 * pos + 2;
+      if (l < n && Before(entries_[l], entries_[best])) best = l;
+      if (r < n && Before(entries_[r], entries_[best])) best = r;
+      if (best == pos) break;
+      SwapEntries(pos, best);
+      pos = best;
+    }
+  }
+
+  void SwapEntries(size_t a, size_t b) {
+    std::swap(entries_[a], entries_[b]);
+    index_[entries_[a].key] = a;
+    index_[entries_[b].key] = b;
+  }
+
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, size_t> index_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_UTIL_UPDATABLE_HEAP_H_

@@ -1,0 +1,368 @@
+// Tests for baselines/: binarization, centroid-linkage hierarchical
+// clustering (incl. the paper's Example 1.1 pathology), single-link (MST),
+// group-average, and k-means.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/binarize.h"
+#include "baselines/centroid_hierarchical.h"
+#include "baselines/kmeans.h"
+#include "baselines/linkage_hierarchical.h"
+#include "similarity/jaccard.h"
+#include "similarity/similarity_table.h"
+
+namespace rock {
+namespace {
+
+// --------------------------------------------------------------- Binarize --
+
+TEST(BinarizeTest, RecordsGetIndicatorColumns) {
+  CategoricalDataset ds{Schema({"color", "size"})};
+  ASSERT_TRUE(ds.AddRecord({"red", "big"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"blue", "big"}).ok());
+  BinarizedData bin = BinarizeRecords(ds);
+  ASSERT_EQ(bin.points.size(), 2u);
+  ASSERT_EQ(bin.column_names.size(), 3u);  // red, blue, big
+  // Each record has exactly 2 ones.
+  for (const auto& p : bin.points) {
+    double sum = 0;
+    for (double v : p) sum += v;
+    EXPECT_DOUBLE_EQ(sum, 2.0);
+  }
+  EXPECT_EQ(bin.column_names[0], "color=red");
+}
+
+TEST(BinarizeTest, MissingValuesAreAllZero) {
+  CategoricalDataset ds{Schema({"a", "b"})};
+  ASSERT_TRUE(ds.AddRecord({"x", "?"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"x", "y"}).ok());
+  BinarizedData bin = BinarizeRecords(ds);
+  double sum0 = 0;
+  for (double v : bin.points[0]) sum0 += v;
+  EXPECT_DOUBLE_EQ(sum0, 1.0);
+}
+
+TEST(BinarizeTest, TransactionsMatchExample11Vectors) {
+  // Example 1.1: {1,2,3,5} over items 1..6 → (1,1,1,0,1,0).
+  TransactionDataset ds;
+  for (int i = 1; i <= 6; ++i) ds.items().Intern(std::to_string(i));
+  ds.AddTransaction(Transaction({0, 1, 2, 4}));  // items 1,2,3,5
+  BinarizedData bin = BinarizeTransactions(ds);
+  EXPECT_EQ(bin.points[0],
+            (std::vector<double>{1, 1, 1, 0, 1, 0}));
+}
+
+// --------------------------------------------- Centroid-based hierarchical --
+
+TEST(CentroidHierarchicalTest, SimpleTwoBlobs) {
+  std::vector<std::vector<double>> pts = {
+      {0, 0}, {0.1, 0}, {0, 0.1},  // blob 1
+      {5, 5}, {5.1, 5}, {5, 5.1},  // blob 2
+  };
+  CentroidHierarchicalOptions opt;
+  opt.num_clusters = 2;
+  opt.eliminate_singleton_outliers = false;
+  auto result = ClusterCentroidHierarchical(pts, opt);
+  ASSERT_TRUE(result.ok());
+  const auto& a = result->clustering.assignment;
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[0], a[2]);
+  EXPECT_EQ(a[3], a[4]);
+  EXPECT_EQ(a[3], a[5]);
+  EXPECT_NE(a[0], a[3]);
+  EXPECT_EQ(result->num_merges, 4u);
+}
+
+TEST(CentroidHierarchicalTest, Example11Pathology) {
+  // The paper's Example 1.1: after {1,2,3,5} and {2,3,4,5} merge (distance
+  // √2), the centroid algorithm merges {1,4} with {6} (distance √3 beats
+  // 3.5 and 4.5 to the merged centroid) even though they share no item.
+  std::vector<std::vector<double>> pts = {
+      {1, 1, 1, 0, 1, 0},  // {1,2,3,5}
+      {0, 1, 1, 1, 1, 0},  // {2,3,4,5}
+      {1, 0, 0, 1, 0, 0},  // {1,4}
+      {0, 0, 0, 0, 0, 1},  // {6}
+  };
+  CentroidHierarchicalOptions opt;
+  opt.num_clusters = 2;
+  opt.eliminate_singleton_outliers = false;
+  auto result = ClusterCentroidHierarchical(pts, opt);
+  ASSERT_TRUE(result.ok());
+  const auto& a = result->clustering.assignment;
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[2], a[3]);  // the undesirable merge the paper predicts
+  EXPECT_NE(a[0], a[2]);
+}
+
+TEST(CentroidHierarchicalTest, SingletonOutlierElimination) {
+  // 9 points: two tight blobs of 4 plus one far-away singleton. With the
+  // 1/3-trigger the singleton must be eliminated once 3 clusters remain.
+  std::vector<std::vector<double>> pts = {
+      {0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1},
+      {5, 5}, {5.1, 5}, {5, 5.1}, {5.1, 5.1},
+      {100, 100},
+  };
+  CentroidHierarchicalOptions opt;
+  opt.num_clusters = 2;
+  auto result = ClusterCentroidHierarchical(pts, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_eliminated_singletons, 1u);
+  EXPECT_EQ(result->clustering.assignment[8], kUnassigned);
+  EXPECT_EQ(result->clustering.num_clusters(), 2u);
+}
+
+TEST(CentroidHierarchicalTest, RejectsBadInput) {
+  EXPECT_TRUE(ClusterCentroidHierarchical({}, {})
+                  .status()
+                  .IsInvalidArgument());
+  CentroidHierarchicalOptions opt;
+  opt.num_clusters = 0;
+  EXPECT_TRUE(ClusterCentroidHierarchical({{1.0}}, opt)
+                  .status()
+                  .IsInvalidArgument());
+  opt.num_clusters = 1;
+  EXPECT_TRUE(ClusterCentroidHierarchical({{1.0}, {1.0, 2.0}}, opt)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CentroidHierarchicalTest, DeterministicAndCoversAllPoints) {
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({static_cast<double>(i % 7), static_cast<double>(i % 3)});
+  }
+  CentroidHierarchicalOptions opt;
+  opt.num_clusters = 4;
+  opt.eliminate_singleton_outliers = false;
+  auto r1 = ClusterCentroidHierarchical(pts, opt);
+  auto r2 = ClusterCentroidHierarchical(pts, opt);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->clustering.assignment, r2->clustering.assignment);
+  EXPECT_EQ(r1->clustering.num_assigned(), 30u);
+}
+
+// ------------------------------------------------------------ Single-link --
+
+TEST(SingleLinkTest, CutsWeakestBridges) {
+  // Chain of similarities: two tight groups bridged weakly.
+  SimilarityTable t(6);
+  ASSERT_TRUE(t.Set(0, 1, 0.9).ok());
+  ASSERT_TRUE(t.Set(1, 2, 0.9).ok());
+  ASSERT_TRUE(t.Set(3, 4, 0.9).ok());
+  ASSERT_TRUE(t.Set(4, 5, 0.9).ok());
+  ASSERT_TRUE(t.Set(2, 3, 0.2).ok());  // bridge
+  auto c = ClusterSingleLink(t, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_clusters(), 2u);
+  EXPECT_EQ(c->assignment[0], c->assignment[2]);
+  EXPECT_EQ(c->assignment[3], c->assignment[5]);
+  EXPECT_NE(c->assignment[0], c->assignment[3]);
+}
+
+TEST(SingleLinkTest, ChainingPathologyOnFigure1Shape) {
+  // §1.1: "The MST algorithm may first merge transactions {1,2,3} and
+  // {1,2,7}" — i.e. single-link crosses cluster borders through the most
+  // similar pair. Verify the cross-pair survives to the 2-cluster cut,
+  // i.e. {1,2,3} and {1,2,7} land together even though the ground truth
+  // separates them.
+  TransactionDataset ds;
+  auto add_triples = [&](const std::vector<ItemId>& items) {
+    for (size_t i = 0; i < items.size(); ++i)
+      for (size_t j = i + 1; j < items.size(); ++j)
+        for (size_t l = j + 1; l < items.size(); ++l)
+          ds.AddTransaction(Transaction({items[i], items[j], items[l]}));
+  };
+  add_triples({1, 2, 3, 4, 5});
+  add_triples({1, 2, 6, 7});
+  TransactionJaccard sim(ds);
+  auto c = ClusterSingleLink(sim, 2);
+  ASSERT_TRUE(c.ok());
+  // Index 0 is {1,2,3}; index 11 is {1,2,7} (second block, second triple).
+  // All transactions containing {1,2} chain together under single link.
+  EXPECT_EQ(c->assignment[0], c->assignment[11]);
+}
+
+TEST(SingleLinkTest, KEqualsNAndK1) {
+  SimilarityTable t(4);
+  ASSERT_TRUE(t.Set(0, 1, 0.8).ok());
+  auto all_separate = ClusterSingleLink(t, 4);
+  ASSERT_TRUE(all_separate.ok());
+  EXPECT_EQ(all_separate->num_clusters(), 4u);
+  auto one = ClusterSingleLink(t, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->num_clusters(), 1u);
+}
+
+TEST(SingleLinkTest, EmptyAndOversizedK) {
+  SimilarityTable t(0);
+  auto c = ClusterSingleLink(t, 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_clusters(), 0u);
+  SimilarityTable t2(2);
+  auto c2 = ClusterSingleLink(t2, 10);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2->num_clusters(), 2u);
+}
+
+// ---------------------------------------------------------- Group average --
+
+TEST(GroupAverageTest, SeparatesBlobs) {
+  SimilarityTable t(6);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      ASSERT_TRUE(t.Set(i, j, 0.9).ok());
+    }
+  }
+  for (size_t i = 3; i < 6; ++i) {
+    for (size_t j = i + 1; j < 6; ++j) {
+      ASSERT_TRUE(t.Set(i, j, 0.9).ok());
+    }
+  }
+  ASSERT_TRUE(t.Set(2, 3, 0.3).ok());
+  auto c = ClusterGroupAverage(t, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_clusters(), 2u);
+  EXPECT_EQ(c->assignment[0], c->assignment[2]);
+  EXPECT_EQ(c->assignment[3], c->assignment[5]);
+  EXPECT_NE(c->assignment[0], c->assignment[3]);
+}
+
+TEST(GroupAverageTest, SharesTheFirstMergePathology) {
+  // §1.1: "similar to MST, it [group average] may first merge a pair of
+  // transactions … belonging to different clusters" — from singletons, the
+  // single most-similar pair wins regardless of linkage, so a strong bridge
+  // edge is merged first and the final 2-clustering cannot separate the
+  // blobs cleanly.
+  SimilarityTable t(8);
+  auto blob = [&](size_t lo, size_t hi, double s) {
+    for (size_t i = lo; i <= hi; ++i) {
+      for (size_t j = i + 1; j <= hi; ++j) {
+        ASSERT_TRUE(t.Set(i, j, s).ok());
+      }
+    }
+  };
+  blob(0, 3, 0.8);
+  blob(4, 7, 0.8);
+  ASSERT_TRUE(t.Set(3, 4, 0.85).ok());  // strong single bridge edge
+  auto ga = ClusterGroupAverage(t, 2);
+  ASSERT_TRUE(ga.ok());
+  // Points 3 and 4 stay together → the ground-truth blobs are not cleanly
+  // recovered.
+  EXPECT_EQ(ga->assignment[3], ga->assignment[4]);
+}
+
+TEST(GroupAverageTest, ResistsChainingThatBreaksSingleLink) {
+  // §1.1: "The use of group average ameliorates some of the problems with
+  // the MST algorithm." Two 4-cliques joined through an outlier X with the
+  // strongest individual edges: single-link's MST must cut a clique edge
+  // (all tree edges through X are stronger), splitting a blob; group
+  // average keeps both blobs intact because X's *average* pull is weak.
+  SimilarityTable t(9);
+  auto blob = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i <= hi; ++i) {
+      for (size_t j = i + 1; j <= hi; ++j) {
+        ASSERT_TRUE(t.Set(i, j, 0.9).ok());
+      }
+    }
+  };
+  blob(0, 3);
+  blob(4, 7);
+  ASSERT_TRUE(t.Set(8, 0, 0.95).ok());
+  ASSERT_TRUE(t.Set(8, 4, 0.95).ok());
+
+  auto is_blob_intact = [](const Clustering& c, size_t lo, size_t hi) {
+    for (size_t i = lo + 1; i <= hi; ++i) {
+      if (c.assignment[i] != c.assignment[lo]) return false;
+    }
+    return true;
+  };
+
+  auto sl = ClusterSingleLink(t, 2);
+  ASSERT_TRUE(sl.ok());
+  EXPECT_TRUE(!is_blob_intact(*sl, 0, 3) || !is_blob_intact(*sl, 4, 7));
+
+  auto ga = ClusterGroupAverage(t, 2);
+  ASSERT_TRUE(ga.ok());
+  EXPECT_TRUE(is_blob_intact(*ga, 0, 3));
+  EXPECT_TRUE(is_blob_intact(*ga, 4, 7));
+  EXPECT_NE(ga->assignment[1], ga->assignment[5]);
+}
+
+TEST(GroupAverageTest, KBoundsRespected) {
+  SimilarityTable t(3);
+  ASSERT_TRUE(t.Set(0, 1, 0.9).ok());
+  auto c = ClusterGroupAverage(t, 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_clusters(), 1u);
+  EXPECT_EQ(c->num_assigned(), 3u);
+}
+
+// ---------------------------------------------------------------- K-means --
+
+TEST(KMeansTest, SeparatesBlobs) {
+  std::vector<std::vector<double>> pts = {
+      {0, 0}, {0.2, 0}, {0, 0.2}, {9, 9}, {9.2, 9}, {9, 9.2}};
+  KMeansOptions opt;
+  opt.num_clusters = 2;
+  auto r = ClusterKMeans(pts, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  const auto& a = r->clustering.assignment;
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[0], a[2]);
+  EXPECT_EQ(a[3], a[4]);
+  EXPECT_NE(a[0], a[3]);
+  EXPECT_GT(r->criterion, 0.0);
+}
+
+TEST(KMeansTest, CriterionIsSumOfDistancesNotSquares) {
+  // One cluster, two points at distance 2 from each other → centroid in the
+  // middle, E = 1 + 1 = 2.
+  std::vector<std::vector<double>> pts = {{0.0}, {2.0}};
+  KMeansOptions opt;
+  opt.num_clusters = 1;
+  auto r = ClusterKMeans(pts, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->criterion, 2.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({std::sin(i * 1.7), std::cos(i * 0.9)});
+  }
+  KMeansOptions opt;
+  opt.num_clusters = 3;
+  opt.seed = 5;
+  auto r1 = ClusterKMeans(pts, opt);
+  auto r2 = ClusterKMeans(pts, opt);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->clustering.assignment, r2->clustering.assignment);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  KMeansOptions opt;
+  opt.num_clusters = 3;
+  EXPECT_TRUE(ClusterKMeans({{1.0}, {2.0}}, opt)
+                  .status()
+                  .IsInvalidArgument());
+  opt.num_clusters = 0;
+  EXPECT_TRUE(ClusterKMeans({{1.0}}, opt).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, AllIdenticalPoints) {
+  std::vector<std::vector<double>> pts(5, std::vector<double>{1.0, 1.0});
+  KMeansOptions opt;
+  opt.num_clusters = 2;
+  auto r = ClusterKMeans(pts, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->criterion, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,209 @@
+// Tests for cli/cli.h — full in-process runs of the rock CLI commands.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cli/cli.h"
+
+namespace rock {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rock_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Runs the CLI and returns (exit code, output).
+  std::pair<int, std::string> Run(const std::vector<std::string>& args) {
+    std::string out;
+    const int code = RunCli(args, &out);
+    return {code, out};
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  auto [code, out] = Run({"help"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("usage: rock"), std::string::npos);
+
+  auto [code2, out2] = Run({"frobnicate"});
+  EXPECT_EQ(code2, 2);
+  EXPECT_NE(out2.find("unknown command"), std::string::npos);
+
+  auto [code3, out3] = Run({});
+  EXPECT_EQ(code3, 2);
+}
+
+TEST_F(CliTest, SubcommandHelp) {
+  for (const char* cmd : {"gen", "cluster", "pipeline"}) {
+    auto [code, out] = Run({cmd, "--help"});
+    EXPECT_EQ(code, 0) << cmd;
+    EXPECT_NE(out.find("--"), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(CliTest, GenVotesThenClusterRock) {
+  auto [gcode, gout] = Run({"gen", "--dataset=votes",
+                            "--out=" + Path("votes.csv")});
+  ASSERT_EQ(gcode, 0) << gout;
+  EXPECT_NE(gout.find("435 records"), std::string::npos);
+
+  auto [ccode, cout] =
+      Run({"cluster", "--input=" + Path("votes.csv"), "--theta=0.73",
+           "--k=2", "--stop-multiple=3", "--min-support=5",
+           "--assignments=" + Path("assign.csv")});
+  ASSERT_EQ(ccode, 0) << cout;
+  EXPECT_NE(cout.find("clusters: 2"), std::string::npos);
+  EXPECT_NE(cout.find("purity:"), std::string::npos);
+
+  // The assignments file covers all rows with a header.
+  std::ifstream assign(Path("assign.csv"));
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(assign, line)) ++lines;
+  EXPECT_EQ(lines, 436u);  // header + 435 rows
+}
+
+TEST_F(CliTest, ClusterBaselineAlgos) {
+  auto [gcode, gout] = Run({"gen", "--dataset=votes",
+                            "--out=" + Path("votes.csv")});
+  ASSERT_EQ(gcode, 0) << gout;
+  for (const char* algo :
+       {"centroid", "single-link", "group-average", "kmeans"}) {
+    auto [code, out] = Run({"cluster", "--input=" + Path("votes.csv"),
+                            "--algo=" + std::string(algo), "--k=2"});
+    EXPECT_EQ(code, 0) << algo << ": " << out;
+    EXPECT_NE(out.find("clusters:"), std::string::npos) << algo;
+  }
+}
+
+TEST_F(CliTest, GenBasketThenPipeline) {
+  auto [gcode, gout] = Run({"gen", "--dataset=basket", "--scale=0.02",
+                            "--out=" + Path("baskets.store")});
+  ASSERT_EQ(gcode, 0) << gout;
+
+  auto [pcode, pout] =
+      Run({"pipeline", "--store=" + Path("baskets.store"),
+           "--sample-size=400", "--theta=0.5", "--k=10",
+           "--assignments=" + Path("pipe.csv")});
+  ASSERT_EQ(pcode, 0) << pout;
+  EXPECT_NE(pout.find("pipeline: sample=400"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(Path("pipe.csv")));
+}
+
+TEST_F(CliTest, ClusterStoreInputDirectly) {
+  auto [gcode, gout] = Run({"gen", "--dataset=basket", "--scale=0.005",
+                            "--out=" + Path("tiny.store")});
+  ASSERT_EQ(gcode, 0) << gout;
+  auto [code, out] = Run({"cluster", "--input=" + Path("tiny.store"),
+                          "--format=store", "--theta=0.5", "--k=10"});
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("transactions"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterBasketTextFormat) {
+  {
+    std::ofstream f(Path("basket.txt"));
+    f << "A milk bread eggs\n"
+      << "A milk bread butter\n"
+      << "A bread eggs butter\n"
+      << "B wine cheese grapes\n"
+      << "B wine cheese olives\n"
+      << "B cheese grapes olives\n"
+      << "\n";
+  }
+  auto [code, out] =
+      Run({"cluster", "--input=" + Path("basket.txt"), "--format=basket",
+           "--label-first", "--theta=0.4", "--k=2"});
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("clusters: 2"), std::string::npos);
+  EXPECT_NE(out.find("purity: 1.0000"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfilesFlagPrintsProfiles) {
+  auto [gcode, gout] = Run({"gen", "--dataset=votes",
+                            "--out=" + Path("votes.csv")});
+  ASSERT_EQ(gcode, 0) << gout;
+  auto [code, out] = Run({"cluster", "--input=" + Path("votes.csv"),
+                          "--theta=0.73", "--k=2", "--profiles"});
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("Cluster 1 (size"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsAreReported) {
+  auto [code, out] = Run({"cluster", "--input=/no/such/file.csv"});
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+
+  auto [code2, out2] = Run({"cluster"});
+  EXPECT_EQ(code2, 2);
+  EXPECT_NE(out2.find("--input is required"), std::string::npos);
+
+  auto [code3, out3] = Run({"gen", "--dataset=nonsense",
+                            "--out=" + Path("x")});
+  EXPECT_EQ(code3, 2);
+
+  auto [code4, out4] = Run({"cluster", "--input=x", "--format=weird"});
+  EXPECT_EQ(code4, 1);
+  EXPECT_NE(out4.find("unknown --format"), std::string::npos);
+
+  auto [code5, out5] = Run({"pipeline"});
+  EXPECT_EQ(code5, 2);
+}
+
+TEST_F(CliTest, GenMushroomScaled) {
+  auto [code, out] = Run({"gen", "--dataset=mushroom", "--scale=0.02",
+                          "--out=" + Path("mush.csv")});
+  ASSERT_EQ(code, 0) << out;
+  auto [ccode, cout] = Run({"cluster", "--input=" + Path("mush.csv"),
+                            "--theta=0.8", "--k=20"});
+  EXPECT_EQ(ccode, 0) << cout;
+  EXPECT_NE(cout.find("purity:"), std::string::npos);
+}
+
+TEST_F(CliTest, GenFundsCsvWithPairwiseMissing) {
+  auto [code, out] = Run({"gen", "--dataset=funds",
+                          "--out=" + Path("funds.csv")});
+  ASSERT_EQ(code, 0) << out;
+  auto [ccode, cout] =
+      Run({"cluster", "--input=" + Path("funds.csv"),
+           "--similarity=pairwise-missing", "--theta=0.8", "--k=40"});
+  EXPECT_EQ(ccode, 0) << cout;
+  EXPECT_NE(cout.find("clusters: 40"), std::string::npos);
+}
+
+
+TEST_F(CliTest, ClusterArffInput) {
+  {
+    std::ofstream f(Path("votes.arff"));
+    f << "@relation votes\n"
+      << "@attribute issue1 {y,n}\n"
+      << "@attribute issue2 {y,n}\n"
+      << "@attribute issue3 {y,n}\n"
+      << "@attribute class {r,d}\n"
+      << "@data\n";
+    for (int i = 0; i < 8; ++i) f << "y,y,n,r\n";
+    for (int i = 0; i < 8; ++i) f << "n,n,y,d\n";
+  }
+  auto [code, out] = Run({"cluster", "--input=" + Path("votes.arff"),
+                          "--format=arff", "--theta=0.6", "--k=2"});
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("clusters: 2"), std::string::npos);
+  EXPECT_NE(out.find("purity: 1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,263 @@
+// Tests for common/: Status, Result, Rng, Timer, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace rock {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("theta out of range");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "theta out of range");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: theta out of range");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [] { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    ROCK_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk on fire"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformUint64CoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasSaneMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctSubset) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.SampleWithoutReplacement(100, 30);
+    std::set<size_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 30u);
+    for (size_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(21);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
+  // Each element of [0,10) should land in a 3-sample ~ 30% of the time.
+  Rng rng(23);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t x : rng.SampleWithoutReplacement(10, 3)) ++hits[x];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  // The fork and the parent should not produce the same next values.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64() == child.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(SplitMixTest, KnownGolden) {
+  // Reference values for splitmix64 seeded with 0 (public-domain vectors).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 10.0);
+  EXPECT_LT(ms, 5000.0);
+}
+
+TEST(TimerTest, RestartResetsOrigin) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 10.0);
+}
+
+// ----------------------------------------------------------- string_util --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, SplitTrailingDelimiter) {
+  EXPECT_EQ(Split("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(StringUtilTest, TrimRemovesBothEnds) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace rock

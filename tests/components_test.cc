@@ -1,0 +1,104 @@
+// Tests for core/components.h — the link-component shortcut must coincide
+// with the full merge engine whenever ROCK stops on zero cross links.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/components.h"
+#include "core/rock.h"
+#include "similarity/jaccard.h"
+#include "similarity/similarity_table.h"
+#include "synth/mushroom_generator.h"
+
+namespace rock {
+namespace {
+
+TEST(LinkComponentsTest, TwoTriangles) {
+  SimilarityTable t(7);
+  for (auto [i, j] : {std::pair<size_t, size_t>{0, 1}, {0, 2}, {1, 2},
+                      {3, 4}, {3, 5}, {4, 5}}) {
+    ASSERT_TRUE(t.Set(i, j, 1.0).ok());
+  }
+  auto result = ComputeLinkComponents(t, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters(), 2u);
+  EXPECT_EQ(result->num_pruned_points, 1u);  // point 6 is isolated
+  EXPECT_EQ(result->clustering.assignment[6], kUnassigned);
+  EXPECT_EQ(result->clustering.assignment[0],
+            result->clustering.assignment[2]);
+  EXPECT_NE(result->clustering.assignment[0],
+            result->clustering.assignment[3]);
+}
+
+TEST(LinkComponentsTest, NeighborsWithoutLinksStaySeparate) {
+  // Two mutually-neighboring points with no common neighbor have an edge
+  // in the *neighbor* graph but not in the *link* graph.
+  SimilarityTable t(2);
+  ASSERT_TRUE(t.Set(0, 1, 1.0).ok());
+  auto result = ComputeLinkComponents(t, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters(), 2u);  // two singletons
+}
+
+TEST(LinkComponentsTest, MatchesMergeEngineOnMushroom) {
+  // The paper's mushroom setting stops on zero cross links at 21 clusters;
+  // the shortcut must give the identical partition.
+  MushroomGeneratorOptions gen;
+  gen.size_scale = 0.05;
+  auto ds = GenerateMushroomData(gen);
+  ASSERT_TRUE(ds.ok());
+  CategoricalJaccard sim(*ds);
+
+  RockOptions opt;
+  opt.theta = 0.8;
+  opt.num_clusters = 1;  // force "merge until links run out"
+  auto engine = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(engine.ok());
+
+  auto shortcut = ComputeLinkComponents(sim, 0.8);
+  ASSERT_TRUE(shortcut.ok());
+
+  ASSERT_EQ(shortcut->clustering.num_clusters(),
+            engine->clustering.num_clusters());
+  // Same partition: map engine cluster → shortcut cluster bijectively.
+  std::map<ClusterIndex, ClusterIndex> mapping;
+  for (size_t p = 0; p < ds->size(); ++p) {
+    const ClusterIndex a = engine->clustering.assignment[p];
+    const ClusterIndex b = shortcut->clustering.assignment[p];
+    EXPECT_EQ(a == kUnassigned, b == kUnassigned) << p;
+    if (a == kUnassigned) continue;
+    auto it = mapping.find(a);
+    if (it == mapping.end()) {
+      mapping[a] = b;
+    } else {
+      EXPECT_EQ(it->second, b) << "point " << p;
+    }
+  }
+}
+
+TEST(LinkComponentsTest, MinNeighborsPrunes) {
+  SimilarityTable t(4);
+  ASSERT_TRUE(t.Set(0, 1, 1.0).ok());
+  ASSERT_TRUE(t.Set(0, 2, 1.0).ok());
+  ASSERT_TRUE(t.Set(1, 2, 1.0).ok());
+  ASSERT_TRUE(t.Set(3, 0, 1.0).ok());  // point 3: degree 1
+  auto strict = ComputeLinkComponents(t, 0.5, /*min_neighbors=*/2);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->num_pruned_points, 1u);
+  EXPECT_EQ(strict->clustering.assignment[3], kUnassigned);
+  auto lax = ComputeLinkComponents(t, 0.5, /*min_neighbors=*/1);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_EQ(lax->num_pruned_points, 0u);
+  // Point 3 has links (via common neighbor… 3's neighbors = {0};
+  // link(3, x) = |N(3) ∩ N(x)| = |{0} ∩ …| — 0 ∈ N(1), N(2) → links to 1, 2.
+  EXPECT_NE(lax->clustering.assignment[3], kUnassigned);
+}
+
+TEST(LinkComponentsTest, InvalidThetaRejected) {
+  SimilarityTable t(2);
+  EXPECT_TRUE(ComputeLinkComponents(t, 7.0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,197 @@
+// Tests for data/discretize.h, the [GRS98] sample-size bound, and the
+// discriminative cluster profiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sampling.h"
+#include "data/discretize.h"
+#include "eval/profiles.h"
+
+namespace rock {
+namespace {
+
+// ------------------------------------------------------------- discretize --
+
+std::vector<std::optional<double>> Values(std::initializer_list<double> v) {
+  std::vector<std::optional<double>> out;
+  for (double x : v) out.emplace_back(x);
+  return out;
+}
+
+TEST(DiscretizerTest, EqualWidthCutPoints) {
+  auto d = Discretizer::Fit(Values({0, 10}), 4, BinningScheme::kEqualWidth);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_bins(), 4u);
+  EXPECT_EQ(d->cuts(), (std::vector<double>{2.5, 5.0, 7.5}));
+  EXPECT_EQ(d->Bin(0.0), 0u);
+  EXPECT_EQ(d->Bin(2.4), 0u);
+  EXPECT_EQ(d->Bin(2.5), 1u);  // upper_bound: cut belongs to the next bin
+  EXPECT_EQ(d->Bin(9.9), 3u);
+  // Out-of-range values clamp.
+  EXPECT_EQ(d->Bin(-100.0), 0u);
+  EXPECT_EQ(d->Bin(+100.0), 3u);
+}
+
+TEST(DiscretizerTest, EqualFrequencyBalancesSkew) {
+  // Heavily skewed data: equal-frequency puts ~half the mass per bin.
+  std::vector<std::optional<double>> values;
+  for (int i = 0; i < 90; ++i) values.emplace_back(0.001 * i);
+  for (int i = 0; i < 10; ++i) values.emplace_back(1000.0 + i);
+  auto d = Discretizer::Fit(values, 2, BinningScheme::kEqualFrequency);
+  ASSERT_TRUE(d.ok());
+  size_t in_bin0 = 0;
+  for (const auto& v : values) {
+    if (d->Bin(*v) == 0) ++in_bin0;
+  }
+  EXPECT_NEAR(static_cast<double>(in_bin0), 50.0, 2.0);
+
+  // Equal width would have dumped 90 of 100 into bin 0.
+  auto w = Discretizer::Fit(values, 2, BinningScheme::kEqualWidth);
+  ASSERT_TRUE(w.ok());
+  size_t w_bin0 = 0;
+  for (const auto& v : values) {
+    if (w->Bin(*v) == 0) ++w_bin0;
+  }
+  EXPECT_EQ(w_bin0, 90u);
+}
+
+TEST(DiscretizerTest, DegenerateConstantColumn) {
+  auto d = Discretizer::Fit(Values({5, 5, 5}), 4, BinningScheme::kEqualWidth);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_bins(), 1u);
+  EXPECT_EQ(d->Bin(5.0), 0u);
+}
+
+TEST(DiscretizerTest, RejectsBadInput) {
+  EXPECT_TRUE(Discretizer::Fit(Values({1, 2}), 1, BinningScheme::kEqualWidth)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Discretizer::Fit({}, 2, BinningScheme::kEqualWidth)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<std::optional<double>> with_nan = {
+      1.0, std::nan(""), 2.0};
+  EXPECT_TRUE(Discretizer::Fit(with_nan, 2, BinningScheme::kEqualWidth)
+                  .status()
+                  .IsInvalidArgument());
+  // All-missing column.
+  std::vector<std::optional<double>> all_missing = {std::nullopt,
+                                                    std::nullopt};
+  EXPECT_TRUE(Discretizer::Fit(all_missing, 2, BinningScheme::kEqualWidth)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DiscretizeColumnsTest, BuildsCategoricalDataset) {
+  NumericColumns table;
+  table.names = {"age", "income"};
+  table.columns = {
+      {25.0, 35.0, std::nullopt, 65.0},
+      {10.0, 20.0, 30.0, 40.0},
+  };
+  auto ds = DiscretizeColumns(table, 2, BinningScheme::kEqualFrequency);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->size(), 4u);
+  EXPECT_EQ(ds->schema().num_attributes(), 2u);
+  EXPECT_TRUE(ds->record(2).IsMissing(0));
+  EXPECT_FALSE(ds->record(2).IsMissing(1));
+  // Row 0 and row 3 land in different age bins.
+  EXPECT_NE(ds->record(0).value(0), ds->record(3).value(0));
+}
+
+TEST(DiscretizeColumnsTest, RejectsBadShapes) {
+  NumericColumns table;
+  table.names = {"a"};
+  table.columns = {};
+  EXPECT_TRUE(DiscretizeColumns(table, 2, BinningScheme::kEqualWidth)
+                  .status()
+                  .IsInvalidArgument());
+  table.names = {"a", "b"};
+  table.columns = {{1.0}, {1.0, 2.0}};
+  EXPECT_TRUE(DiscretizeColumns(table, 2, BinningScheme::kEqualWidth)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ------------------------------------------------------ sample-size bound --
+
+TEST(MinSampleSizeTest, MatchesClosedForm) {
+  // n = 100000, u = 5000, f = 0.1, δ = 0.001 — compute by hand.
+  const double n = 100000, u = 5000, f = 0.1;
+  const double l = std::log(1000.0);
+  const double expected =
+      std::ceil(f * n + (n / u) * l +
+                (n / u) * std::sqrt(l * l + 2 * f * u * l));
+  EXPECT_EQ(MinSampleSize(100000, 5000, 0.1, 0.001),
+            static_cast<size_t>(expected));
+}
+
+TEST(MinSampleSizeTest, MonotoneInParameters) {
+  const size_t base = MinSampleSize(100000, 5000, 0.1, 0.01);
+  // Stricter confidence → bigger sample.
+  EXPECT_GT(MinSampleSize(100000, 5000, 0.1, 0.0001), base);
+  // Bigger required fraction → bigger sample.
+  EXPECT_GT(MinSampleSize(100000, 5000, 0.3, 0.01), base);
+  // Smaller minimum cluster → bigger sample.
+  EXPECT_GT(MinSampleSize(100000, 1000, 0.1, 0.01), base);
+}
+
+TEST(MinSampleSizeTest, CappedAtPopulation) {
+  EXPECT_EQ(MinSampleSize(100, 2, 0.99, 0.0001), 100u);
+}
+
+TEST(MinSampleSizeTest, PaperScaleSanity) {
+  // The paper samples 1000–5000 from 114,586 rows with smallest cluster
+  // 5411. The bound says ~4000+ guarantees a quarter of every cluster
+  // with 99.9% confidence — consistent with Table 6's quality jump
+  // between 1000 and 4000 samples.
+  const size_t s = MinSampleSize(114586, 5411, 0.25, 0.001);
+  EXPECT_GT(s, 1000u);
+  EXPECT_LT(s, 114586u / 2);
+}
+
+// ------------------------------------------------ discriminative profiles --
+
+TEST(DiscriminativeProfilesTest, EnrichedValuesOnly) {
+  // Attribute "shared" takes value "x" everywhere (lift 1 — excluded);
+  // attribute "marker" separates the clusters (lift 2 — kept).
+  CategoricalDataset ds{Schema({"shared", "marker"})};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ds.AddRecord({"x", i < 2 ? "a" : "b"}).ok());
+  }
+  Clustering c = Clustering::FromAssignment({0, 0, 1, 1});
+  DiscriminativeOptions opt;
+  opt.min_support = 0.5;
+  opt.min_lift = 1.5;
+  auto profiles = DiscriminativeProfiles(ds, c, opt);
+  ASSERT_EQ(profiles.size(), 2u);
+  ASSERT_EQ(profiles[0].size(), 1u);
+  EXPECT_EQ(profiles[0][0].attribute, "marker");
+  EXPECT_EQ(profiles[0][0].value, "a");
+  EXPECT_DOUBLE_EQ(profiles[0][0].support, 1.0);
+  EXPECT_DOUBLE_EQ(profiles[0][0].lift, 2.0);
+  ASSERT_EQ(profiles[1].size(), 1u);
+  EXPECT_EQ(profiles[1][0].value, "b");
+}
+
+TEST(DiscriminativeProfilesTest, TopKTruncatesByLift) {
+  CategoricalDataset ds{Schema({"a", "b", "c"})};
+  ASSERT_TRUE(ds.AddRecord({"p", "q", "r"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"p", "q", "r"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"z", "z", "z"}).ok());
+  Clustering c = Clustering::FromAssignment({0, 0, 1});
+  DiscriminativeOptions opt;
+  opt.min_lift = 1.0;
+  opt.top_k = 2;
+  auto profiles = DiscriminativeProfiles(ds, c, opt);
+  EXPECT_LE(profiles[0].size(), 2u);
+  EXPECT_LE(profiles[1].size(), 2u);
+  // Cluster 1's values are unique to it: lift = 3.
+  ASSERT_FALSE(profiles[1].empty());
+  EXPECT_DOUBLE_EQ(profiles[1][0].lift, 3.0);
+}
+
+}  // namespace
+}  // namespace rock

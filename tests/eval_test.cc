@@ -1,0 +1,243 @@
+// Tests for eval/: contingency tables, purity/ARI/NMI, the Table 6
+// misclassification measure, and the Tables 7–9 cluster profiler.
+
+#include <gtest/gtest.h>
+
+#include "eval/contingency.h"
+#include "eval/metrics.h"
+#include "eval/profiles.h"
+
+namespace rock {
+namespace {
+
+/// 2 found clusters × 2 classes with a known confusion structure:
+/// cluster 0 = {8 of class 0, 2 of class 1}; cluster 1 = {1, 9};
+/// outliers: 3 of class 0.
+ContingencyTable MakeTable() {
+  std::vector<ClusterIndex> assignment;
+  std::vector<LabelId> labels;
+  auto add = [&](ClusterIndex c, LabelId l, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      assignment.push_back(c);
+      labels.push_back(l);
+    }
+  };
+  add(0, 0, 8);
+  add(0, 1, 2);
+  add(1, 0, 1);
+  add(1, 1, 9);
+  add(kUnassigned, 0, 3);
+  auto table = ContingencyTable::Build(assignment, labels, 2, 2);
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+// -------------------------------------------------------------- Contingency --
+
+TEST(ContingencyTest, CountsAndTotals) {
+  ContingencyTable t = MakeTable();
+  EXPECT_EQ(t.Count(0, 0), 8u);
+  EXPECT_EQ(t.Count(1, 1), 9u);
+  EXPECT_EQ(t.ClusterTotal(0), 10u);
+  EXPECT_EQ(t.ClassTotal(0), 9u);
+  EXPECT_EQ(t.GrandTotal(), 20u);
+  EXPECT_EQ(t.outliers_per_class()[0], 3u);
+  EXPECT_EQ(t.outliers_per_class()[1], 0u);
+}
+
+TEST(ContingencyTest, MajorityClass) {
+  ContingencyTable t = MakeTable();
+  EXPECT_EQ(t.MajorityClass(0), 0u);
+  EXPECT_EQ(t.MajorityClass(1), 1u);
+}
+
+TEST(ContingencyTest, SkipsUnlabeledRows) {
+  auto t = ContingencyTable::Build({0, 0, 1}, {0, kNoLabel, 1}, 2, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GrandTotal(), 2u);
+}
+
+TEST(ContingencyTest, RejectsBadInputs) {
+  EXPECT_TRUE(ContingencyTable::Build({0}, {0, 1}, 1, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ContingencyTable::Build({0}, {5}, 1, 2).status().IsOutOfRange());
+  EXPECT_TRUE(
+      ContingencyTable::Build({7}, {0}, 2, 1).status().IsOutOfRange());
+}
+
+TEST(ContingencyTest, BuildFromClusteringAndLabelSet) {
+  Clustering c = Clustering::FromAssignment({0, 0, 1});
+  LabelSet ls;
+  ls.Append("a");
+  ls.Append("a");
+  ls.Append("b");
+  auto t = ContingencyTable::Build(c, ls);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Count(0, 0), 2u);
+  EXPECT_EQ(t->Count(1, 1), 1u);
+}
+
+// ------------------------------------------------------------------ Purity --
+
+TEST(MetricsTest, PurityOfKnownTable) {
+  ContingencyTable t = MakeTable();
+  // (8 + 9) / 20.
+  EXPECT_DOUBLE_EQ(Purity(t), 0.85);
+}
+
+TEST(MetricsTest, PurityPerfectAndWorst) {
+  auto perfect = ContingencyTable::Build({0, 0, 1, 1}, {0, 0, 1, 1}, 2, 2);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(Purity(*perfect), 1.0);
+  auto mixed = ContingencyTable::Build({0, 0, 0, 0}, {0, 1, 0, 1}, 1, 2);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_DOUBLE_EQ(Purity(*mixed), 0.5);
+}
+
+// --------------------------------------------------------------------- ARI --
+
+TEST(MetricsTest, AriPerfectIsOne) {
+  auto t = ContingencyTable::Build({0, 0, 1, 1, 2, 2},
+                                   {0, 0, 1, 1, 2, 2}, 3, 3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(AdjustedRandIndex(*t), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, AriLabelPermutationInvariant) {
+  auto t = ContingencyTable::Build({1, 1, 0, 0}, {0, 0, 1, 1}, 2, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(AdjustedRandIndex(*t), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, AriSingleClusterIsZeroish) {
+  auto t = ContingencyTable::Build({0, 0, 0, 0}, {0, 0, 1, 1}, 1, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(AdjustedRandIndex(*t), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, AriKnownValue) {
+  // Classic worked example: clusters {a,a,b}, {b,b,a} style 3x2.
+  auto t = ContingencyTable::Build({0, 0, 0, 1, 1, 1},
+                                   {0, 0, 1, 1, 1, 0}, 2, 2);
+  ASSERT_TRUE(t.ok());
+  // sum_cells = C(2,2)+C(1,2)+C(1,2)+C(2,2) = 1+0+0+1 = 2; rows = 2·C(3,2)=6;
+  // cols = 6; expected = 36/15 = 2.4; max = 6 → ARI = (2−2.4)/(6−2.4).
+  EXPECT_NEAR(AdjustedRandIndex(*t), (2.0 - 2.4) / (6.0 - 2.4), 1e-12);
+}
+
+// --------------------------------------------------------------------- NMI --
+
+TEST(MetricsTest, NmiPerfectIsOne) {
+  auto t = ContingencyTable::Build({0, 0, 1, 1}, {1, 1, 0, 0}, 2, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(NormalizedMutualInformation(*t), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, NmiIndependentIsZero) {
+  // Clusters split each class exactly in half → MI = 0.
+  auto t = ContingencyTable::Build({0, 1, 0, 1}, {0, 0, 1, 1}, 2, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(NormalizedMutualInformation(*t), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, NmiBetweenZeroAndOne) {
+  ContingencyTable t = MakeTable();
+  const double nmi = NormalizedMutualInformation(t);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+// --------------------------------------------------- Misclassification (T6) --
+
+TEST(MetricsTest, MisclassificationMajorityRule) {
+  ContingencyTable t = MakeTable();
+  // In-cluster minorities: 2 + 1 = 3; dropped class-0 points: 3.
+  MisclassificationOptions opt;
+  EXPECT_EQ(MisclassificationCount(t, opt), 6u);
+}
+
+TEST(MetricsTest, MisclassificationSparesTrueOutliers) {
+  // Class 1 is the designated outlier class; its unassigned rows are fine.
+  std::vector<ClusterIndex> assignment = {0, 0, kUnassigned, kUnassigned};
+  std::vector<LabelId> labels = {0, 0, 1, 0};
+  auto t = ContingencyTable::Build(assignment, labels, 1, 2);
+  ASSERT_TRUE(t.ok());
+  MisclassificationOptions opt;
+  opt.outlier_label = 1;
+  // Only the dropped class-0 row counts.
+  EXPECT_EQ(MisclassificationCount(*t, opt), 1u);
+  // An outlier assigned *into* a cluster counts against it.
+  auto t2 = ContingencyTable::Build({0, 0, 0}, {0, 0, 1}, 1, 2);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(MisclassificationCount(*t2, opt), 1u);
+}
+
+TEST(MetricsTest, MisclassificationZeroOnPerfect) {
+  auto t = ContingencyTable::Build({0, 0, 1}, {0, 0, 1}, 2, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(MisclassificationCount(*t), 0u);
+}
+
+// ---------------------------------------------------------------- Profiles --
+
+TEST(ProfilesTest, FrequentValuesPerCluster) {
+  CategoricalDataset ds{Schema({"vote", "region"})};
+  ASSERT_TRUE(ds.AddRecord({"y", "north"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"y", "north"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"y", "south"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"n", "south"}).ok());
+  Clustering c = Clustering::FromAssignment({0, 0, 0, 1});
+
+  ProfileOptions opt;
+  opt.min_support = 0.6;
+  auto profiles = ProfileClusters(ds, c, opt);
+  ASSERT_EQ(profiles.size(), 2u);
+  // Cluster 0: vote=y support 1.0; region=north support 2/3 ≥ 0.6.
+  ASSERT_EQ(profiles[0].entries.size(), 2u);
+  EXPECT_EQ(profiles[0].entries[0].attribute, "vote");
+  EXPECT_EQ(profiles[0].entries[0].value, "y");
+  EXPECT_DOUBLE_EQ(profiles[0].entries[0].support, 1.0);
+  EXPECT_EQ(profiles[0].entries[1].value, "north");
+  // Cluster 1 (singleton): both values at support 1.
+  EXPECT_EQ(profiles[1].size, 1u);
+  ASSERT_EQ(profiles[1].entries.size(), 2u);
+}
+
+TEST(ProfilesTest, MissingValuesExcludedFromSupportBase) {
+  CategoricalDataset ds{Schema({"a"})};
+  ASSERT_TRUE(ds.AddRecord({"x"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"?"}).ok());
+  Clustering c = Clustering::FromAssignment({0, 0});
+  auto profiles = ProfileClusters(ds, c, ProfileOptions{});
+  ASSERT_EQ(profiles[0].entries.size(), 1u);
+  // Support over *present* members: 1/1, not 1/2.
+  EXPECT_DOUBLE_EQ(profiles[0].entries[0].support, 1.0);
+}
+
+TEST(ProfilesTest, ThresholdFilters) {
+  CategoricalDataset ds{Schema({"a"})};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ds.AddRecord({i < 2 ? "x" : "y"}).ok());
+  }
+  Clustering c = Clustering::FromAssignment({0, 0, 0, 0, 0, 0});
+  ProfileOptions opt;
+  opt.min_support = 0.5;
+  auto profiles = ProfileClusters(ds, c, opt);
+  ASSERT_EQ(profiles[0].entries.size(), 1u);
+  EXPECT_EQ(profiles[0].entries[0].value, "y");
+}
+
+TEST(ProfilesTest, FormatMatchesPaperStyle) {
+  ClusterProfile p;
+  p.cluster = 0;
+  p.size = 2;
+  p.entries.push_back(ProfileEntry{"crime", "y", 0.98});
+  const std::string s = FormatProfile(p);
+  EXPECT_NE(s.find("Cluster 1 (size 2):"), std::string::npos);
+  EXPECT_NE(s.find("(crime,y,0.98)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,266 @@
+// Tests for the production-extension modules: set-similarity measures,
+// extra clustering metrics (Fowlkes–Mallows, V-measure), labeler
+// serialization, and the ARFF reader.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/labeling.h"
+#include "data/arff_reader.h"
+#include "eval/metrics.h"
+#include "similarity/set_measures.h"
+
+namespace rock {
+namespace {
+
+// ------------------------------------------------------------ set measures --
+
+TEST(SetMeasuresTest, KnownValues) {
+  Transaction a({1, 2, 3});
+  Transaction b({2, 3, 4, 5});
+  // |∩| = 2.
+  EXPECT_DOUBLE_EQ(DiceSimilarity(a, b), 2.0 * 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 2.0 / std::sqrt(12.0));
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(a, b), 2.0 / 3.0);
+}
+
+TEST(SetMeasuresTest, EdgeCases) {
+  Transaction empty;
+  Transaction one({7});
+  EXPECT_DOUBLE_EQ(DiceSimilarity(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(empty, one), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(empty, one), 0.0);
+  // Identical sets: all measures hit 1.
+  Transaction s({1, 2});
+  EXPECT_DOUBLE_EQ(DiceSimilarity(s, s), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(s, s), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(s, s), 1.0);
+}
+
+TEST(SetMeasuresTest, OverlapScoresSubsetsAsOne) {
+  Transaction sub({1, 2});
+  Transaction super({1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(sub, super), 1.0);
+  EXPECT_LT(DiceSimilarity(sub, super), 1.0);
+}
+
+TEST(SetMeasuresTest, OrderingDiceGeJaccard) {
+  // Dice ≥ Jaccard always; cosine between them for same-size sets.
+  Transaction a({1, 2, 3, 4});
+  Transaction b({3, 4, 5, 6});
+  TransactionDataset ds;
+  ds.AddTransaction(a);
+  ds.AddTransaction(b);
+  TransactionSetSimilarity jac(ds, SetMeasure::kJaccard);
+  TransactionSetSimilarity dice(ds, SetMeasure::kDice);
+  TransactionSetSimilarity cos(ds, SetMeasure::kCosine);
+  TransactionSetSimilarity over(ds, SetMeasure::kOverlap);
+  EXPECT_GT(dice.Similarity(0, 1), jac.Similarity(0, 1));
+  EXPECT_GE(over.Similarity(0, 1), cos.Similarity(0, 1));
+  EXPECT_DOUBLE_EQ(jac.Similarity(0, 1), 2.0 / 6.0);
+}
+
+TEST(SetMeasuresTest, SimpleMatching) {
+  CategoricalDataset ds{Schema({"a", "b", "c", "d"})};
+  ASSERT_TRUE(ds.AddRecord({"x", "y", "z", "w"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"x", "y", "q", "?"}).ok());
+  SimpleMatchingSimilarity sim(ds);
+  // 2 agreements over 4 attributes (missing counts as disagreement).
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 0), 1.0);
+}
+
+// ----------------------------------------------------------- extra metrics --
+
+ContingencyTable PerfectTable() {
+  auto t = ContingencyTable::Build({0, 0, 1, 1}, {0, 0, 1, 1}, 2, 2);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(ExtraMetricsTest, FowlkesMallowsPerfect) {
+  EXPECT_NEAR(FowlkesMallows(PerfectTable()), 1.0, 1e-12);
+}
+
+TEST(ExtraMetricsTest, FowlkesMallowsKnownValue) {
+  // One cluster holding both classes evenly: TP = 2·C(2,2) = 2,
+  // cluster_pairs = C(4,2) = 6, class_pairs = 2 → FM = 2/√12.
+  auto t = ContingencyTable::Build({0, 0, 0, 0}, {0, 1, 0, 1}, 1, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(FowlkesMallows(*t), 2.0 / std::sqrt(12.0), 1e-12);
+}
+
+TEST(ExtraMetricsTest, VMeasurePerfect) {
+  const VMeasure v = ComputeVMeasure(PerfectTable());
+  EXPECT_NEAR(v.homogeneity, 1.0, 1e-12);
+  EXPECT_NEAR(v.completeness, 1.0, 1e-12);
+  EXPECT_NEAR(v.v, 1.0, 1e-12);
+}
+
+TEST(ExtraMetricsTest, VMeasureHomogeneousButIncomplete) {
+  // Each class split into two pure clusters: homogeneity 1, completeness
+  // < 1.
+  auto t = ContingencyTable::Build({0, 1, 2, 3}, {0, 0, 1, 1}, 4, 2);
+  ASSERT_TRUE(t.ok());
+  const VMeasure v = ComputeVMeasure(*t);
+  EXPECT_NEAR(v.homogeneity, 1.0, 1e-12);
+  EXPECT_LT(v.completeness, 1.0);
+  EXPECT_GT(v.v, 0.0);
+  EXPECT_LT(v.v, 1.0);
+}
+
+TEST(ExtraMetricsTest, VMeasureCompleteButInhomogeneous) {
+  // One cluster holding everything: completeness 1, homogeneity 0.
+  auto t = ContingencyTable::Build({0, 0, 0, 0}, {0, 0, 1, 1}, 1, 2);
+  ASSERT_TRUE(t.ok());
+  const VMeasure v = ComputeVMeasure(*t);
+  EXPECT_NEAR(v.completeness, 1.0, 1e-12);
+  EXPECT_NEAR(v.homogeneity, 0.0, 1e-12);
+  EXPECT_NEAR(v.v, 0.0, 1e-12);
+}
+
+// ----------------------------------------------------- labeler persistence --
+
+class LabelerIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("rock_labeler_" + std::to_string(::getpid()) + ".bin");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST_F(LabelerIoTest, SaveLoadRoundTripPreservesAssignments) {
+  TransactionDataset sample;
+  sample.AddTransaction({"a", "b"});
+  sample.AddTransaction({"b", "c"});
+  sample.AddTransaction({"a", "c"});
+  sample.AddTransaction({"x", "y"});
+  sample.AddTransaction({"y", "z"});
+  Clustering clustering = Clustering::FromAssignment({0, 0, 0, 1, 1});
+  RockOptions rock;
+  rock.theta = 0.3;
+  LabelingOptions opt;
+  opt.fraction = 1.0;
+  auto original =
+      TransactionLabeler::Build(sample, clustering, rock, opt);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(original->Save(path()).ok());
+
+  auto loaded = TransactionLabeler::Load(path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_clusters(), original->num_clusters());
+  for (size_t c = 0; c < original->num_clusters(); ++c) {
+    EXPECT_EQ(loaded->labeling_set_size(c),
+              original->labeling_set_size(c));
+  }
+  // Identical assignments over a probe battery.
+  const Dictionary& items = sample.items();
+  std::vector<Transaction> probes = {
+      Transaction({items.Lookup("a"), items.Lookup("b")}),
+      Transaction({items.Lookup("x"), items.Lookup("y"),
+                   items.Lookup("z")}),
+      Transaction({items.Lookup("a"), items.Lookup("z")}),
+      Transaction({999}),
+      Transaction{},
+  };
+  for (const Transaction& probe : probes) {
+    EXPECT_EQ(loaded->Assign(probe), original->Assign(probe));
+  }
+}
+
+TEST_F(LabelerIoTest, LoadRejectsGarbage) {
+  {
+    std::FILE* f = std::fopen(path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a labeler";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(TransactionLabeler::Load(path()).status().IsCorruption());
+  EXPECT_TRUE(
+      TransactionLabeler::Load("/no/such/file").status().IsIOError());
+}
+
+// ------------------------------------------------------------------- ARFF --
+
+constexpr char kArff[] = R"(% UCI-style comment
+@relation votes
+
+@attribute 'handicapped-infants' {y, n}
+@attribute crime {y, n}
+@attribute class {republican, democrat}
+
+@data
+y,n,democrat
+n,y,republican
+?,y,republican
+)";
+
+TEST(ArffReaderTest, ParsesNominalFile) {
+  auto ds = ReadArffString(kArff);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_EQ(ds->schema().num_attributes(), 2u);
+  EXPECT_EQ(ds->schema().attribute_name(0), "handicapped-infants");
+  EXPECT_TRUE(ds->record(2).IsMissing(0));
+  EXPECT_EQ(ds->labels().Name(ds->labels().label(0)), "democrat");
+  EXPECT_EQ(ds->labels().num_classes(), 2u);
+}
+
+TEST(ArffReaderTest, NoLabelAttribute) {
+  ArffOptions opt;
+  opt.label_attribute = "";
+  auto ds = ReadArffString(kArff, opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->schema().num_attributes(), 3u);
+  EXPECT_TRUE(ds->labels().empty());
+}
+
+TEST(ArffReaderTest, RejectsNumericAttributes) {
+  const std::string text =
+      "@relation r\n@attribute age numeric\n@data\n42\n";
+  EXPECT_TRUE(ReadArffString(text).status().IsInvalidArgument());
+}
+
+TEST(ArffReaderTest, RejectsOutOfDomainValue) {
+  const std::string text =
+      "@relation r\n@attribute c {a,b}\n@data\nz\n";
+  EXPECT_TRUE(ReadArffString(text).status().IsCorruption());
+}
+
+TEST(ArffReaderTest, RejectsRaggedRow) {
+  const std::string text =
+      "@relation r\n@attribute c {a,b}\n@attribute d {a,b}\n@data\na\n";
+  EXPECT_TRUE(ReadArffString(text).status().IsCorruption());
+}
+
+TEST(ArffReaderTest, RejectsMissingDataSection) {
+  EXPECT_TRUE(ReadArffString("@relation r\n@attribute c {a}\n")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ReadArffString("@relation r\n@data\n").status().IsCorruption());
+}
+
+TEST(ArffReaderTest, MissingLabelValueIsUnlabeled) {
+  const std::string text =
+      "@relation r\n@attribute c {a,b}\n@attribute class {x,y}\n"
+      "@data\na,?\nb,x\n";
+  auto ds = ReadArffString(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->labels().label(0), kNoLabel);
+  EXPECT_EQ(ds->labels().Name(ds->labels().label(1)), "x");
+}
+
+TEST(ArffReaderTest, FileNotFound) {
+  EXPECT_TRUE(ReadArffFile("/no/such.arff").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,126 @@
+// Tests for util/flags.h — the typed flag parser behind rock_cli.
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace rock {
+namespace {
+
+struct Bound {
+  std::string name = "default";
+  double ratio = 0.5;
+  int64_t count = -3;
+  size_t size = 7;
+  bool verbose = false;
+
+  FlagSet MakeFlags() {
+    FlagSet f;
+    f.AddString("name", &name, "a name");
+    f.AddDouble("ratio", &ratio, "a ratio");
+    f.AddInt("count", &count, "a count");
+    f.AddSize("size", &size, "a size");
+    f.AddBool("verbose", &verbose, "talk more");
+    return f;
+  }
+};
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  ASSERT_TRUE(f.Parse({"--name=rock", "--ratio=0.73", "--count=-9",
+                       "--size=42", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(b.name, "rock");
+  EXPECT_DOUBLE_EQ(b.ratio, 0.73);
+  EXPECT_EQ(b.count, -9);
+  EXPECT_EQ(b.size, 42u);
+  EXPECT_TRUE(b.verbose);
+}
+
+TEST(FlagsTest, ParsesSpaceSyntax) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  ASSERT_TRUE(f.Parse({"--name", "linked", "--ratio", "1.5"}).ok());
+  EXPECT_EQ(b.name, "linked");
+  EXPECT_DOUBLE_EQ(b.ratio, 1.5);
+}
+
+TEST(FlagsTest, BareBoolAndNegation) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  ASSERT_TRUE(f.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(b.verbose);
+  ASSERT_TRUE(f.Parse({"--no-verbose"}).ok());
+  EXPECT_FALSE(b.verbose);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  ASSERT_TRUE(f.Parse({"cluster", "--size=3", "input.csv"}).ok());
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"cluster", "input.csv"}));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  EXPECT_TRUE(f.Parse({"--bogus=1"}).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadValueFails) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  EXPECT_TRUE(f.Parse({"--ratio=abc"}).IsInvalidArgument());
+  EXPECT_TRUE(f.Parse({"--count=1.5"}).IsInvalidArgument());
+  EXPECT_TRUE(f.Parse({"--size=-2"}).IsInvalidArgument());
+  EXPECT_TRUE(f.Parse({"--verbose=maybe"}).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  EXPECT_TRUE(f.Parse({"--name"}).IsInvalidArgument());
+}
+
+TEST(FlagsTest, NoNegationWithValueFails) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  EXPECT_TRUE(f.Parse({"--no-verbose=true"}).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BoolTokens) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  for (const char* token : {"true", "1", "yes", "on"}) {
+    b.verbose = false;
+    ASSERT_TRUE(f.Parse({std::string("--verbose=") + token}).ok());
+    EXPECT_TRUE(b.verbose) << token;
+  }
+  for (const char* token : {"false", "0", "no", "off"}) {
+    b.verbose = true;
+    ASSERT_TRUE(f.Parse({std::string("--verbose=") + token}).ok());
+    EXPECT_FALSE(b.verbose) << token;
+  }
+}
+
+TEST(FlagsTest, HelpListsFlagsWithDefaults) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  const std::string help = f.Help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("default: default"), std::string::npos);
+  EXPECT_NE(help.find("--ratio"), std::string::npos);
+  EXPECT_NE(help.find("talk more"), std::string::npos);
+}
+
+TEST(FlagsTest, HasChecksRegistration) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  EXPECT_TRUE(f.Has("name"));
+  EXPECT_FALSE(f.Has("bogus"));
+}
+
+}  // namespace
+}  // namespace rock

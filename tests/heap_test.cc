@@ -1,0 +1,188 @@
+// Tests for util/updatable_heap.h — including a randomized property suite
+// against a reference implementation, since the Fig. 3 merge loop leans
+// entirely on erase/update-of-arbitrary-key correctness.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "util/updatable_heap.h"
+
+namespace rock {
+namespace {
+
+TEST(UpdatableHeapTest, EmptyHeap) {
+  UpdatableHeap<int, double> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.Contains(1));
+  EXPECT_FALSE(h.Erase(1));
+}
+
+TEST(UpdatableHeapTest, InsertAndTop) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 0.5);
+  h.InsertOrUpdate(2, 0.9);
+  h.InsertOrUpdate(3, 0.1);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.Top().key, 2);
+  EXPECT_DOUBLE_EQ(h.Top().priority, 0.9);
+}
+
+TEST(UpdatableHeapTest, ExtractDescendingOrder) {
+  UpdatableHeap<int, double> h;
+  for (int i = 0; i < 10; ++i) h.InsertOrUpdate(i, static_cast<double>(i));
+  for (int expected = 9; expected >= 0; --expected) {
+    EXPECT_EQ(h.ExtractTop().key, expected);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(UpdatableHeapTest, UpdateRaisesPriority) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 0.1);
+  h.InsertOrUpdate(2, 0.5);
+  h.InsertOrUpdate(1, 0.9);  // raise
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.Top().key, 1);
+}
+
+TEST(UpdatableHeapTest, UpdateLowersPriority) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 0.9);
+  h.InsertOrUpdate(2, 0.5);
+  h.InsertOrUpdate(1, 0.1);  // lower
+  EXPECT_EQ(h.Top().key, 2);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(1), 0.1);
+}
+
+TEST(UpdatableHeapTest, EraseArbitraryKey) {
+  UpdatableHeap<int, double> h;
+  for (int i = 0; i < 8; ++i) h.InsertOrUpdate(i, static_cast<double>(i));
+  EXPECT_TRUE(h.Erase(3));
+  EXPECT_FALSE(h.Contains(3));
+  EXPECT_FALSE(h.Erase(3));
+  EXPECT_EQ(h.size(), 7u);
+  // Remaining extraction order is still correct.
+  std::vector<int> order;
+  while (!h.empty()) order.push_back(h.ExtractTop().key);
+  EXPECT_EQ(order, (std::vector<int>{7, 6, 5, 4, 2, 1, 0}));
+}
+
+TEST(UpdatableHeapTest, EraseTop) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 1.0);
+  h.InsertOrUpdate(2, 2.0);
+  EXPECT_TRUE(h.Erase(2));
+  EXPECT_EQ(h.Top().key, 1);
+}
+
+TEST(UpdatableHeapTest, TiesBreakTowardSmallerKey) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(7, 0.5);
+  h.InsertOrUpdate(3, 0.5);
+  h.InsertOrUpdate(5, 0.5);
+  EXPECT_EQ(h.ExtractTop().key, 3);
+  EXPECT_EQ(h.ExtractTop().key, 5);
+  EXPECT_EQ(h.ExtractTop().key, 7);
+}
+
+TEST(UpdatableHeapTest, ClearEmptiesHeap) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 1.0);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(1));
+}
+
+TEST(UpdatableHeapTest, NegativeInfinityPriorities) {
+  // The global heap uses −inf for "no candidate" clusters.
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, -std::numeric_limits<double>::infinity());
+  h.InsertOrUpdate(2, 0.0);
+  EXPECT_EQ(h.Top().key, 2);
+  h.Erase(2);
+  EXPECT_EQ(h.Top().key, 1);
+}
+
+// ------------------------------------------------ randomized property test --
+
+/// Reference: a sorted set of (priority desc, key asc) plus a map for
+/// lookups.
+class ReferenceHeap {
+ public:
+  void InsertOrUpdate(int key, double priority) {
+    Erase(key);
+    by_key_[key] = priority;
+    ordered_.insert({-priority, key});
+  }
+  bool Erase(int key) {
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) return false;
+    ordered_.erase({-it->second, key});
+    by_key_.erase(it);
+    return true;
+  }
+  bool Contains(int key) const { return by_key_.count(key) > 0; }
+  size_t size() const { return by_key_.size(); }
+  std::pair<int, double> Top() const {
+    auto [neg_priority, key] = *ordered_.begin();
+    return {key, -neg_priority};
+  }
+
+ private:
+  std::map<int, double> by_key_;
+  std::set<std::pair<double, int>> ordered_;
+};
+
+class HeapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeapPropertyTest, AgreesWithReferenceUnderRandomOps) {
+  Rng rng(GetParam());
+  UpdatableHeap<int, double> heap;
+  ReferenceHeap ref;
+  for (int op = 0; op < 5000; ++op) {
+    const int key = static_cast<int>(rng.UniformUint64(50));
+    const double action = rng.UniformDouble();
+    if (action < 0.5) {
+      // Priorities drawn from a small set to exercise tie-breaking.
+      const double priority =
+          static_cast<double>(rng.UniformUint64(10)) / 10.0;
+      heap.InsertOrUpdate(key, priority);
+      ref.InsertOrUpdate(key, priority);
+    } else if (action < 0.75) {
+      EXPECT_EQ(heap.Erase(key), ref.Erase(key));
+    } else if (!ref.size()) {
+      EXPECT_TRUE(heap.empty());
+    } else {
+      auto [rkey, rpriority] = ref.Top();
+      ASSERT_FALSE(heap.empty());
+      EXPECT_EQ(heap.Top().key, rkey);
+      EXPECT_DOUBLE_EQ(heap.Top().priority, rpriority);
+      if (action < 0.9) {
+        heap.ExtractTop();
+        ref.Erase(rkey);
+      }
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+    EXPECT_EQ(heap.Contains(key), ref.Contains(key));
+  }
+  // Drain both; full extraction orders must agree (priority then key).
+  while (ref.size() > 0) {
+    auto [rkey, rpriority] = ref.Top();
+    auto top = heap.ExtractTop();
+    ASSERT_EQ(top.key, rkey);
+    ASSERT_DOUBLE_EQ(top.priority, rpriority);
+    ref.Erase(rkey);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rock

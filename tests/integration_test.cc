@@ -1,0 +1,235 @@
+// Integration tests: end-to-end ROCK runs over the paper's scenarios at
+// test-friendly scales, checking the cross-module contracts the benches
+// rely on (generators → similarity → clusterer → evaluation).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/binarize.h"
+#include "baselines/centroid_hierarchical.h"
+#include "core/rock.h"
+#include "data/timeseries.h"
+#include "data/transforms.h"
+#include "eval/contingency.h"
+#include "eval/metrics.h"
+#include "eval/profiles.h"
+#include "similarity/jaccard.h"
+#include "synth/fund_generator.h"
+#include "synth/mushroom_generator.h"
+#include "synth/votes_generator.h"
+
+namespace rock {
+namespace {
+
+TEST(IntegrationTest, VotesRockSeparatesParties) {
+  // Table 2 scenario, θ = 0.73 (the paper's setting).
+  auto ds = GenerateVotesData(VotesGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  CategoricalJaccard sim(*ds);
+  RockOptions opt;
+  opt.theta = 0.73;
+  opt.num_clusters = 2;
+  opt.outlier_stop_multiple = 3.0;
+  opt.min_cluster_support = 5;
+  auto result = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(result.ok());
+
+  auto table = ContingencyTable::Build(result->clustering, ds->labels());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(result->clustering.num_clusters(), 2u);
+  // Each cluster dominated by one party; majority of records clustered.
+  EXPECT_GT(Purity(*table), 0.95);
+  EXPECT_GT(table->GrandTotal(), 350u);
+  EXPECT_NE(table->MajorityClass(0), table->MajorityClass(1));
+}
+
+TEST(IntegrationTest, VotesRockBeatsOrMatchesCentroidBaseline) {
+  auto ds = GenerateVotesData(VotesGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  CategoricalJaccard sim(*ds);
+  RockOptions ropt;
+  ropt.theta = 0.73;
+  ropt.num_clusters = 2;
+  ropt.outlier_stop_multiple = 3.0;
+  ropt.min_cluster_support = 5;
+  auto rock_result = RockClusterer(ropt).Cluster(sim);
+  ASSERT_TRUE(rock_result.ok());
+  auto rock_table =
+      ContingencyTable::Build(rock_result->clustering, ds->labels());
+
+  BinarizedData bin = BinarizeRecords(*ds);
+  CentroidHierarchicalOptions copt;
+  copt.num_clusters = 2;
+  auto centroid = ClusterCentroidHierarchical(bin.points, copt);
+  ASSERT_TRUE(centroid.ok());
+  auto centroid_table =
+      ContingencyTable::Build(centroid->clustering, ds->labels());
+
+  // The paper: both find the two parties on this "easy" set, but ROCK's
+  // clusters cover at least as many records at equal-or-better purity.
+  EXPECT_GE(Purity(*rock_table) + 1e-9, Purity(*centroid_table));
+  EXPECT_GE(rock_table->GrandTotal(), centroid_table->GrandTotal());
+}
+
+TEST(IntegrationTest, MushroomRockFindsSkewedPureClusters) {
+  // Table 3 scenario at 1/8 scale, θ = 0.8.
+  MushroomGeneratorOptions gen;
+  gen.size_scale = 0.125;
+  auto ds = GenerateMushroomData(gen);
+  ASSERT_TRUE(ds.ok());
+  CategoricalJaccard sim(*ds);
+  RockOptions opt;
+  opt.theta = 0.8;
+  opt.num_clusters = 20;
+  auto result = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(result.ok());
+
+  auto table = ContingencyTable::Build(result->clustering, ds->labels());
+  ASSERT_TRUE(table.ok());
+  // The paper found 21 clusters (k was 20) with all but one pure, and a
+  // wide size spread. Allow headroom for the surrogate at small scale.
+  EXPECT_GE(result->clustering.num_clusters(), 20u);
+  EXPECT_LE(result->clustering.num_clusters(), 26u);
+  EXPECT_GT(Purity(*table), 0.98);
+
+  size_t pure = 0;
+  uint64_t largest = 0, smallest = UINT64_MAX;
+  for (size_t c = 0; c < table->num_clusters(); ++c) {
+    const uint64_t total = table->ClusterTotal(c);
+    largest = std::max(largest, total);
+    smallest = std::min(smallest, total);
+    for (size_t l = 0; l < table->num_classes(); ++l) {
+      if (table->Count(c, l) == total) ++pure;
+    }
+  }
+  EXPECT_GE(pure + 2, table->num_clusters());  // at most 2 mixed
+  EXPECT_GT(largest, 10 * std::max<uint64_t>(smallest, 1));
+}
+
+TEST(IntegrationTest, MushroomRecoversLatentGroups) {
+  MushroomGeneratorOptions gen;
+  gen.size_scale = 0.125;
+  auto ds = GenerateMushroomDataWithTruth(gen);
+  ASSERT_TRUE(ds.ok());
+  CategoricalJaccard sim(*ds);
+  RockOptions opt;
+  opt.theta = 0.8;
+  opt.num_clusters = 20;
+  auto result = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(result.ok());
+  auto table = ContingencyTable::Build(result->clustering, ds->labels());
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT(AdjustedRandIndex(*table), 0.95);
+  EXPECT_GT(NormalizedMutualInformation(*table), 0.95);
+}
+
+TEST(IntegrationTest, FundsPipelineGroupsByCategory) {
+  // Table 4 scenario: transform, pairwise-missing similarity, θ = 0.8.
+  auto set = GenerateFundData(FundGeneratorOptions{});
+  ASSERT_TRUE(set.ok());
+  auto ds = TimeSeriesToCategorical(*set);
+  ASSERT_TRUE(ds.ok());
+  PairwiseMissingJaccard sim(*ds);
+  RockOptions opt;
+  opt.theta = 0.8;
+  opt.num_clusters = 40;
+  auto result = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(result.ok());
+
+  // All 16 named groups are recovered as (near-)pure clusters of the
+  // right size, and a sizable share of funds are outliers.
+  std::map<std::string, size_t> recovered;
+  for (const auto& members : result->clustering.clusters) {
+    std::map<std::string, size_t> groups;
+    for (PointIndex p : members) {
+      ++groups[ds->labels().Name(ds->labels().label(p))];
+    }
+    for (const auto& [g, n] : groups) {
+      // A group counts as recovered when one cluster holds >= 90% of it.
+      recovered[g] = std::max(recovered[g], n);
+    }
+  }
+  const std::map<std::string, size_t> expected = {
+      {"Growth 2", 107},       {"Growth 3", 70},  {"Bonds 7", 26},
+      {"Bonds 3", 24},         {"Bonds 4", 15},   {"Bonds 2", 10},
+      {"Precious Metals", 10}, {"Growth 1", 8},   {"International 3", 6},
+      {"Bonds 5", 5},          {"Balanced", 5},   {"Bonds 1", 4},
+      {"International 1", 4},  {"International 2", 4}};
+  for (const auto& [group, size] : expected) {
+    EXPECT_GE(recovered[group] * 10, size * 9) << group;
+  }
+  EXPECT_GT(result->clustering.num_outliers(), 300u);
+
+  // A healthy number of twin pairs survive together (size 2 or 3 clusters
+  // holding both members).
+  size_t twins_together = 0;
+  for (const auto& members : result->clustering.clusters) {
+    if (members.size() > 3) continue;
+    std::map<std::string, size_t> groups;
+    for (PointIndex p : members) {
+      ++groups[ds->labels().Name(ds->labels().label(p))];
+    }
+    for (const auto& [g, n] : groups) {
+      if (n == 2 && g.rfind("pair", 0) == 0) ++twins_together;
+    }
+  }
+  EXPECT_GE(twins_together, 10u);
+}
+
+TEST(IntegrationTest, ProfilesReflectVoteSplits) {
+  // Table 7 scenario: the two ROCK clusters' profiles disagree on the
+  // polarized issues and agree on immigration.
+  auto ds = GenerateVotesData(VotesGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  CategoricalJaccard sim(*ds);
+  RockOptions opt;
+  opt.theta = 0.73;
+  opt.num_clusters = 2;
+  opt.outlier_stop_multiple = 3.0;
+  opt.min_cluster_support = 5;
+  auto result = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clustering.num_clusters(), 2u);
+
+  ProfileOptions popt;
+  popt.min_support = 0.5;
+  auto profiles = ProfileClusters(*ds, result->clustering, popt);
+  ASSERT_EQ(profiles.size(), 2u);
+
+  auto value_of = [](const ClusterProfile& p, const std::string& attr) {
+    for (const auto& e : p.entries) {
+      if (e.attribute == attr) return e.value;
+    }
+    return std::string();
+  };
+  // Polarized issue: opposite frequent values.
+  EXPECT_NE(value_of(profiles[0], "physician-fee-freeze"),
+            value_of(profiles[1], "physician-fee-freeze"));
+  EXPECT_NE(value_of(profiles[0], "el-salvador-aid"),
+            value_of(profiles[1], "el-salvador-aid"));
+  EXPECT_NE(value_of(profiles[0], "crime"), value_of(profiles[1], "crime"));
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  MushroomGeneratorOptions gen;
+  gen.size_scale = 0.05;
+  auto d1 = GenerateMushroomData(gen);
+  auto d2 = GenerateMushroomData(gen);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  CategoricalJaccard s1(*d1), s2(*d2);
+  RockOptions opt;
+  opt.theta = 0.8;
+  opt.num_clusters = 20;
+  auto r1 = RockClusterer(opt).Cluster(s1);
+  auto r2 = RockClusterer(opt).Cluster(s2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->clustering.assignment, r2->clustering.assignment);
+  EXPECT_EQ(r1->merges.size(), r2->merges.size());
+}
+
+}  // namespace
+}  // namespace rock

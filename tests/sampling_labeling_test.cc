@@ -1,0 +1,294 @@
+// Tests for core/sampling.h (reservoir + Vitter skips), core/labeling.h
+// (the §4.6 disk-labeling phase) and core/pipeline.h (the Fig. 2
+// sample → cluster → label pipeline, end to end on a real temp file).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "core/labeling.h"
+#include "core/pipeline.h"
+#include "core/sampling.h"
+#include "data/disk_store.h"
+#include "synth/basket_generator.h"
+
+namespace rock {
+namespace {
+
+// --------------------------------------------------------------- Sampling --
+
+TEST(SamplingTest, ReservoirHoldsWholeStreamWhenSmall) {
+  Rng rng(1);
+  ReservoirSampler<int> s(10, &rng);
+  for (int i = 0; i < 5; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 5u);
+  EXPECT_EQ(s.seen(), 5u);
+}
+
+TEST(SamplingTest, ReservoirCapsAtK) {
+  Rng rng(2);
+  ReservoirSampler<int> s(10, &rng);
+  for (int i = 0; i < 1000; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 10u);
+  std::set<int> distinct(s.sample().begin(), s.sample().end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(SamplingTest, ReservoirIndicesMatchValues) {
+  Rng rng(3);
+  ReservoirSampler<int> s(8, &rng);
+  for (int i = 0; i < 500; ++i) s.Offer(i * 7);  // value = index * 7
+  for (size_t slot = 0; slot < s.sample().size(); ++slot) {
+    EXPECT_EQ(static_cast<uint64_t>(s.sample()[slot]),
+              s.sample_indices()[slot] * 7);
+  }
+}
+
+TEST(SamplingTest, ReservoirIsApproximatelyUniform) {
+  // Each of 100 stream positions should appear in a 10-sample with
+  // probability 0.1.
+  std::vector<int> hits(100, 0);
+  const int trials = 20000;
+  Rng rng(4);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> s(10, &rng);
+    for (int i = 0; i < 100; ++i) s.Offer(i);
+    for (int v : s.sample()) ++hits[static_cast<size_t>(v)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.1, 0.02);
+  }
+}
+
+TEST(SamplingTest, SampleIndicesSortedDistinct) {
+  Rng rng(5);
+  auto idx = SampleIndices(100, 20, &rng);
+  EXPECT_EQ(idx.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  std::set<size_t> distinct(idx.begin(), idx.end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(SamplingTest, VitterSkipMatchesAlgorithmRAcceptanceRate) {
+  // After `seen` records, Algorithm R accepts each new record with
+  // probability k/(seen+1). The mean skip from Algorithm X must match the
+  // geometric-like expectation: E[accepted fraction over window] ≈ k/seen.
+  Rng rng(6);
+  const size_t k = 10;
+  const uint64_t seen = 1000;
+  double total_skip = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    total_skip += static_cast<double>(VitterSkipX(seen, k, &rng));
+  }
+  // E[S] = (seen + 1 − k)/(k − 1) − 1 … ≈ seen/k for seen >> k; accept a
+  // generous ±10% window around the analytic mean for k=10, seen=1000:
+  // E[S] = (seen+1)/(k-1) − 1 ≈ 110.2.
+  const double mean_skip = total_skip / trials;
+  EXPECT_NEAR(mean_skip, 110.2, 11.0);
+}
+
+// --------------------------------------------------------------- Labeling --
+
+/// Builds a tiny two-cluster sample: cluster 0 over items {a,b,c},
+/// cluster 1 over items {x,y,z}.
+struct LabelingFixture {
+  TransactionDataset sample;
+  Clustering clustering;
+  RockOptions rock;
+
+  LabelingFixture() {
+    sample.AddTransaction({"a", "b"});
+    sample.AddTransaction({"b", "c"});
+    sample.AddTransaction({"a", "c"});
+    sample.AddTransaction({"x", "y"});
+    sample.AddTransaction({"y", "z"});
+    sample.AddTransaction({"x", "z"});
+    clustering = Clustering::FromAssignment({0, 0, 0, 1, 1, 1});
+    rock.theta = 0.3;
+    rock.num_clusters = 2;
+  }
+};
+
+TEST(LabelingTest, AssignsToNeighborRichCluster) {
+  LabelingFixture fx;
+  LabelingOptions opt;
+  opt.fraction = 1.0;
+  auto labeler =
+      TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt);
+  ASSERT_TRUE(labeler.ok()) << labeler.status().ToString();
+  EXPECT_EQ(labeler->num_clusters(), 2u);
+
+  const Dictionary& items = fx.sample.items();
+  Transaction near0({items.Lookup("a"), items.Lookup("b"),
+                     items.Lookup("c")});
+  Transaction near1({items.Lookup("x"), items.Lookup("y")});
+  EXPECT_EQ(labeler->Assign(near0), 0);
+  EXPECT_EQ(labeler->Assign(near1), 1);
+}
+
+TEST(LabelingTest, NoNeighborsMeansOutlier) {
+  LabelingFixture fx;
+  LabelingOptions opt;
+  auto labeler =
+      TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt);
+  ASSERT_TRUE(labeler.ok());
+  // Items unseen by the sample: ids beyond the dictionary.
+  Transaction alien({100, 101, 102});
+  EXPECT_EQ(labeler->Assign(alien), kUnassigned);
+}
+
+TEST(LabelingTest, FractionControlsSetSize) {
+  LabelingFixture fx;
+  LabelingOptions opt;
+  opt.fraction = 0.34;  // ceil(0.34 * 3) = 2
+  opt.min_labeling_points = 1;
+  auto labeler =
+      TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt);
+  ASSERT_TRUE(labeler.ok());
+  EXPECT_EQ(labeler->labeling_set_size(0), 2u);
+  EXPECT_EQ(labeler->labeling_set_size(1), 2u);
+}
+
+TEST(LabelingTest, MinLabelingPointsFloorCapped) {
+  LabelingFixture fx;
+  LabelingOptions opt;
+  opt.fraction = 0.01;
+  opt.min_labeling_points = 100;  // larger than any cluster
+  auto labeler =
+      TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt);
+  ASSERT_TRUE(labeler.ok());
+  EXPECT_EQ(labeler->labeling_set_size(0), 3u);  // capped at cluster size
+}
+
+TEST(LabelingTest, RejectsBadInputs) {
+  LabelingFixture fx;
+  LabelingOptions opt;
+  opt.fraction = 0.0;
+  EXPECT_TRUE(TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt)
+                  .status()
+                  .IsInvalidArgument());
+  opt.fraction = 0.5;
+  Clustering mismatched = Clustering::FromAssignment({0, 0});
+  EXPECT_TRUE(TransactionLabeler::Build(fx.sample, mismatched, fx.rock, opt)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LabelingTest, NormalizationPrefersSmallerSetAtEqualCount) {
+  // Two clusters; the probe has exactly one neighbor in each labeling set,
+  // but cluster 1's set is larger → normalization must prefer cluster 0.
+  TransactionDataset sample;
+  sample.AddTransaction({"a", "b"});                      // cluster 0
+  sample.AddTransaction({"x", "y"});                      // cluster 1 …
+  sample.AddTransaction({"p", "q"});
+  sample.AddTransaction({"r", "s"});
+  sample.AddTransaction({"t", "u"});
+  Clustering clustering = Clustering::FromAssignment({0, 1, 1, 1, 1});
+  RockOptions rock;
+  rock.theta = 0.3;
+  LabelingOptions opt;
+  opt.fraction = 1.0;
+  auto labeler = TransactionLabeler::Build(sample, clustering, rock, opt);
+  ASSERT_TRUE(labeler.ok());
+  const Dictionary& items = sample.items();
+  // Probe neighbors {a,b} (cluster 0) and {x,y} (cluster 1) equally.
+  Transaction probe({items.Lookup("a"), items.Lookup("b"),
+                     items.Lookup("x"), items.Lookup("y")});
+  EXPECT_EQ(labeler->Assign(probe), 0);
+}
+
+// ---------------------------------------------------------------- Pipeline --
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("rock_pipeline_test_" + std::to_string(::getpid()) + ".bin");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST_F(PipelineTest, EndToEndOnSmallSyntheticStore) {
+  BasketGeneratorOptions gen;
+  gen.cluster_sizes = {400, 300};
+  gen.items_per_cluster = {20, 20};
+  gen.num_outliers = 30;
+  gen.seed = 7;
+  auto data = GenerateBasketData(gen);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(WriteDatasetToStore(*data, path()).ok());
+
+  PipelineOptions opt;
+  opt.rock.theta = 0.5;
+  opt.rock.num_clusters = 2;
+  opt.sample_size = 150;
+  opt.seed = 11;
+  auto result = RunRockPipeline(path(), opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->sample_rows.size(), 150u);
+  EXPECT_TRUE(std::is_sorted(result->sample_rows.begin(),
+                             result->sample_rows.end()));
+  EXPECT_EQ(result->labeling.assignments.size(), data->size());
+  EXPECT_EQ(result->labeling.ground_truth.size(), data->size());
+
+  // Quality: the two generated clusters must map to two distinct found
+  // clusters for the overwhelming majority of rows.
+  const LabelSet& labels = data->labels();
+  std::map<std::pair<LabelId, ClusterIndex>, size_t> joint;
+  for (size_t i = 0; i < data->size(); ++i) {
+    ++joint[{labels.label(i), result->labeling.assignments[i]}];
+  }
+  // For each true cluster label, find its dominant assignment.
+  std::map<LabelId, ClusterIndex> dominant;
+  std::map<LabelId, size_t> dominant_count, total;
+  for (const auto& [key, count] : joint) {
+    total[key.first] += count;
+    if (count > dominant_count[key.first]) {
+      dominant_count[key.first] = count;
+      dominant[key.first] = key.second;
+    }
+  }
+  for (const auto& [label, cluster] : dominant) {
+    if (labels.Name(label) == "outlier") continue;
+    EXPECT_NE(cluster, kUnassigned) << labels.Name(label);
+    EXPECT_GT(static_cast<double>(dominant_count[label]) /
+                  static_cast<double>(total[label]),
+              0.9)
+        << labels.Name(label);
+  }
+  // The two real clusters land in different found clusters.
+  std::set<ClusterIndex> distinct;
+  for (const auto& [label, cluster] : dominant) {
+    if (labels.Name(label) != "outlier") distinct.insert(cluster);
+  }
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST_F(PipelineTest, SampleLargerThanStoreFails) {
+  TransactionDataset tiny;
+  tiny.AddTransaction({"a"});
+  ASSERT_TRUE(WriteDatasetToStore(tiny, path()).ok());
+  PipelineOptions opt;
+  opt.sample_size = 10;
+  EXPECT_TRUE(RunRockPipeline(path(), opt).status().IsInvalidArgument());
+}
+
+TEST_F(PipelineTest, MissingStoreFails) {
+  PipelineOptions opt;
+  opt.sample_size = 1;
+  EXPECT_TRUE(RunRockPipeline("/no/such/store.bin", opt).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,227 @@
+// Tests for similarity/: Jaccard variants (incl. the paper's worked
+// examples), Lp metrics, and the expert similarity table.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "similarity/jaccard.h"
+#include "similarity/lp_metric.h"
+#include "similarity/similarity_table.h"
+
+namespace rock {
+namespace {
+
+// ---------------------------------------------------------------- Jaccard --
+
+TEST(JaccardTest, PaperExample12Coefficients) {
+  // §1.1 Example 1.2: {1,2,3} vs {3,4,5} → 0.2; {1,2,3} vs {1,2,4} → 0.5;
+  // {1,2,3} vs {1,2,7} → 0.5.
+  EXPECT_DOUBLE_EQ(
+      JaccardSimilarity(Transaction({1, 2, 3}), Transaction({3, 4, 5})), 0.2);
+  EXPECT_DOUBLE_EQ(
+      JaccardSimilarity(Transaction({1, 2, 3}), Transaction({1, 2, 4})), 0.5);
+  EXPECT_DOUBLE_EQ(
+      JaccardSimilarity(Transaction({1, 2, 3}), Transaction({1, 2, 7})), 0.5);
+}
+
+TEST(JaccardTest, IdenticalIsOneDisjointIsZero) {
+  Transaction a({1, 2, 3});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, Transaction({4, 5})), 0.0);
+}
+
+TEST(JaccardTest, EmptyTransactionsScoreZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Transaction{}, Transaction{}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Transaction{}, Transaction({1})), 0.0);
+}
+
+TEST(JaccardTest, SubsetScaling) {
+  // §3.1.1: a tiny subset transaction is not very similar to a large one —
+  // {milk} vs {milk, ...9 more} = 1/10.
+  std::vector<ItemId> big(10);
+  for (ItemId i = 0; i < 10; ++i) big[i] = i;
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(Transaction({0}), Transaction(big)),
+                   0.1);
+}
+
+TEST(JaccardTest, SymmetricAndBounded) {
+  Transaction a({1, 5, 9});
+  Transaction b({2, 5, 9, 11});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), JaccardSimilarity(b, a));
+  const double s = JaccardSimilarity(a, b);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(TransactionJaccardTest, IndexedView) {
+  TransactionDataset ds;
+  ds.AddTransaction({"1", "2", "3"});
+  ds.AddTransaction({"1", "2", "4"});
+  TransactionJaccard sim(ds);
+  EXPECT_EQ(sim.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 0), 1.0);
+}
+
+// ---------------------------------------------- Categorical Jaccard (A.v) --
+
+TEST(CategoricalJaccardTest, MatchesTransactionView) {
+  CategoricalDataset ds{Schema({"a", "b", "c"})};
+  ASSERT_TRUE(ds.AddRecord({"x", "y", "z"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"x", "y", "w"}).ok());
+  CategoricalJaccard sim(ds);
+  // 2 shared items out of 4 distinct → 0.5.
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.5);
+}
+
+TEST(CategoricalJaccardTest, MissingValuesAreOmittedItems) {
+  CategoricalDataset ds{Schema({"a", "b", "c"})};
+  ASSERT_TRUE(ds.AddRecord({"x", "y", "?"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"x", "y", "z"}).ok());
+  CategoricalJaccard sim(ds);
+  // Record 0 has 2 items, record 1 has 3; intersection 2, union 3.
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 2.0 / 3.0);
+}
+
+TEST(CategoricalJaccardTest, AllMissingScoresZero) {
+  CategoricalDataset ds{Schema({"a", "b"})};
+  ASSERT_TRUE(ds.AddRecord({"?", "?"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"x", "y"}).ok());
+  CategoricalJaccard sim(ds);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 0), 0.0);
+}
+
+// ----------------------------------------------- Pairwise-missing Jaccard --
+
+TEST(PairwiseMissingJaccardTest, IgnoresMutuallyMissingAttributes) {
+  // §3.1.2 time-series semantics: a young fund identical on its observed
+  // window scores 1.0 despite missing history.
+  CategoricalDataset ds{Schema({"d1", "d2", "d3", "d4"})};
+  ASSERT_TRUE(ds.AddRecord({"Up", "Down", "Up", "No"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"?", "?", "Up", "No"}).ok());
+  PairwiseMissingJaccard sim(ds);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 1.0);
+}
+
+TEST(PairwiseMissingJaccardTest, StaticViewDisagrees) {
+  // Same records under the *static* A.v view score lower — documents the
+  // difference between the two §3.1.2 treatments.
+  CategoricalDataset ds{Schema({"d1", "d2", "d3", "d4"})};
+  ASSERT_TRUE(ds.AddRecord({"Up", "Down", "Up", "No"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"?", "?", "Up", "No"}).ok());
+  CategoricalJaccard static_sim(ds);
+  EXPECT_DOUBLE_EQ(static_sim.Similarity(0, 1), 0.5);
+}
+
+TEST(PairwiseMissingJaccardTest, PartialAgreement) {
+  CategoricalDataset ds{Schema({"d1", "d2", "d3"})};
+  ASSERT_TRUE(ds.AddRecord({"Up", "Down", "Up"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"Up", "Up", "?"}).ok());
+  PairwiseMissingJaccard sim(ds);
+  // Both-present = {d1, d2}; equal = 1; union = 2·2 − 1 = 3.
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 1.0 / 3.0);
+}
+
+TEST(PairwiseMissingJaccardTest, NoCommonObservationsScoreZero) {
+  CategoricalDataset ds{Schema({"d1", "d2"})};
+  ASSERT_TRUE(ds.AddRecord({"Up", "?"}).ok());
+  ASSERT_TRUE(ds.AddRecord({"?", "Up"}).ok());
+  PairwiseMissingJaccard sim(ds);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.0);
+}
+
+// ------------------------------------------------------------- Lp metrics --
+
+TEST(LpMetricTest, EuclideanMatchesPaperExample11) {
+  // Example 1.1: points (1,1,1,0,1,0) and (0,1,1,1,1,0) are at distance √2;
+  // (1,0,0,1,0,0) and (0,0,0,0,0,1) at √3.
+  std::vector<double> a = {1, 1, 1, 0, 1, 0};
+  std::vector<double> b = {0, 1, 1, 1, 1, 0};
+  std::vector<double> c = {1, 0, 0, 1, 0, 0};
+  std::vector<double> d = {0, 0, 0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(L2Distance(c, d), std::sqrt(3.0));
+}
+
+TEST(LpMetricTest, L1AndLinf) {
+  std::vector<double> x = {0, 0};
+  std::vector<double> y = {3, -4};
+  EXPECT_DOUBLE_EQ(L1Distance(x, y), 7.0);
+  EXPECT_DOUBLE_EQ(L2Distance(x, y), 5.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(x, y), 4.0);
+  EXPECT_DOUBLE_EQ(SquaredL2Distance(x, y), 25.0);
+}
+
+TEST(LpMetricTest, GeneralPInterpolates) {
+  std::vector<double> x = {0, 0};
+  std::vector<double> y = {1, 1};
+  // p=1 → 2, p=2 → √2, p→∞ → 1; p=3 in between.
+  const double d3 = LpDistance(x, y, 3.0);
+  EXPECT_LT(d3, L1Distance(x, y));
+  EXPECT_GT(d3, LInfDistance(x, y));
+  EXPECT_NEAR(d3, std::pow(2.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(NormalizedLpSimilarityTest, MapsToUnitInterval) {
+  std::vector<std::vector<double>> pts = {{0, 0}, {1, 0}, {4, 0}};
+  NormalizedLpSimilarity sim(pts, 2.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 2), 0.0);   // the farthest pair
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.75);  // 1 − 1/4
+}
+
+TEST(NormalizedLpSimilarityTest, DegenerateAllEqual) {
+  std::vector<std::vector<double>> pts = {{1, 1}, {1, 1}};
+  NormalizedLpSimilarity sim(pts, 2.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 1.0);
+}
+
+TEST(NormalizedLpSimilarityTest, InfinityMetric) {
+  std::vector<std::vector<double>> pts = {{0, 0}, {2, 1}, {4, 0}};
+  NormalizedLpSimilarity sim(pts, NormalizedLpSimilarity::kInfinity);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(0, 1), 0.5);
+}
+
+// ------------------------------------------------------- Similarity table --
+
+TEST(SimilarityTableTest, IdentityByDefault) {
+  SimilarityTable t(3);
+  EXPECT_DOUBLE_EQ(t.Similarity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Similarity(0, 1), 0.0);
+}
+
+TEST(SimilarityTableTest, SetIsSymmetric) {
+  SimilarityTable t(3);
+  ASSERT_TRUE(t.Set(0, 2, 0.7).ok());
+  EXPECT_DOUBLE_EQ(t.Similarity(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(t.Similarity(2, 0), 0.7);
+}
+
+TEST(SimilarityTableTest, RejectsBadInputs) {
+  SimilarityTable t(2);
+  EXPECT_TRUE(t.Set(0, 5, 0.5).IsOutOfRange());
+  EXPECT_TRUE(t.Set(0, 1, 1.5).IsInvalidArgument());
+  EXPECT_TRUE(t.Set(0, 1, -0.1).IsInvalidArgument());
+}
+
+TEST(SimilarityTableTest, FromMatrixValidates) {
+  EXPECT_TRUE(SimilarityTable::FromMatrix({{1.0, 0.5}, {0.4, 1.0}})
+                  .status()
+                  .IsInvalidArgument());  // asymmetric
+  EXPECT_TRUE(SimilarityTable::FromMatrix({{1.0, 2.0}, {2.0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());  // out of range
+  EXPECT_TRUE(SimilarityTable::FromMatrix({{1.0, 0.5, 0.0}, {0.5, 1.0}})
+                  .status()
+                  .IsInvalidArgument());  // ragged
+  auto ok = SimilarityTable::FromMatrix({{1.0, 0.25}, {0.25, 1.0}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok->Similarity(1, 0), 0.25);
+}
+
+}  // namespace
+}  // namespace rock

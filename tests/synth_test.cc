@@ -1,0 +1,320 @@
+// Tests for synth/: the four dataset generators must reproduce the shapes
+// the paper reports (Table 1 / Table 5 / Table 4) and be deterministic.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/transforms.h"
+#include "similarity/jaccard.h"
+#include "synth/basket_generator.h"
+#include "synth/fund_generator.h"
+#include "synth/mushroom_generator.h"
+#include "synth/votes_generator.h"
+
+namespace rock {
+namespace {
+
+// ------------------------------------------------------------------ Basket --
+
+TEST(BasketGeneratorTest, DefaultMatchesTable5Shape) {
+  auto ds = GenerateBasketData(BasketGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  // Table 5: 114,586 transactions total, 5456 outliers.
+  EXPECT_EQ(ds->size(), 114586u);
+  std::map<std::string, size_t> per_label;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    ++per_label[ds->labels().Name(ds->labels().label(i))];
+  }
+  EXPECT_EQ(per_label["outlier"], 5456u);
+  EXPECT_EQ(per_label["cluster0"], 9736u);
+  EXPECT_EQ(per_label["cluster9"], 5411u);
+  EXPECT_EQ(per_label.size(), 11u);  // 10 clusters + outliers
+}
+
+TEST(BasketGeneratorTest, TransactionSizeDistribution) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {5000};
+  opt.items_per_cluster = {30};
+  opt.num_outliers = 0;
+  auto ds = GenerateBasketData(opt);
+  ASSERT_TRUE(ds.ok());
+  // "98% of transactions have sizes between 11 and 19"; mean 15.
+  size_t in_window = 0;
+  double total = 0;
+  for (const auto& tx : ds->transactions()) {
+    total += static_cast<double>(tx.size());
+    if (tx.size() >= 11 && tx.size() <= 19) ++in_window;
+  }
+  EXPECT_NEAR(total / static_cast<double>(ds->size()), 15.0, 0.3);
+  EXPECT_GT(static_cast<double>(in_window) / static_cast<double>(ds->size()),
+            0.95);
+}
+
+TEST(BasketGeneratorTest, IntraClusterSimilarityExceedsInter) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {200, 200};
+  opt.items_per_cluster = {20, 20};
+  opt.num_outliers = 0;
+  opt.seed = 3;
+  auto ds = GenerateBasketData(opt);
+  ASSERT_TRUE(ds.ok());
+  double intra = 0, inter = 0;
+  size_t n_intra = 0, n_inter = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = i + 1; j < 100; ++j) {
+      const double s =
+          JaccardSimilarity(ds->transaction(i), ds->transaction(j));
+      if (ds->labels().label(i) == ds->labels().label(j)) {
+        intra += s;
+        ++n_intra;
+      } else {
+        inter += s;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0u);
+  ASSERT_GT(n_inter, 0u);
+  EXPECT_GT(intra / static_cast<double>(n_intra),
+            2.0 * inter / static_cast<double>(n_inter));
+}
+
+TEST(BasketGeneratorTest, DeterministicAndSeedSensitive) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {50};
+  opt.items_per_cluster = {20};
+  opt.num_outliers = 5;
+  auto a = GenerateBasketData(opt);
+  auto b = GenerateBasketData(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->transaction(i), b->transaction(i));
+  }
+  opt.seed += 1;
+  auto c = GenerateBasketData(opt);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (!(a->transaction(i) == c->transaction(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BasketGeneratorTest, ValidatesOptions) {
+  BasketGeneratorOptions opt;
+  opt.cluster_sizes = {10};
+  opt.items_per_cluster = {};
+  EXPECT_TRUE(GenerateBasketData(opt).status().IsInvalidArgument());
+  opt = BasketGeneratorOptions{};
+  opt.shared_item_fraction = 1.5;
+  EXPECT_TRUE(GenerateBasketData(opt).status().IsInvalidArgument());
+  opt = BasketGeneratorOptions{};
+  opt.min_tx_size = 0;
+  EXPECT_TRUE(GenerateBasketData(opt).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------------- Votes --
+
+TEST(VotesGeneratorTest, MatchesTable1Shape) {
+  auto ds = GenerateVotesData(VotesGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 435u);
+  EXPECT_EQ(ds->schema().num_attributes(), 16u);
+  size_t republicans = 0, democrats = 0;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    const std::string& name = ds->labels().Name(ds->labels().label(i));
+    if (name == "republican") ++republicans;
+    if (name == "democrat") ++democrats;
+  }
+  EXPECT_EQ(republicans, 168u);
+  EXPECT_EQ(democrats, 267u);
+  // "very few" missing values.
+  EXPECT_LT(ds->MissingRate(), 0.05);
+  EXPECT_GT(ds->MissingRate(), 0.0);
+}
+
+TEST(VotesGeneratorTest, PartyVoteDistributionsFollowTable7) {
+  VotesGeneratorOptions opt;
+  opt.num_republicans = 4000;  // large sample to pin down frequencies
+  opt.num_democrats = 4000;
+  opt.missing_rate = 0.0;
+  auto ds = GenerateVotesData(opt);
+  ASSERT_TRUE(ds.ok());
+  // physician-fee-freeze: republicans ~0.92 yes, democrats ~0.04 yes.
+  size_t attr = SIZE_MAX;
+  for (size_t a = 0; a < ds->schema().num_attributes(); ++a) {
+    if (ds->schema().attribute_name(a) == "physician-fee-freeze") attr = a;
+  }
+  ASSERT_NE(attr, SIZE_MAX);
+  const ValueId yes = ds->schema().LookupValue(attr, "y");
+  size_t rep_yes = 0, dem_yes = 0, reps = 0, dems = 0;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    const bool rep =
+        ds->labels().Name(ds->labels().label(i)) == "republican";
+    (rep ? reps : dems) += 1;
+    if (ds->record(i).value(attr) == yes) (rep ? rep_yes : dem_yes) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(rep_yes) / static_cast<double>(reps), 0.92,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(dem_yes) / static_cast<double>(dems), 0.04,
+              0.02);
+}
+
+TEST(VotesGeneratorTest, Deterministic) {
+  auto a = GenerateVotesData(VotesGeneratorOptions{});
+  auto b = GenerateVotesData(VotesGeneratorOptions{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->record(i), b->record(i));
+  }
+}
+
+// ---------------------------------------------------------------- Mushroom --
+
+TEST(MushroomGeneratorTest, MatchesTable1Shape) {
+  auto ds = GenerateMushroomData(MushroomGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 8124u);
+  EXPECT_EQ(ds->schema().num_attributes(), 22u);
+  size_t edible = 0, poisonous = 0;
+  for (size_t i = 0; i < ds->size(); ++i) {
+    const std::string& name = ds->labels().Name(ds->labels().label(i));
+    if (name == "edible") ++edible;
+    if (name == "poisonous") ++poisonous;
+  }
+  EXPECT_EQ(edible, 4208u);
+  EXPECT_EQ(poisonous, 3916u);
+}
+
+TEST(MushroomGeneratorTest, OdorSeparatesEdibility) {
+  MushroomGeneratorOptions opt;
+  opt.size_scale = 0.05;
+  opt.missing_rate = 0.0;
+  auto ds = GenerateMushroomData(opt);
+  ASSERT_TRUE(ds.ok());
+  size_t odor_attr = SIZE_MAX;
+  for (size_t a = 0; a < ds->schema().num_attributes(); ++a) {
+    if (ds->schema().attribute_name(a) == "odor") odor_attr = a;
+  }
+  ASSERT_NE(odor_attr, SIZE_MAX);
+  const std::set<std::string> edible_odors = {"none", "anise", "almond"};
+  for (size_t i = 0; i < ds->size(); ++i) {
+    const std::string& odor =
+        ds->schema().ValueName(odor_attr, ds->record(i).value(odor_attr));
+    const bool edible =
+        ds->labels().Name(ds->labels().label(i)) == "edible";
+    EXPECT_EQ(edible_odors.count(odor) > 0, edible) << "row " << i;
+  }
+}
+
+TEST(MushroomGeneratorTest, TruthVariantHas21Groups) {
+  MushroomGeneratorOptions opt;
+  opt.size_scale = 0.02;
+  auto ds = GenerateMushroomDataWithTruth(opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->labels().num_classes(), MushroomNumGroups());
+  EXPECT_EQ(MushroomNumGroups(), 21u);
+}
+
+TEST(MushroomGeneratorTest, GroupSizesAreSkewed) {
+  // Table 3's structure: largest groups 1728, smallest 8 — verify the
+  // surrogate preserves > 100x size variance.
+  auto ds = GenerateMushroomDataWithTruth(MushroomGeneratorOptions{});
+  ASSERT_TRUE(ds.ok());
+  std::map<LabelId, size_t> sizes;
+  for (size_t i = 0; i < ds->size(); ++i) ++sizes[ds->labels().label(i)];
+  size_t smallest = SIZE_MAX, largest = 0;
+  for (const auto& [_, s] : sizes) {
+    smallest = std::min(smallest, s);
+    largest = std::max(largest, s);
+  }
+  EXPECT_EQ(smallest, 8u);
+  EXPECT_EQ(largest, 1728u);
+}
+
+TEST(MushroomGeneratorTest, ScaleShrinksDataset) {
+  MushroomGeneratorOptions opt;
+  opt.size_scale = 0.1;
+  auto ds = GenerateMushroomData(opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_LT(ds->size(), 1000u);
+  EXPECT_GT(ds->size(), 500u);
+}
+
+// ------------------------------------------------------------------- Funds --
+
+TEST(FundGeneratorTest, MatchesTable1Shape) {
+  auto set = GenerateFundData(FundGeneratorOptions{});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->series.size(), 795u);
+  EXPECT_EQ(set->num_dates, 548u);
+  // Some funds must have missing leading history.
+  size_t young = 0;
+  for (const auto& ts : set->series) {
+    if (!ts.prices.front().has_value()) ++young;
+  }
+  EXPECT_GT(young, 50u);
+  EXPECT_LT(young, 400u);
+}
+
+TEST(FundGeneratorTest, GroupLabelsCoverTable4Categories) {
+  auto set = GenerateFundData(FundGeneratorOptions{});
+  ASSERT_TRUE(set.ok());
+  std::map<std::string, size_t> counts;
+  for (const auto& ts : set->series) ++counts[ts.group];
+  EXPECT_EQ(counts["Growth 2"], 107u);
+  EXPECT_EQ(counts["Growth 3"], 70u);
+  EXPECT_EQ(counts["Bonds 3"], 24u);
+  EXPECT_EQ(counts["Precious Metals"], 10u);
+  EXPECT_EQ(counts["pair0"], 2u);
+  EXPECT_GT(counts["single"], 300u);
+}
+
+TEST(FundGeneratorTest, PairsTrackTighterThanGroups) {
+  FundGeneratorOptions opt;
+  opt.young_fund_fraction = 0.0;  // full history for a clean comparison
+  auto set = GenerateFundData(opt);
+  ASSERT_TRUE(set.ok());
+  auto ds = TimeSeriesToCategorical(*set);
+  ASSERT_TRUE(ds.ok());
+  PairwiseMissingJaccard sim(*ds);
+
+  // Find the two pair0 members and two Growth 2 members.
+  std::vector<size_t> pair0, growth2;
+  for (size_t i = 0; i < set->series.size(); ++i) {
+    if (set->series[i].group == "pair0") pair0.push_back(i);
+    if (set->series[i].group == "Growth 2" && growth2.size() < 2) {
+      growth2.push_back(i);
+    }
+  }
+  ASSERT_EQ(pair0.size(), 2u);
+  ASSERT_EQ(growth2.size(), 2u);
+  EXPECT_GT(sim.Similarity(pair0[0], pair0[1]),
+            sim.Similarity(growth2[0], growth2[1]));
+  // And the group pair still beats two unrelated singles.
+  std::vector<size_t> singles;
+  for (size_t i = 0; i < set->series.size() && singles.size() < 2; ++i) {
+    if (set->series[i].group == "single") singles.push_back(i);
+  }
+  ASSERT_EQ(singles.size(), 2u);
+  EXPECT_GT(sim.Similarity(growth2[0], growth2[1]),
+            sim.Similarity(singles[0], singles[1]));
+}
+
+TEST(FundGeneratorTest, ValidatesOptions) {
+  FundGeneratorOptions opt;
+  opt.num_dates = 1;
+  EXPECT_TRUE(GenerateFundData(opt).status().IsInvalidArgument());
+  opt = FundGeneratorOptions{};
+  opt.p_up = 0.7;
+  opt.p_down = 0.7;
+  EXPECT_TRUE(GenerateFundData(opt).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rock

@@ -1,0 +1,16 @@
+// rock — command-line front end for librock. All logic lives in
+// src/cli/cli.cc so the test suite can exercise it in-process.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string output;
+  const int code = rock::RunCli(args, &output);
+  std::fputs(output.c_str(), stdout);
+  return code;
+}
