@@ -9,6 +9,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
@@ -48,6 +51,9 @@ int main(int argc, char** argv) {
   for (double theta : thetas) std::printf("   θ=%.1f", theta);
   std::printf("\n");
 
+  // Per-run diag metrics, kept for the stage breakdown table below.
+  std::vector<std::pair<std::string, diag::RunMetrics>> breakdowns;
+
   Rng rng(7);
   for (size_t n : samples) {
     if (n > ds->size()) break;
@@ -73,12 +79,21 @@ int main(int argc, char** argv) {
       }
       std::printf("%8.2f", timer.ElapsedSeconds());
       std::fflush(stdout);
+      char label[64];
+      std::snprintf(label, sizeof(label), "n=%zu θ=%.1f", n, theta);
+      breakdowns.emplace_back(label, std::move(result->metrics));
     }
     std::printf("\n");
   }
 
+  bench::Section("per-stage breakdown (diag metrics)");
+  for (const auto& [label, metrics] : breakdowns) {
+    bench::PrintStageBreakdown(label, metrics);
+  }
+
   std::printf("\nshape checks (paper): each column grows ~quadratically in "
               "sample size; rows decrease left→right (larger θ → fewer "
-              "neighbors → cheaper links).\n");
+              "neighbors → cheaper links); within a row, link time should "
+              "shrink with θ faster than neighbor time.\n");
   return 0;
 }

@@ -1,11 +1,14 @@
 // bench_micro — google-benchmark microbenchmarks for librock's hot paths:
 // Jaccard similarity, neighbor-graph construction, the updatable heap, the
-// goodness measure, reservoir sampling, and the synthetic generators.
+// goodness measure, reservoir sampling, the synthetic generators, and the
+// diag metrics overhead (collection on vs off on a full clustering run —
+// must stay within noise).
 
 #include <benchmark/benchmark.h>
 
 #include "common/random.h"
 #include "core/goodness.h"
+#include "core/rock.h"
 #include "core/sampling.h"
 #include "data/dataset.h"
 #include "graph/neighbors.h"
@@ -122,6 +125,27 @@ void BM_BasketGenerator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BasketGenerator)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// Full ROCK run with metrics collection toggled by the benchmark argument;
+// compare the two rows to bound the diag subsystem's enabled/disabled cost.
+void BM_RockClusterMetrics(benchmark::State& state) {
+  TransactionDataset ds = MakeBaskets(512);
+  TransactionJaccard sim(ds);
+  RockOptions opt;
+  opt.theta = 0.5;
+  opt.num_clusters = 2;
+  opt.diag.collect_metrics = state.range(0) != 0;
+  RockClusterer clusterer(opt);
+  for (auto _ : state) {
+    auto result = clusterer.Cluster(sim);
+    benchmark::DoNotOptimize(result->stats.num_merges);
+  }
+}
+BENCHMARK(BM_RockClusterMetrics)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("collect_metrics")
     ->Unit(benchmark::kMillisecond);
 
 void BM_MushroomGenerator(benchmark::State& state) {

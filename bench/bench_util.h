@@ -8,9 +8,33 @@
 #include <cstdio>
 #include <string>
 
+#include "diag/metrics.h"
 #include "eval/contingency.h"
 
 namespace rock::bench {
+
+/// Total seconds recorded for pipeline stage `stage` ("neighbors", "links",
+/// "merge", …) in a diag metrics report; 0 when the stage never ran.
+inline double StageSeconds(const diag::RunMetrics& metrics,
+                           const std::string& stage) {
+  const diag::TimerStats* stats = metrics.FindTimer("stage." + stage);
+  return stats == nullptr ? 0.0 : stats->total_seconds;
+}
+
+/// Prints one labeled per-stage wall-time breakdown row (the three phases
+/// of the paper's §4.5 cost model) plus the dominant size counters.
+inline void PrintStageBreakdown(const std::string& label,
+                                const diag::RunMetrics& metrics) {
+  std::printf(
+      "%-16s nbr %7.3fs  links %7.3fs  merge %7.3fs  "
+      "(edges %llu, link-pairs %llu, merges %llu)\n",
+      label.c_str(), StageSeconds(metrics, "neighbors"),
+      StageSeconds(metrics, "links"), StageSeconds(metrics, "merge"),
+      static_cast<unsigned long long>(metrics.CounterOr("graph.edges")),
+      static_cast<unsigned long long>(
+          metrics.CounterOr("links.nonzero_pairs")),
+      static_cast<unsigned long long>(metrics.CounterOr("merge.merges")));
+}
 
 /// Prints a banner naming the experiment.
 inline void Banner(const std::string& title) {

@@ -17,6 +17,7 @@
 #include "core/rock.h"
 #include "data/arff_reader.h"
 #include "data/csv_reader.h"
+#include "diag/metrics.h"
 #include "data/disk_store.h"
 #include "data/transforms.h"
 #include "eval/contingency.h"
@@ -205,6 +206,17 @@ Status WriteJsonSummary(const std::string& path,
   return Status::OK();
 }
 
+/// Writes the diag metrics report (see docs/OBSERVABILITY.md for schema).
+Status WriteMetricsJson(const std::string& path,
+                        const diag::RunMetrics& metrics,
+                        std::string_view tool) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  out << metrics.ToJson(tool);
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
 void EmitClusteringSummary(const Clustering& clustering,
                            const LabelSet& labels, std::string* out) {
   Emit(out, "clusters: %zu   points: %zu   outliers: %zu\n",
@@ -363,10 +375,12 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   std::string similarity = "jaccard";
   std::string assignments_path;
   std::string json_path;
+  std::string metrics_json_path;
   double theta = 0.5;
   size_t k = 2;
   double stop_multiple = 0.0;
   size_t min_support = 2;
+  size_t check_invariants = 0;
   int64_t label_column = 0;
   bool label_first = false;
   bool profiles = false;
@@ -385,6 +399,8 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
                   "write row,cluster CSV here");
   flags.AddString("json", &json_path,
                   "write a machine-readable run summary (JSON) here");
+  flags.AddString("metrics-json", &metrics_json_path,
+                  "write the per-stage metrics report (JSON) here (rock)");
   flags.AddDouble("theta", &theta, "neighbor threshold θ (rock)");
   flags.AddSize("k", &k, "desired number of clusters");
   flags.AddDouble("stop-multiple", &stop_multiple,
@@ -392,6 +408,8 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
                   "(0 = off, rock)");
   flags.AddSize("min-support", &min_support,
                 "minimum cluster size surviving weeding (rock)");
+  flags.AddSize("check-invariants", &check_invariants,
+                "validate merge bookkeeping every Nth merge (0 = off, rock)");
   flags.AddInt("label-column", &label_column,
                "ground-truth column in csv (-1 = none)");
   flags.AddBool("label-first", &label_first,
@@ -427,6 +445,8 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
 
   Timer timer;
   Clustering clustering;
+  diag::RunMetrics run_metrics;
+  bool have_metrics = false;
   if (algo == "rock" || algo == "single-link" || algo == "group-average") {
     // Similarity-driven algorithms.
     std::unique_ptr<PointSimilarity> sim;
@@ -446,6 +466,7 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
       opt.outlier_stop_multiple = stop_multiple;
       opt.min_cluster_support = min_support;
       opt.num_threads = threads;
+      opt.diag.invariant_check_every = check_invariants;
       Result<RockResult> result = Status::Internal("unreachable");
       if (neighbors == "lsh") {
         if (loaded->is_categorical) {
@@ -470,12 +491,26 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
         return 1;
       }
       clustering = std::move(result->clustering);
+      run_metrics = std::move(result->metrics);
+      have_metrics = true;
       Emit(out,
            "rock: θ=%.3f merges=%zu pruned=%zu weeded=%zu "
            "criterion=%.2f\n",
            theta, result->stats.num_merges, result->stats.num_pruned_points,
            result->stats.num_weeded_clusters,
            result->stats.criterion_value);
+      const uint64_t violations =
+          run_metrics.CounterOr("diag.invariant_violations");
+      if (check_invariants > 0) {
+        Emit(out, "diag: invariant checks=%llu violations=%llu\n",
+             static_cast<unsigned long long>(
+                 run_metrics.CounterOr("diag.invariant_checks")),
+             static_cast<unsigned long long>(violations));
+      }
+      if (violations > 0) {
+        EmitStr(out, "error: invariant violations detected (see stderr)\n");
+        return 1;
+      }
     } else if (algo == "single-link") {
       auto result = ClusterSingleLink(*sim, k);
       if (!result.ok()) {
@@ -550,6 +585,19 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
     }
     Emit(out, "summary written to %s\n", json_path.c_str());
   }
+  if (!metrics_json_path.empty()) {
+    if (!have_metrics) {
+      EmitStr(out, "error: --metrics-json requires --algo=rock\n");
+      return 2;
+    }
+    if (Status s = WriteMetricsJson(metrics_json_path, run_metrics,
+                                    "cluster");
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "metrics written to %s\n", metrics_json_path.c_str());
+  }
   return 0;
 }
 
@@ -557,18 +605,24 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
                 bool help_only) {
   std::string store;
   std::string assignments_path;
+  std::string metrics_json_path;
   double theta = 0.5;
   size_t k = 10;
   size_t sample_size = 2000;
   double labeling_fraction = 0.25;
   double stop_multiple = 3.0;
   size_t min_support = 5;
+  size_t check_invariants = 0;
   int64_t seed = 42;
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
   flags.AddString("assignments", &assignments_path,
                   "write row,cluster CSV here");
+  flags.AddString("metrics-json", &metrics_json_path,
+                  "write the per-stage metrics report (JSON) here");
+  flags.AddSize("check-invariants", &check_invariants,
+                "validate merge bookkeeping every Nth merge (0 = off)");
   flags.AddDouble("theta", &theta, "neighbor threshold θ");
   flags.AddSize("k", &k, "desired number of clusters");
   flags.AddSize("sample-size", &sample_size, "random sample size");
@@ -598,6 +652,7 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   opt.rock.num_clusters = k;
   opt.rock.outlier_stop_multiple = stop_multiple;
   opt.rock.min_cluster_support = min_support;
+  opt.rock.diag.invariant_check_every = check_invariants;
   opt.sample_size = sample_size;
   opt.labeling.fraction = labeling_fraction;
   opt.seed = static_cast<uint64_t>(seed);
@@ -630,6 +685,19 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
       return 1;
     }
     Emit(out, "assignments written to %s\n", assignments_path.c_str());
+  }
+  if (result->metrics.CounterOr("diag.invariant_violations") > 0) {
+    EmitStr(out, "error: invariant violations detected (see stderr)\n");
+    return 1;
+  }
+  if (!metrics_json_path.empty()) {
+    if (Status s = WriteMetricsJson(metrics_json_path, result->metrics,
+                                    "pipeline");
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "metrics written to %s\n", metrics_json_path.c_str());
   }
   return 0;
 }

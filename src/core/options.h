@@ -31,6 +31,20 @@ double MarketBasketF(double theta);
 /// canonical default.
 double ConservativeMarketBasketF(double theta);
 
+/// Observability and self-checking knobs (see docs/OBSERVABILITY.md).
+struct DiagOptions {
+  /// Collect per-stage timers and counters into RockResult::metrics /
+  /// PipelineResult::metrics. Costs a few dozen registry writes per run.
+  bool collect_metrics = true;
+
+  /// When > 0, the merge engine re-derives its link/heap bookkeeping from
+  /// first principles after every Nth merge (plus once before the first and
+  /// once after the last) and records violations under diag.invariant_*.
+  /// 0 defers to the ROCK_DIAG_CHECKS environment variable / build option
+  /// (diag::InvariantCheckInterval), which default to disabled.
+  size_t invariant_check_every = 0;
+};
+
 /// Parameters of a ROCK clustering run.
 struct RockOptions {
   /// Similarity threshold θ ∈ [0, 1]: pairs with sim ≥ θ are neighbors.
@@ -63,6 +77,9 @@ struct RockOptions {
   /// 1 = serial (default), 0 = hardware concurrency. Results are
   /// identical regardless of thread count.
   size_t num_threads = 1;
+
+  /// Metrics collection and runtime invariant checking.
+  DiagOptions diag;
 
   /// Checks parameter sanity.
   Status Validate() const;

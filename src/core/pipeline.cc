@@ -63,6 +63,16 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
   out.labeling = std::move(*labeling);
   out.label_seconds = label_timer.ElapsedSeconds();
 
+  if (options.rock.diag.collect_metrics) {
+    diag::MetricsRegistry registry;
+    registry.RecordSeconds("stage.sample", out.sample_seconds);
+    registry.RecordSeconds("stage.label", out.label_seconds);
+    registry.AddCounter("sample.rows", out.sample_rows.size());
+    registry.AddCounter("label.rows", out.labeling.assignments.size());
+    registry.AddCounter("label.outliers", out.labeling.num_outliers);
+    out.metrics = registry.Snapshot();
+    out.metrics.Merge(out.sample_result.metrics);
+  }
   return out;
 }
 

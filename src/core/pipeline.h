@@ -38,6 +38,12 @@ struct PipelineResult {
   double sample_seconds = 0.0;
   double cluster_seconds = 0.0;
   double label_seconds = 0.0;
+  /// Per-stage metrics for the whole pipeline: the clusterer's report
+  /// (stage.neighbors/links/merge/total plus graph/link/merge counters)
+  /// merged with the pipeline's own stage.sample / stage.label timers and
+  /// sample/label counters. Empty when options.rock.diag disables
+  /// collection. Names are cataloged in docs/OBSERVABILITY.md.
+  diag::RunMetrics metrics;
 };
 
 /// Runs sample → cluster → label against a transaction store file.

@@ -21,6 +21,7 @@
 #include "core/cluster.h"
 #include "core/goodness.h"
 #include "core/options.h"
+#include "diag/metrics.h"
 #include "graph/links.h"
 #include "graph/neighbors.h"
 #include "similarity/similarity.h"
@@ -53,11 +54,14 @@ struct RockStats {
 };
 
 /// Result of a ROCK run: the flat clustering (outliers = kUnassigned),
-/// the merge history, and run statistics.
+/// the merge history, run statistics, and — unless disabled via
+/// RockOptions::diag — the per-stage metrics report (timers, counters,
+/// gauges; names cataloged in docs/OBSERVABILITY.md).
 struct RockResult {
   Clustering clustering;
   std::vector<MergeRecord> merges;
   RockStats stats;
+  diag::RunMetrics metrics;
 };
 
 /// The ROCK clustering algorithm.

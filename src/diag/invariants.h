@@ -1,0 +1,84 @@
+// librock — diag/invariants.h
+//
+// Self-verification for the graph and merge phases. The ROCK merge loop
+// maintains several pieces of redundant state (point links, cluster cross-
+// link maps, one local heap per cluster, a global heap) across thousands of
+// merges; these checkers re-derive each layer from first principles and
+// report any disagreement. They serve two roles:
+//
+//   1. runtime tripwires inside the merge engine, enabled per-run via
+//      RockOptions::diag.invariant_check_every, the ROCK_DIAG_CHECKS
+//      environment variable, or the ROCK_DIAG_CHECKS CMake option
+//      (see InvariantCheckInterval);
+//   2. oracles for the differential / property tests, which call them
+//      directly on graphs and link matrices.
+//
+// Violations are never fatal: they are counted in an InvariantReport (and
+// surfaced as diag.invariant_* counters in RunMetrics) and echoed to stderr
+// so red runs are diagnosable from their logs.
+
+#ifndef ROCK_DIAG_INVARIANTS_H_
+#define ROCK_DIAG_INVARIANTS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/links.h"
+#include "graph/neighbors.h"
+
+namespace rock::diag {
+
+/// Effective invariant-check cadence for a run: `configured` when > 0, else
+/// the ROCK_DIAG_CHECKS environment variable (an interval; "0" or unset
+/// disables), else the compile-time default (ROCK_DIAG_CHECKS builds check
+/// every 16th merge; regular builds return 0 = disabled).
+size_t InvariantCheckInterval(size_t configured);
+
+/// One detected inconsistency.
+struct InvariantViolation {
+  std::string check;   ///< checker name, e.g. "links.symmetry"
+  std::string detail;  ///< human-readable specifics
+};
+
+/// Collects violations across a run. Reporting also logs to stderr (capped)
+/// so failures reproduce from logs.
+class InvariantReport {
+ public:
+  /// Records a violation of `check` with `detail`.
+  void Report(std::string_view check, std::string detail);
+
+  /// Number of checks that were executed (bumped by the Check* functions
+  /// and the merge engine; purely informational).
+  void NoteCheck() { ++checks_run_; }
+
+  bool ok() const { return violations_.empty(); }
+  size_t checks_run() const { return checks_run_; }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  std::vector<InvariantViolation> violations_;
+  size_t checks_run_ = 0;
+};
+
+/// Structural sanity of a neighbor graph: every row sorted and duplicate-
+/// free, no self-loops, adjacency symmetric, indices in range.
+void CheckNeighborGraph(const NeighborGraph& graph, InvariantReport* report);
+
+/// LinkMatrix self-consistency: Count(i, j) == Count(j, i) for every stored
+/// entry, no self-links, and TotalLinks/NumNonZeroPairs agree with a fresh
+/// row scan.
+void CheckLinkMatrixSymmetry(const LinkMatrix& links, InvariantReport* report);
+
+/// Full link recount: `links` must equal the brute-force neighbor-list
+/// intersection counts of `graph`. O(n² · m) — intended for tests and
+/// checked builds on small inputs.
+void CheckLinksMatchGraph(const NeighborGraph& graph, const LinkMatrix& links,
+                          InvariantReport* report);
+
+}  // namespace rock::diag
+
+#endif  // ROCK_DIAG_INVARIANTS_H_

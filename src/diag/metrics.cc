@@ -1,0 +1,161 @@
+#include "diag/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rock::diag {
+
+void TimerStats::Record(double seconds) {
+  min_seconds = count == 0 ? seconds : std::min(min_seconds, seconds);
+  max_seconds = std::max(max_seconds, seconds);
+  total_seconds += seconds;
+  ++count;
+}
+
+void TimerStats::Merge(const TimerStats& other) {
+  if (other.count == 0) return;
+  min_seconds = count == 0 ? other.min_seconds
+                           : std::min(min_seconds, other.min_seconds);
+  max_seconds = std::max(max_seconds, other.max_seconds);
+  total_seconds += other.total_seconds;
+  count += other.count;
+}
+
+uint64_t RunMetrics::CounterOr(const std::string& name,
+                               uint64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double RunMetrics::GaugeOr(const std::string& name, double fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+const TimerStats* RunMetrics::FindTimer(const std::string& name) const {
+  auto it = timers.find(name);
+  return it == timers.end() ? nullptr : &it->second;
+}
+
+void RunMetrics::RecordSeconds(const std::string& name, double seconds) {
+  timers[name].Record(seconds);
+}
+
+void RunMetrics::Merge(const RunMetrics& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, stats] : other.timers) timers[name].Merge(stats);
+}
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RunMetrics::ToJson(std::string_view tool) const {
+  std::string out;
+  out += "{\n  \"version\": 1,\n  \"tool\": \"";
+  out += JsonEscape(tool);
+  out += "\",\n  \"stages\": [";
+  // The stage list is derived from the "stage.*" timers so readers can walk
+  // the pipeline without knowing librock's internals.
+  bool first = true;
+  for (const auto& [name, stats] : timers) {
+    if (name.rfind("stage.", 0) != 0) continue;
+    out += first ? "" : ", ";
+    out += '"';
+    out += JsonEscape(name.substr(6));
+    out += '"';
+    first = false;
+  }
+  out += "],\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, stats] : timers) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": ";
+    out += std::to_string(stats.count);
+    out += ", \"total_seconds\": ";
+    AppendDouble(&out, stats.total_seconds);
+    out += ", \"min_seconds\": ";
+    AppendDouble(&out, stats.min_seconds);
+    out += ", \"max_seconds\": ";
+    AppendDouble(&out, stats.max_seconds);
+    out += "}";
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": ";
+    AppendDouble(&out, value);
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  data_.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::MaxCounter(std::string_view name, uint64_t value) {
+  uint64_t& slot = data_.counters[std::string(name)];
+  slot = std::max(slot, value);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  data_.gauges[std::string(name)] = value;
+}
+
+void MetricsRegistry::RecordSeconds(std::string_view name, double seconds) {
+  data_.timers[std::string(name)].Record(seconds);
+}
+
+double ScopedTimer::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  elapsed_ = timer_.ElapsedSeconds();
+  if (registry_ != nullptr) registry_->RecordSeconds(name_, elapsed_);
+  return elapsed_;
+}
+
+}  // namespace rock::diag

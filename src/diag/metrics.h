@@ -1,0 +1,126 @@
+// librock — diag/metrics.h
+//
+// Lightweight run-scoped observability: named counters, gauges and wall-time
+// timers collected while a pipeline executes, snapshotted into a RunMetrics
+// value the caller can inspect or serialize. ROCK's cost model (paper §4.5 /
+// Fig. 5) is dominated by neighbor construction and link counting, so every
+// stage records its wall time plus allocation-proxy counters (edges, non-zero
+// link pairs, heap sizes, merges, goodness recomputes).
+//
+// Overhead discipline: all recording goes through a MetricsRegistry*; a null
+// registry makes every call a no-op (one branch), so disabled runs pay
+// nothing measurable. The registry is single-writer — librock's merge loop is
+// sequential and the parallel graph phases report aggregates once, after
+// joining — so no locks are taken.
+
+#ifndef ROCK_DIAG_METRICS_H_
+#define ROCK_DIAG_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/timer.h"
+
+namespace rock::diag {
+
+/// Aggregated observations of one named timer.
+struct TimerStats {
+  uint64_t count = 0;        ///< number of recorded intervals
+  double total_seconds = 0;  ///< sum of recorded intervals
+  double min_seconds = 0;    ///< shortest interval (0 when count == 0)
+  double max_seconds = 0;    ///< longest interval
+
+  /// Folds one observation into the aggregate.
+  void Record(double seconds);
+  /// Folds another aggregate into this one.
+  void Merge(const TimerStats& other);
+};
+
+/// Immutable-ish snapshot of one run's metrics. Keys are dotted metric names
+/// ("stage.links", "graph.edges"); std::map keeps serialization
+/// deterministic. See docs/OBSERVABILITY.md for the name catalog.
+struct RunMetrics {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStats> timers;
+
+  /// Counter value, or `fallback` when the counter was never written.
+  uint64_t CounterOr(const std::string& name, uint64_t fallback = 0) const;
+  /// Gauge value, or `fallback` when the gauge was never written.
+  double GaugeOr(const std::string& name, double fallback = 0.0) const;
+  /// Timer aggregate, or nullptr when the timer never fired.
+  const TimerStats* FindTimer(const std::string& name) const;
+
+  /// Adds one timer observation directly (used by callers that measure a
+  /// stage outside any registry, e.g. RockClusterer's neighbor phase).
+  void RecordSeconds(const std::string& name, double seconds);
+
+  /// Folds `other` into this: counters add, gauges overwrite, timers merge.
+  void Merge(const RunMetrics& other);
+
+  /// Serializes to a stable, machine-readable JSON report (schema in
+  /// docs/OBSERVABILITY.md). `tool` names the producing command/phase.
+  std::string ToJson(std::string_view tool) const;
+};
+
+/// Collects metrics during a run. Recording through a null registry pointer
+/// is a supported no-op, which is how "metrics disabled" is spelled.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (created at 0 on first touch).
+  void AddCounter(std::string_view name, uint64_t delta);
+  /// Raises counter `name` to `value` if it is below it (peak tracking).
+  void MaxCounter(std::string_view name, uint64_t value);
+  /// Sets gauge `name` (last write wins).
+  void SetGauge(std::string_view name, double value);
+  /// Records one wall-time observation for timer `name`.
+  void RecordSeconds(std::string_view name, double seconds);
+
+  /// Copies the collected metrics out.
+  RunMetrics Snapshot() const { return data_; }
+
+ private:
+  RunMetrics data_;
+};
+
+// Null-safe wrappers: the hot paths call these so that a disabled run
+// (registry == nullptr) costs exactly one predictable branch.
+inline void AddCounter(MetricsRegistry* r, std::string_view name,
+                       uint64_t delta) {
+  if (r != nullptr) r->AddCounter(name, delta);
+}
+inline void MaxCounter(MetricsRegistry* r, std::string_view name,
+                       uint64_t value) {
+  if (r != nullptr) r->MaxCounter(name, value);
+}
+inline void SetGauge(MetricsRegistry* r, std::string_view name, double value) {
+  if (r != nullptr) r->SetGauge(name, value);
+}
+
+/// RAII stage timer: records the scope's wall time into `name` on
+/// destruction (or at Stop()). Null registry → no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry), name_(name) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stops early and returns the elapsed seconds; records exactly once.
+  double Stop();
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  Timer timer_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace rock::diag
+
+#endif  // ROCK_DIAG_METRICS_H_

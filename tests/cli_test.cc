@@ -4,11 +4,44 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
 
 #include "cli/cli.h"
 
 namespace rock {
 namespace {
+
+/// Reads a whole file into a string.
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extracts every JSON object key ("..." immediately followed by a colon),
+/// masking all values — the golden assertions below pin the schema, not the
+/// machine-dependent timings.
+std::set<std::string> JsonKeys(const std::string& json) {
+  std::set<std::string> keys;
+  for (size_t pos = json.find('"'); pos != std::string::npos;
+       pos = json.find('"', pos + 1)) {
+    const size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    size_t after = end + 1;
+    while (after < json.size() &&
+           (json[after] == ' ' || json[after] == '\n')) {
+      ++after;
+    }
+    if (after < json.size() && json[after] == ':') {
+      keys.insert(json.substr(pos + 1, end - pos - 1));
+    }
+    pos = end;
+  }
+  return keys;
+}
 
 class CliTest : public ::testing::Test {
  protected:
@@ -203,6 +236,95 @@ TEST_F(CliTest, ClusterArffInput) {
   ASSERT_EQ(code, 0) << out;
   EXPECT_NE(out.find("clusters: 2"), std::string::npos);
   EXPECT_NE(out.find("purity: 1.0000"), std::string::npos);
+}
+
+// Golden schema test for --metrics-json: the key set and stage list must
+// stay stable (values are masked — timings are machine-dependent).
+TEST_F(CliTest, MetricsJsonGoldenSchema) {
+  auto [gcode, gout] = Run({"gen", "--dataset=votes",
+                            "--out=" + Path("votes.csv")});
+  ASSERT_EQ(gcode, 0) << gout;
+
+  auto [code, out] =
+      Run({"cluster", "--input=" + Path("votes.csv"), "--theta=0.73",
+           "--k=2", "--stop-multiple=3", "--min-support=5",
+           "--check-invariants=8",
+           "--metrics-json=" + Path("metrics.json")});
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("diag: invariant checks="), std::string::npos);
+  EXPECT_NE(out.find("violations=0"), std::string::npos);
+
+  const std::string json = Slurp(Path("metrics.json"));
+  ASSERT_FALSE(json.empty());
+
+  // Stage list, with values unmasked — stages are stable across machines.
+  EXPECT_NE(
+      json.find(
+          "\"stages\": [\"links\", \"merge\", \"neighbors\", \"total\"]"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tool\": \"cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+
+  // Golden key set (values masked).
+  const std::set<std::string> expected = {
+      "version",         "tool",
+      "stages",          "timers",
+      "counters",        "gauges",
+      "stage.links",     "stage.merge",
+      "stage.neighbors", "stage.total",
+      "count",           "total_seconds",
+      "min_seconds",     "max_seconds",
+      "diag.invariant_checks",
+      "diag.invariant_violations",
+      "graph.points",    "graph.edges",
+      "graph.max_degree",
+      "prune.isolated_points",
+      "links.nonzero_pairs",
+      "links.total",
+      "heap.global_peak",
+      "heap.local_entries_peak",
+      "merge.merges",
+      "merge.goodness_updates",
+      "weed.clusters",   "weed.points",
+      "graph.average_degree",
+      "criterion.value",
+  };
+  EXPECT_EQ(JsonKeys(json), expected);
+}
+
+TEST_F(CliTest, MetricsJsonPipeline) {
+  auto [gcode, gout] = Run({"gen", "--dataset=basket", "--scale=0.02",
+                            "--out=" + Path("baskets.store")});
+  ASSERT_EQ(gcode, 0) << gout;
+  auto [code, out] =
+      Run({"pipeline", "--store=" + Path("baskets.store"),
+           "--sample-size=400", "--theta=0.5", "--k=10",
+           "--metrics-json=" + Path("pipe_metrics.json")});
+  ASSERT_EQ(code, 0) << out;
+  const std::string json = Slurp(Path("pipe_metrics.json"));
+  EXPECT_NE(json.find("\"tool\": \"pipeline\""), std::string::npos);
+  const std::set<std::string> keys = JsonKeys(json);
+  for (const char* stage :
+       {"stage.sample", "stage.label", "stage.neighbors", "stage.links",
+        "stage.merge"}) {
+    EXPECT_TRUE(keys.count(stage)) << stage;
+  }
+  EXPECT_TRUE(keys.count("sample.rows"));
+  EXPECT_TRUE(keys.count("label.rows"));
+  EXPECT_TRUE(keys.count("label.outliers"));
+}
+
+TEST_F(CliTest, MetricsJsonRequiresRockAlgo) {
+  auto [gcode, gout] = Run({"gen", "--dataset=votes",
+                            "--out=" + Path("votes.csv")});
+  ASSERT_EQ(gcode, 0) << gout;
+  auto [code, out] = Run({"cluster", "--input=" + Path("votes.csv"),
+                          "--algo=kmeans", "--k=2",
+                          "--metrics-json=" + Path("m.json")});
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.find("--metrics-json requires --algo=rock"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -70,6 +71,7 @@ TEST(ResultTest, MoveOutValue) {
 // ------------------------------------------------------------------- Rng --
 
 TEST(RngTest, DeterministicForEqualSeeds) {
+  ROCK_TRACE_SEED(123);
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.NextUint64(), b.NextUint64());
@@ -77,6 +79,7 @@ TEST(RngTest, DeterministicForEqualSeeds) {
 }
 
 TEST(RngTest, DifferentSeedsDiverge) {
+  ROCK_TRACE_SEED(1);
   Rng a(1), b(2);
   int differing = 0;
   for (int i = 0; i < 100; ++i) {
@@ -86,21 +89,21 @@ TEST(RngTest, DifferentSeedsDiverge) {
 }
 
 TEST(RngTest, UniformUint64RespectsBound) {
-  Rng rng(7);
+  ROCK_SEEDED_RNG(rng, 7);
   for (int i = 0; i < 10000; ++i) {
     EXPECT_LT(rng.UniformUint64(17), 17u);
   }
 }
 
 TEST(RngTest, UniformUint64CoversAllResidues) {
-  Rng rng(11);
+  ROCK_SEEDED_RNG(rng, 11);
   std::set<uint64_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformUint64(7));
   EXPECT_EQ(seen.size(), 7u);
 }
 
 TEST(RngTest, UniformIntInclusiveRange) {
-  Rng rng(3);
+  ROCK_SEEDED_RNG(rng, 3);
   for (int i = 0; i < 10000; ++i) {
     const int64_t v = rng.UniformInt(-5, 5);
     EXPECT_GE(v, -5);
@@ -109,7 +112,7 @@ TEST(RngTest, UniformIntInclusiveRange) {
 }
 
 TEST(RngTest, UniformDoubleInHalfOpenUnit) {
-  Rng rng(5);
+  ROCK_SEEDED_RNG(rng, 5);
   for (int i = 0; i < 10000; ++i) {
     const double v = rng.UniformDouble();
     EXPECT_GE(v, 0.0);
@@ -118,7 +121,7 @@ TEST(RngTest, UniformDoubleInHalfOpenUnit) {
 }
 
 TEST(RngTest, NormalHasSaneMoments) {
-  Rng rng(9);
+  ROCK_SEEDED_RNG(rng, 9);
   double sum = 0.0, sum2 = 0.0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
@@ -133,7 +136,7 @@ TEST(RngTest, NormalHasSaneMoments) {
 }
 
 TEST(RngTest, BernoulliMatchesProbability) {
-  Rng rng(13);
+  ROCK_SEEDED_RNG(rng, 13);
   int hits = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
@@ -143,7 +146,7 @@ TEST(RngTest, BernoulliMatchesProbability) {
 }
 
 TEST(RngTest, ShuffleIsPermutation) {
-  Rng rng(17);
+  ROCK_SEEDED_RNG(rng, 17);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
   auto sorted = v;
   rng.Shuffle(v);
@@ -152,7 +155,7 @@ TEST(RngTest, ShuffleIsPermutation) {
 }
 
 TEST(RngTest, SampleWithoutReplacementIsDistinctSubset) {
-  Rng rng(19);
+  ROCK_SEEDED_RNG(rng, 19);
   for (int trial = 0; trial < 50; ++trial) {
     auto s = rng.SampleWithoutReplacement(100, 30);
     std::set<size_t> distinct(s.begin(), s.end());
@@ -162,7 +165,7 @@ TEST(RngTest, SampleWithoutReplacementIsDistinctSubset) {
 }
 
 TEST(RngTest, SampleWithoutReplacementFullSet) {
-  Rng rng(21);
+  ROCK_SEEDED_RNG(rng, 21);
   auto s = rng.SampleWithoutReplacement(10, 10);
   std::set<size_t> distinct(s.begin(), s.end());
   EXPECT_EQ(distinct.size(), 10u);
@@ -170,7 +173,7 @@ TEST(RngTest, SampleWithoutReplacementFullSet) {
 
 TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
   // Each element of [0,10) should land in a 3-sample ~ 30% of the time.
-  Rng rng(23);
+  ROCK_SEEDED_RNG(rng, 23);
   std::vector<int> hits(10, 0);
   const int trials = 20000;
   for (int t = 0; t < trials; ++t) {
@@ -182,6 +185,7 @@ TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {
+  ROCK_TRACE_SEED(31);
   Rng a(31);
   Rng child = a.Fork();
   // The fork and the parent should not produce the same next values.

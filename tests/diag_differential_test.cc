@@ -1,0 +1,207 @@
+// Differential tests: the parallel graph algorithms must be bit-identical
+// to their serial counterparts on randomized Jaccard datasets across θ and
+// thread counts, including the degenerate graphs (no edges, complete graph).
+// Equality is asserted structurally AND through the diag invariant oracles,
+// so a disagreement reports which layer diverged.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "diag/invariants.h"
+#include "graph/links.h"
+#include "graph/neighbors.h"
+#include "graph/parallel.h"
+#include "similarity/jaccard.h"
+#include "synth/basket_generator.h"
+#include "test_support.h"
+
+namespace rock {
+namespace {
+
+// Builds a randomized transaction dataset with cluster structure plus
+// outliers, so the neighbor graph has both dense and sparse regions.
+TransactionDataset RandomDataset(uint64_t seed, size_t scale) {
+  BasketGeneratorOptions gen;
+  gen.cluster_sizes = {30 * scale, 20 * scale, 15 * scale};
+  gen.items_per_cluster = {12, 10, 14};
+  gen.num_outliers = 5 * scale;
+  gen.seed = seed;
+  return std::move(GenerateBasketData(gen)).value();
+}
+
+void ExpectGraphsIdentical(const NeighborGraph& serial,
+                           const NeighborGraph& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.nbrlist[i], parallel.nbrlist[i]) << "row " << i;
+  }
+}
+
+void ExpectLinksIdentical(const LinkMatrix& serial,
+                          const LinkMatrix& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.NumNonZeroPairs(), parallel.NumNonZeroPairs());
+  EXPECT_EQ(serial.TotalLinks(), parallel.TotalLinks());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const auto& row = serial.Row(static_cast<PointIndex>(i));
+    ASSERT_EQ(row.size(), parallel.Row(static_cast<PointIndex>(i)).size())
+        << "row " << i;
+    for (const auto& [j, count] : row) {
+      EXPECT_EQ(parallel.Count(static_cast<PointIndex>(i), j), count)
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// θ × thread-count grid over a randomized dataset.
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(DifferentialTest, ParallelMatchesSerial) {
+  const auto [theta, threads] = GetParam();
+  const uint64_t seed = 20260806;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 2);
+  TransactionJaccard sim(ds);
+
+  auto serial = ComputeNeighbors(sim, theta);
+  ASSERT_TRUE(serial.ok());
+  ParallelOptions par;
+  par.num_threads = threads;
+  auto parallel = ComputeNeighborsParallel(sim, theta, par);
+  ASSERT_TRUE(parallel.ok());
+  ExpectGraphsIdentical(*serial, *parallel);
+
+  // The parallel graph must satisfy the structural invariants on its own.
+  diag::InvariantReport report;
+  diag::CheckNeighborGraph(*parallel, &report);
+  EXPECT_TRUE(report.ok()) << report.violations().front().detail;
+
+  const LinkMatrix serial_links = ComputeLinks(*serial);
+  const LinkMatrix parallel_links = ComputeLinksParallel(*serial, par);
+  ExpectLinksIdentical(serial_links, parallel_links);
+
+  diag::InvariantReport link_report;
+  diag::CheckLinkMatrixSymmetry(parallel_links, &link_report);
+  diag::CheckLinksMatchGraph(*parallel, parallel_links, &link_report);
+  EXPECT_TRUE(link_report.ok())
+      << link_report.violations().front().detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaByThreads, DifferentialTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{4},
+                                         size_t{8})),
+    [](const ::testing::TestParamInfo<DifferentialTest::ParamType>& param) {
+      const double theta = std::get<0>(param.param);
+      return "theta" + std::to_string(static_cast<int>(theta * 10)) +
+             "_threads" + std::to_string(std::get<1>(param.param));
+    });
+
+// Varying seeds at a fixed mid-grid configuration, to shake out schedule-
+// dependent bugs that a single dataset might mask.
+class DifferentialSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSeedTest, ParallelMatchesSerialAcrossSeeds) {
+  const uint64_t seed = GetParam();
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 1);
+  TransactionJaccard sim(ds);
+
+  auto serial = ComputeNeighbors(sim, 0.5);
+  ASSERT_TRUE(serial.ok());
+  ParallelOptions par;
+  par.num_threads = 4;
+  par.row_chunk = 3;  // force many scheduling steps on a small input
+  auto parallel = ComputeNeighborsParallel(sim, 0.5, par);
+  ASSERT_TRUE(parallel.ok());
+  ExpectGraphsIdentical(*serial, *parallel);
+  ExpectLinksIdentical(ComputeLinks(*serial),
+                       ComputeLinksParallel(*serial, par));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ------------------------------------------------------------- edge cases --
+
+// Pairwise-disjoint transactions → Jaccard 0 for every pair → empty
+// neighbor graph at any θ > 0, zero links.
+TEST(DifferentialEdgeCaseTest, EmptyGraph) {
+  TransactionDataset ds;
+  for (int t = 0; t < 40; ++t) {
+    ds.AddTransaction({"item_" + std::to_string(2 * t),
+                       "item_" + std::to_string(2 * t + 1)});
+  }
+  TransactionJaccard sim(ds);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelOptions par;
+    par.num_threads = threads;
+    auto serial = ComputeNeighbors(sim, 0.5);
+    ASSERT_TRUE(serial.ok());
+    auto parallel = ComputeNeighborsParallel(sim, 0.5, par);
+    ASSERT_TRUE(parallel.ok());
+    ExpectGraphsIdentical(*serial, *parallel);
+    EXPECT_EQ(parallel->NumEdges(), 0u);
+    const LinkMatrix links = ComputeLinksParallel(*parallel, par);
+    EXPECT_EQ(links.NumNonZeroPairs(), 0u);
+    EXPECT_EQ(links.TotalLinks(), 0u);
+    ExpectLinksIdentical(ComputeLinks(*serial), links);
+  }
+}
+
+// θ = 0 → every pair of points is a neighbor (complete graph): the densest
+// possible link structure, n−2 links on every pair.
+TEST(DifferentialEdgeCaseTest, AllNeighborsGraph) {
+  const uint64_t seed = 100;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 1);
+  TransactionJaccard sim(ds);
+  const size_t n = ds.size();
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelOptions par;
+    par.num_threads = threads;
+    auto serial = ComputeNeighbors(sim, 0.0);
+    ASSERT_TRUE(serial.ok());
+    auto parallel = ComputeNeighborsParallel(sim, 0.0, par);
+    ASSERT_TRUE(parallel.ok());
+    ExpectGraphsIdentical(*serial, *parallel);
+    EXPECT_EQ(parallel->NumEdges(), n * (n - 1) / 2);
+    const LinkMatrix links = ComputeLinksParallel(*parallel, par);
+    ExpectLinksIdentical(ComputeLinks(*serial), links);
+    // Complete graph: link(i, j) = n − 2 for every pair.
+    EXPECT_EQ(links.Count(0, 1), static_cast<LinkCount>(n - 2));
+    EXPECT_EQ(links.TotalLinks(),
+              static_cast<uint64_t>(n) * (n - 1) / 2 * (n - 2));
+  }
+}
+
+// Tiny inputs: fewer points than threads, and the empty / single-point /
+// two-point graphs must not trip range or scheduling bugs.
+TEST(DifferentialEdgeCaseTest, FewerPointsThanThreads) {
+  for (size_t n : {0u, 1u, 2u, 3u}) {
+    NeighborGraph g;
+    g.nbrlist.resize(n);
+    if (n >= 2) {
+      // Path graph 0 – 1 – … – (n−1).
+      for (size_t i = 0; i + 1 < n; ++i) {
+        g.nbrlist[i].push_back(static_cast<PointIndex>(i + 1));
+        g.nbrlist[i + 1].push_back(static_cast<PointIndex>(i));
+      }
+      for (auto& row : g.nbrlist) std::sort(row.begin(), row.end());
+    }
+    ParallelOptions par;
+    par.num_threads = 8;
+    ExpectLinksIdentical(ComputeLinks(g), ComputeLinksParallel(g, par));
+  }
+}
+
+}  // namespace
+}  // namespace rock

@@ -12,6 +12,7 @@
 #include "graph/strassen.h"
 #include "similarity/jaccard.h"
 #include "similarity/similarity_table.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -205,7 +206,7 @@ TEST(LinksTest, SymmetricStorage) {
 }
 
 TEST(LinksTest, DenseAccumulatorMatchesSparsePath) {
-  Rng rng(123);
+  ROCK_SEEDED_RNG(rng, 123);
   const size_t n = 60;
   SimilarityTable t(n);
   for (size_t i = 0; i < n; ++i) {
@@ -229,7 +230,7 @@ TEST(LinksTest, DenseAccumulatorMatchesSparsePath) {
 }
 
 TEST(LinksTest, MatchesBruteForceOnRandomGraphs) {
-  Rng rng(99);
+  ROCK_SEEDED_RNG(rng, 99);
   for (int trial = 0; trial < 20; ++trial) {
     const size_t n = 20 + static_cast<size_t>(rng.UniformUint64(30));
     SimilarityTable t(n);
@@ -295,7 +296,7 @@ TEST(DenseMatrixTest, DenseLinksMatchSparse) {
 // --------------------------------------------------------------- Strassen --
 
 TEST(StrassenTest, MatchesNaiveOnRandomSquares) {
-  Rng rng(7);
+  ROCK_SEEDED_RNG(rng, 7);
   for (size_t n : {1u, 2u, 3u, 5u, 8u, 17u, 33u}) {
     DenseMatrix a(n, n), b(n, n);
     for (size_t r = 0; r < n; ++r) {
@@ -351,7 +352,7 @@ class LinkAlgorithmsAgree : public ::testing::TestWithParam<double> {};
 
 TEST_P(LinkAlgorithmsAgree, OnRandomGraph) {
   const double density = GetParam();
-  Rng rng(static_cast<uint64_t>(density * 1000) + 1);
+  ROCK_SEEDED_RNG(rng, static_cast<uint64_t>(density * 1000) + 1);
   const size_t n = 40;
   SimilarityTable t(n);
   for (size_t i = 0; i < n; ++i) {

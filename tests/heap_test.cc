@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "util/updatable_heap.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -141,7 +142,7 @@ class ReferenceHeap {
 class HeapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(HeapPropertyTest, AgreesWithReferenceUnderRandomOps) {
-  Rng rng(GetParam());
+  ROCK_SEEDED_RNG(rng, GetParam());
   UpdatableHeap<int, double> heap;
   ReferenceHeap ref;
   for (int op = 0; op < 5000; ++op) {

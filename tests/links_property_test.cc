@@ -1,0 +1,165 @@
+// Property tests for the LinkMatrix dense/sparse duality. ComputeLinks
+// silently switches between a flat triangular accumulator and per-row hash
+// maps based on dense_budget_bytes; the two paths must be indistinguishable
+// at EVERY budget boundary (0, exactly-fits, one byte short). A fuzz loop of
+// random Add/Count sequences then cross-checks LinkMatrix bookkeeping
+// against a naive map model.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "diag/invariants.h"
+#include "graph/links.h"
+#include "graph/neighbors.h"
+#include "similarity/jaccard.h"
+#include "synth/basket_generator.h"
+#include "test_support.h"
+
+namespace rock {
+namespace {
+
+NeighborGraph RandomGraph(uint64_t seed, double theta) {
+  BasketGeneratorOptions gen;
+  gen.cluster_sizes = {40, 30, 20};
+  gen.items_per_cluster = {12, 10, 14};
+  gen.num_outliers = 8;
+  gen.seed = seed;
+  TransactionDataset ds = std::move(GenerateBasketData(gen)).value();
+  TransactionJaccard sim(ds);
+  return std::move(ComputeNeighbors(sim, theta)).value();
+}
+
+void ExpectSameMatrix(const LinkMatrix& a, const LinkMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.NumNonZeroPairs(), b.NumNonZeroPairs());
+  EXPECT_EQ(a.TotalLinks(), b.TotalLinks());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto& row = a.Row(static_cast<PointIndex>(i));
+    ASSERT_EQ(row.size(), b.Row(static_cast<PointIndex>(i)).size())
+        << "row " << i;
+    for (const auto& [j, count] : row) {
+      EXPECT_EQ(b.Count(static_cast<PointIndex>(i), j), count)
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// Bytes the dense triangular accumulator needs for an n-point graph.
+size_t DenseBytes(size_t n) {
+  return n < 2 ? 0 : n * (n - 1) / 2 * sizeof(LinkCount);
+}
+
+// The budget boundaries: 0 (always sparse), exactly-fits (dense), and one
+// byte short (sparse again). All three must equal the brute-force oracle.
+TEST(LinksBudgetBoundaryTest, AllBoundariesMatchBruteForce) {
+  const uint64_t seed = 71;
+  ROCK_TRACE_SEED(seed);
+  for (double theta : {0.2, 0.5, 0.8}) {
+    SCOPED_TRACE(::testing::Message() << "theta = " << theta);
+    const NeighborGraph g = RandomGraph(seed, theta);
+    const LinkMatrix oracle = ComputeLinksBruteForce(g);
+    const size_t exact = DenseBytes(g.size());
+    ASSERT_GT(exact, 0u);
+
+    const std::pair<const char*, size_t> budgets[] = {
+        {"zero (forced sparse)", 0},
+        {"exactly fits (dense)", exact},
+        {"one byte short (sparse)", exact - 1},
+        {"default", ComputeLinksOptions{}.dense_budget_bytes},
+    };
+    for (const auto& [label, budget] : budgets) {
+      SCOPED_TRACE(label);
+      ComputeLinksOptions opt;
+      opt.dense_budget_bytes = budget;
+      const LinkMatrix links = ComputeLinks(g, opt);
+      ExpectSameMatrix(oracle, links);
+
+      diag::InvariantReport report;
+      diag::CheckLinkMatrixSymmetry(links, &report);
+      diag::CheckLinksMatchGraph(g, links, &report);
+      EXPECT_TRUE(report.ok()) << report.violations().front().detail;
+    }
+  }
+}
+
+// Degenerate sizes around the n < 2 early-out of the dense path.
+TEST(LinksBudgetBoundaryTest, TinyGraphsEveryBudget) {
+  for (size_t n : {0u, 1u, 2u}) {
+    NeighborGraph g;
+    g.nbrlist.resize(n);
+    if (n == 2) {
+      g.nbrlist[0] = {1};
+      g.nbrlist[1] = {0};
+    }
+    for (size_t budget : {size_t{0}, size_t{1}, size_t{1} << 20}) {
+      ComputeLinksOptions opt;
+      opt.dense_budget_bytes = budget;
+      const LinkMatrix links = ComputeLinks(g, opt);
+      EXPECT_EQ(links.size(), n);
+      // A single edge produces no length-2 paths: all links zero.
+      EXPECT_EQ(links.TotalLinks(), 0u);
+      EXPECT_EQ(links.NumNonZeroPairs(), 0u);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- fuzz --
+
+// Random Add/Count sequences against a std::map model. Checks per-query
+// agreement, symmetry, and the TotalLinks / NumNonZeroPairs aggregates.
+TEST(LinkMatrixFuzzTest, RandomAddCountSequencesMatchModel) {
+  const uint64_t base_seed = 4242;
+  for (uint64_t round = 0; round < 8; ++round) {
+    const uint64_t seed = base_seed + round;
+    ROCK_SEEDED_RNG(rng, seed);
+    const size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 29));
+    LinkMatrix links(n);
+    std::map<std::pair<PointIndex, PointIndex>, uint64_t> model;
+
+    for (int op = 0; op < 600; ++op) {
+      const auto i = static_cast<PointIndex>(
+          rng.UniformInt(0, static_cast<int>(n) - 1));
+      auto j = static_cast<PointIndex>(
+          rng.UniformInt(0, static_cast<int>(n) - 1));
+      if (i == j) j = (j + 1) % static_cast<PointIndex>(n);
+      if (rng.UniformInt(0, 2) != 0) {  // Add with probability 2/3
+        const auto delta =
+            static_cast<LinkCount>(rng.UniformInt(1, 5));
+        links.Add(i, j, delta);
+        model[{std::min(i, j), std::max(i, j)}] += delta;
+      } else {  // Count query, both orientations
+        const auto it = model.find({std::min(i, j), std::max(i, j)});
+        const uint64_t want = it == model.end() ? 0 : it->second;
+        ASSERT_EQ(links.Count(i, j), want) << "(" << i << ", " << j << ")";
+        ASSERT_EQ(links.Count(j, i), want) << "(" << j << ", " << i << ")";
+      }
+    }
+
+    // Aggregate agreement with the model.
+    uint64_t want_total = 0;
+    size_t want_pairs = 0;
+    for (const auto& [pair, count] : model) {
+      (void)pair;
+      want_total += count;
+      if (count > 0) ++want_pairs;
+    }
+    EXPECT_EQ(links.TotalLinks(), want_total);
+    EXPECT_EQ(links.NumNonZeroPairs(), want_pairs);
+
+    // Structural symmetry via the diag oracle (self/zero entries included).
+    diag::InvariantReport report;
+    diag::CheckLinkMatrixSymmetry(links, &report);
+    EXPECT_TRUE(report.ok()) << report.violations().front().detail;
+
+    // Self-queries are zero by convention regardless of history.
+    for (PointIndex p = 0; p < n; ++p) EXPECT_EQ(links.Count(p, p), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rock

@@ -10,6 +10,7 @@
 #include "similarity/jaccard.h"
 #include "similarity/minhash.h"
 #include "synth/basket_generator.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -36,7 +37,7 @@ TEST(MinHashTest, EstimateTracksTrueJaccard) {
   // Random pairs of medium-size sets: the 256-hash estimate should sit
   // within ±0.12 of the exact Jaccard (binomial sd ≈ 0.03).
   MinHasher hasher(256, 3);
-  Rng rng(7);
+  ROCK_SEEDED_RNG(rng, 7);
   for (int trial = 0; trial < 30; ++trial) {
     std::vector<ItemId> universe(40);
     for (ItemId i = 0; i < 40; ++i) universe[i] = i;

@@ -10,6 +10,7 @@
 #include "graph/parallel.h"
 #include "similarity/similarity_table.h"
 #include "util/thread_pool.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -61,7 +62,7 @@ TEST(ThreadPoolTest, ParallelChunksEmptyAndTiny) {
 // -------------------------------------------------------- parallel graphs --
 
 SimilarityTable RandomTable(size_t n, double density, uint64_t seed) {
-  Rng rng(seed);
+  ROCK_SEEDED_RNG(rng, seed);
   SimilarityTable t(n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {

@@ -14,6 +14,7 @@
 #include "graph/parallel.h"
 #include "similarity/jaccard.h"
 #include "synth/basket_generator.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -118,7 +119,7 @@ TEST_P(RockPropertyTest, StructuralInvariants) {
               1e-9 * (1.0 + std::abs(result->stats.criterion_value)));
 
   // (7) ROCK's criterion beats random same-shape partitions.
-  Rng rng(c.seed ^ 0xabcdef);
+  ROCK_SEEDED_RNG(rng, c.seed ^ 0xabcdef);
   for (int trial = 0; trial < 10; ++trial) {
     std::vector<ClusterIndex> random_assignment(ds.size());
     for (auto& a : random_assignment) {
@@ -138,7 +139,7 @@ TEST_P(RockPropertyTest, PointOrderInvariance) {
   const Case c = GetParam();
   TransactionDataset ds = MakeData(c.seed);
 
-  Rng rng(c.seed + 1);
+  ROCK_SEEDED_RNG(rng, c.seed + 1);
   std::vector<size_t> perm(ds.size());
   std::iota(perm.begin(), perm.end(), size_t{0});
   rng.Shuffle(perm);
@@ -163,6 +164,7 @@ TEST_P(RockPropertyTest, PointOrderInvariance) {
   EXPECT_EQ(r1->clustering.num_outliers(), r2->clustering.num_outliers());
 
   size_t agree = 0, total = 0;
+  ROCK_TRACE_SEED(c.seed + 2);
   Rng pair_rng(c.seed + 2);
   for (int t = 0; t < 4000; ++t) {
     const size_t p = static_cast<size_t>(pair_rng.UniformUint64(ds.size()));

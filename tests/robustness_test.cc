@@ -12,6 +12,7 @@
 #include "data/arff_reader.h"
 #include "data/csv_reader.h"
 #include "data/disk_store.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -34,7 +35,7 @@ std::string RandomAsciiLines(Rng* rng, size_t n) {
 }
 
 TEST(ReaderRobustnessTest, CsvSurvivesGarbage) {
-  Rng rng(101);
+  ROCK_SEEDED_RNG(rng, 101);
   for (int trial = 0; trial < 200; ++trial) {
     const std::string text =
         trial % 2 == 0 ? RandomBytes(&rng, 200) : RandomAsciiLines(&rng, 200);
@@ -47,7 +48,7 @@ TEST(ReaderRobustnessTest, CsvSurvivesGarbage) {
 }
 
 TEST(ReaderRobustnessTest, ArffSurvivesGarbage) {
-  Rng rng(202);
+  ROCK_SEEDED_RNG(rng, 202);
   for (int trial = 0; trial < 200; ++trial) {
     const std::string text =
         trial % 2 == 0 ? RandomBytes(&rng, 300) : RandomAsciiLines(&rng, 300);
@@ -64,7 +65,7 @@ TEST(ReaderRobustnessTest, ArffHeaderFuzz) {
       "@relation",  "@attribute", "@data", "{a,b}", "{}", "'unterminated",
       "numeric",    "x",          ",",     "?",     "%c", "{a,",
   };
-  Rng rng(303);
+  ROCK_SEEDED_RNG(rng, 303);
   for (int trial = 0; trial < 300; ++trial) {
     std::string text;
     const size_t lines = 1 + rng.UniformUint64(8);
@@ -101,7 +102,7 @@ TEST(ReaderRobustnessTest, StoreSurvivesBitFlips) {
     bytes = buf.str();
   }
   // ...with random single-byte corruptions must never crash the reader.
-  Rng rng(404);
+  ROCK_SEEDED_RNG(rng, 404);
   for (int trial = 0; trial < 200; ++trial) {
     std::string corrupted = bytes;
     const size_t flips = 1 + rng.UniformUint64(4);

@@ -18,6 +18,7 @@
 #include "data/dataset.h"
 #include "similarity/jaccard.h"
 #include "similarity/similarity_table.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -444,7 +445,7 @@ TEST(RockClustererTest, GreedyMergeMaximizesCriterionOnSmallCase) {
   const double rock_score =
       CriterionFunction(result->clustering, links, g);
 
-  Rng rng(5);
+  ROCK_SEEDED_RNG(rng, 5);
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<ClusterIndex> assignment(ds.size());
     for (auto& a : assignment) {

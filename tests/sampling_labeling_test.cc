@@ -16,6 +16,7 @@
 #include "core/sampling.h"
 #include "data/disk_store.h"
 #include "synth/basket_generator.h"
+#include "test_support.h"
 
 namespace rock {
 namespace {
@@ -23,7 +24,7 @@ namespace {
 // --------------------------------------------------------------- Sampling --
 
 TEST(SamplingTest, ReservoirHoldsWholeStreamWhenSmall) {
-  Rng rng(1);
+  ROCK_SEEDED_RNG(rng, 1);
   ReservoirSampler<int> s(10, &rng);
   for (int i = 0; i < 5; ++i) s.Offer(i);
   EXPECT_EQ(s.sample().size(), 5u);
@@ -31,7 +32,7 @@ TEST(SamplingTest, ReservoirHoldsWholeStreamWhenSmall) {
 }
 
 TEST(SamplingTest, ReservoirCapsAtK) {
-  Rng rng(2);
+  ROCK_SEEDED_RNG(rng, 2);
   ReservoirSampler<int> s(10, &rng);
   for (int i = 0; i < 1000; ++i) s.Offer(i);
   EXPECT_EQ(s.sample().size(), 10u);
@@ -40,7 +41,7 @@ TEST(SamplingTest, ReservoirCapsAtK) {
 }
 
 TEST(SamplingTest, ReservoirIndicesMatchValues) {
-  Rng rng(3);
+  ROCK_SEEDED_RNG(rng, 3);
   ReservoirSampler<int> s(8, &rng);
   for (int i = 0; i < 500; ++i) s.Offer(i * 7);  // value = index * 7
   for (size_t slot = 0; slot < s.sample().size(); ++slot) {
@@ -54,7 +55,7 @@ TEST(SamplingTest, ReservoirIsApproximatelyUniform) {
   // probability 0.1.
   std::vector<int> hits(100, 0);
   const int trials = 20000;
-  Rng rng(4);
+  ROCK_SEEDED_RNG(rng, 4);
   for (int t = 0; t < trials; ++t) {
     ReservoirSampler<int> s(10, &rng);
     for (int i = 0; i < 100; ++i) s.Offer(i);
@@ -66,7 +67,7 @@ TEST(SamplingTest, ReservoirIsApproximatelyUniform) {
 }
 
 TEST(SamplingTest, SampleIndicesSortedDistinct) {
-  Rng rng(5);
+  ROCK_SEEDED_RNG(rng, 5);
   auto idx = SampleIndices(100, 20, &rng);
   EXPECT_EQ(idx.size(), 20u);
   EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
@@ -78,7 +79,7 @@ TEST(SamplingTest, VitterSkipMatchesAlgorithmRAcceptanceRate) {
   // After `seen` records, Algorithm R accepts each new record with
   // probability k/(seen+1). The mean skip from Algorithm X must match the
   // geometric-like expectation: E[accepted fraction over window] ≈ k/seen.
-  Rng rng(6);
+  ROCK_SEEDED_RNG(rng, 6);
   const size_t k = 10;
   const uint64_t seen = 1000;
   double total_skip = 0.0;

@@ -1,0 +1,28 @@
+// tests/test_support.h — shared helpers for librock's test suite.
+//
+// Seed discipline: every randomized test announces its RNG seed so that any
+// red run can be reproduced from its log alone. ROCK_TRACE_SEED attaches the
+// seed to every gtest failure raised in the current scope (SCOPED_TRACE);
+// ROCK_SEEDED_RNG declares a traced rock::Rng in one line. Default-
+// constructed RNGs are banned in tests — always pass an explicit seed
+// through one of these macros.
+
+#ifndef ROCK_TESTS_TEST_SUPPORT_H_
+#define ROCK_TESTS_TEST_SUPPORT_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/random.h"
+
+/// Attaches "RNG seed = N" to every failure message in the current scope.
+#define ROCK_TRACE_SEED(seed) \
+  SCOPED_TRACE(::testing::Message() << "RNG seed = " << (seed))
+
+/// Declares `rock::Rng var(seed)` and traces the seed on failure.
+#define ROCK_SEEDED_RNG(var, seed) \
+  ROCK_TRACE_SEED(seed);           \
+  ::rock::Rng var(seed)
+
+#endif  // ROCK_TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# tools/tier1.sh — the repo's tier-1 verification gate.
+#
+#   1. standard build + full ctest suite (ROADMAP.md "Tier-1 verify");
+#   2. ThreadSanitizer build of the threaded/diag subset (ctest -L sanitize),
+#      so data races in the parallel graph phases fail the gate.
+#
+# Usage: tools/tier1.sh [--skip-tsan]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: standard build + full test suite ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+  echo "=== tier-1: TSan stage skipped (--skip-tsan) ==="
+  exit 0
+fi
+
+echo "=== tier-1: TSan build + 'sanitize'-labeled tests ==="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j
+ctest --test-dir build-tsan -L sanitize --output-on-failure -j "$(nproc)"
+
+echo "=== tier-1: OK ==="
