@@ -613,10 +613,14 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   double stop_multiple = 3.0;
   size_t min_support = 5;
   size_t check_invariants = 0;
+  size_t label_threads = 1;
   int64_t seed = 42;
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
+  flags.AddSize("label-threads", &label_threads,
+                "worker threads for the disk labeling phase "
+                "(0 = all cores; assignments are identical at any count)");
   flags.AddString("assignments", &assignments_path,
                   "write row,cluster CSV here");
   flags.AddString("metrics-json", &metrics_json_path,
@@ -653,6 +657,7 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   opt.rock.outlier_stop_multiple = stop_multiple;
   opt.rock.min_cluster_support = min_support;
   opt.rock.diag.invariant_check_every = check_invariants;
+  opt.rock.label_threads = label_threads;
   opt.sample_size = sample_size;
   opt.labeling.fraction = labeling_fraction;
   opt.seed = static_cast<uint64_t>(seed);
@@ -667,6 +672,22 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
        sample_size, result->sample_result.clustering.num_clusters(),
        result->labeling.num_outliers, result->sample_seconds,
        result->cluster_seconds, result->label_seconds);
+  {
+    const auto& lab = result->labeling;
+    const uint64_t candidates =
+        lab.stats.clusters_scored + lab.stats.clusters_pruned;
+    Emit(out,
+         "labeling: %zu threads over %zu shards, %.0f tx/s, "
+         "prune hit rate %.2f\n",
+         lab.threads_used, lab.shards,
+         lab.seconds > 0.0
+             ? static_cast<double>(lab.assignments.size()) / lab.seconds
+             : 0.0,
+         candidates == 0
+             ? 0.0
+             : static_cast<double>(lab.stats.clusters_pruned) /
+                   static_cast<double>(candidates));
+  }
 
   std::map<ClusterIndex, size_t> sizes;
   for (ClusterIndex c : result->labeling.assignments) ++sizes[c];

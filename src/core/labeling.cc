@@ -1,9 +1,14 @@
 #include "core/labeling.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+
+#include "common/timer.h"
+#include "diag/metrics.h"
+#include "util/thread_pool.h"
 
 namespace rock {
 
@@ -41,10 +46,49 @@ Result<TransactionLabeler> TransactionLabeler::Build(
     labeler.normalizers_[c] =
         std::pow(static_cast<double>(set.size()) + 1.0, labeler.f_exponent_);
   }
+  labeler.BuildIndex();
   return labeler;
 }
 
+void TransactionLabeler::BuildIndex() {
+  item_to_points_.clear();
+  point_cluster_.clear();
+  point_size_.clear();
+  ItemId max_item = 0;
+  bool any = false;
+  for (const auto& set : sets_) {
+    for (const Transaction& q : set) {
+      if (!q.empty()) {
+        any = true;
+        max_item = std::max(max_item, q.items().back());
+      }
+    }
+  }
+  if (any) item_to_points_.resize(static_cast<size_t>(max_item) + 1);
+  for (size_t c = 0; c < sets_.size(); ++c) {
+    for (const Transaction& q : sets_[c]) {
+      const uint32_t point = static_cast<uint32_t>(point_cluster_.size());
+      point_cluster_.push_back(static_cast<uint32_t>(c));
+      point_size_.push_back(static_cast<uint32_t>(q.size()));
+      // Transactions are deduplicated, so each posting list gains this
+      // point at most once.
+      for (ItemId item : q) item_to_points_[item].push_back(point);
+    }
+  }
+}
+
+void TransactionLabeler::AssignStats::Merge(const AssignStats& other) {
+  clusters_pruned += other.clusters_pruned;
+  clusters_scored += other.clusters_scored;
+  points_skipped_length += other.points_skipped_length;
+  similarities_computed += other.similarities_computed;
+}
+
 ClusterIndex TransactionLabeler::Assign(const Transaction& tx) const {
+  return Assign(tx, nullptr, nullptr);
+}
+
+ClusterIndex TransactionLabeler::AssignUnpruned(const Transaction& tx) const {
   ClusterIndex best = kUnassigned;
   double best_score = 0.0;
   for (size_t c = 0; c < sets_.size(); ++c) {
@@ -63,10 +107,123 @@ ClusterIndex TransactionLabeler::Assign(const Transaction& tx) const {
   return best;
 }
 
+ClusterIndex TransactionLabeler::Assign(const Transaction& tx,
+                                        Scratch* scratch,
+                                        AssignStats* stats) const {
+  const size_t num_clusters = sets_.size();
+  ClusterIndex best = kUnassigned;
+  double best_score = 0.0;
+
+  // θ = 0 accepts every pair (Jaccard ≥ 0 always holds), so neither filter
+  // can prune anything; run the full scan.
+  if (theta_ <= 0.0) {
+    for (size_t c = 0; c < num_clusters; ++c) {
+      size_t neighbors = 0;
+      for (const Transaction& q : sets_[c]) {
+        if (stats != nullptr) ++stats->similarities_computed;
+        if (JaccardSimilarity(tx, q) >= theta_) ++neighbors;
+      }
+      if (stats != nullptr) ++stats->clusters_scored;
+      if (neighbors == 0) continue;
+      const double score = static_cast<double>(neighbors) / normalizers_[c];
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<ClusterIndex>(c);
+      }
+    }
+    return best;
+  }
+
+  // ScanCount over the inverted index: one pass through the postings of
+  // tx's items accumulates the exact intersection size |T ∩ q| for every
+  // labeling point q sharing an item with T. Points sharing none have
+  // Jaccard 0 and are never visited — for θ > 0 they can't be neighbors.
+  Scratch local;
+  if (scratch == nullptr) scratch = &local;
+  const size_t num_points = point_cluster_.size();
+  if (scratch->point_stamp.size() != num_points ||
+      scratch->cluster_stamp.size() != num_clusters) {
+    scratch->point_count.assign(num_points, 0);
+    scratch->point_stamp.assign(num_points, 0);
+    scratch->cluster_neighbors.assign(num_clusters, 0);
+    scratch->cluster_stamp.assign(num_clusters, 0);
+    scratch->epoch = 0;
+  }
+  if (++scratch->epoch == 0) {  // epoch wrapped: reset marks once
+    std::fill(scratch->point_stamp.begin(), scratch->point_stamp.end(), 0u);
+    std::fill(scratch->cluster_stamp.begin(), scratch->cluster_stamp.end(),
+              0u);
+    scratch->epoch = 1;
+  }
+  const uint32_t epoch = scratch->epoch;
+  scratch->touched.clear();
+  for (ItemId item : tx) {
+    if (item >= item_to_points_.size()) continue;
+    for (uint32_t p : item_to_points_[item]) {
+      if (scratch->point_stamp[p] != epoch) {
+        scratch->point_stamp[p] = epoch;
+        scratch->point_count[p] = 1;
+        scratch->touched.push_back(p);
+      } else {
+        ++scratch->point_count[p];
+      }
+    }
+  }
+
+  // Resolve each touched point: Jaccard ≤ min/max of the two sizes, so
+  // points failing that bound are skipped before any division; the rest
+  // get the exact similarity from the intersection count. Both the bound
+  // and count/(|T|+|q|−count) divide the same integers JaccardSimilarity
+  // divides, so no true neighbor is dropped and none is invented.
+  const double t_size = static_cast<double>(tx.size());
+  for (uint32_t p : scratch->touched) {
+    const uint32_t cluster = point_cluster_[p];
+    if (scratch->cluster_stamp[cluster] != epoch) {
+      scratch->cluster_stamp[cluster] = epoch;
+      scratch->cluster_neighbors[cluster] = 0;
+    }
+    const double q_size = static_cast<double>(point_size_[p]);
+    const double lo = std::min(t_size, q_size);
+    const double hi = std::max(t_size, q_size);
+    if (lo / hi < theta_) {  // hi > 0: a touched point shares an item
+      if (stats != nullptr) ++stats->points_skipped_length;
+      continue;
+    }
+    if (stats != nullptr) ++stats->similarities_computed;
+    const uint32_t inter = scratch->point_count[p];
+    const double uni =
+        t_size + q_size - static_cast<double>(inter);
+    if (static_cast<double>(inter) / uni >= theta_) {
+      ++scratch->cluster_neighbors[cluster];
+    }
+  }
+
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (scratch->cluster_stamp[c] != epoch) {
+      if (stats != nullptr) ++stats->clusters_pruned;
+      continue;
+    }
+    if (stats != nullptr) ++stats->clusters_scored;
+    const uint32_t neighbors = scratch->cluster_neighbors[c];
+    if (neighbors == 0) continue;
+    const double score = static_cast<double>(neighbors) / normalizers_[c];
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<ClusterIndex>(c);
+    }
+  }
+  return best;
+}
+
 namespace {
 
 constexpr uint64_t kLabelerMagic = 0x524f434b4c41424cULL;  // "ROCKLABL"
 constexpr uint32_t kLabelerVersion = 1;
+
+/// Per-transaction item cap shared by Save (reject) and Load (corruption
+/// bound): lengths are serialized as uint32_t, and anything this large is
+/// a bug or a corrupt file, not data.
+constexpr uint64_t kMaxLabelerTransactionItems = 1u << 24;
 
 Status WriteRaw(std::FILE* f, const void* data, size_t n) {
   if (std::fwrite(data, 1, n, f) != n) {
@@ -101,6 +258,12 @@ Status TransactionLabeler::Save(const std::string& path) const {
     const uint64_t set_size = set.size();
     ROCK_RETURN_IF_ERROR(WriteRaw(f, &set_size, sizeof(set_size)));
     for (const Transaction& tx : set) {
+      if (tx.size() > kMaxLabelerTransactionItems) {
+        return Status::InvalidArgument(
+            "labeling transaction has " + std::to_string(tx.size()) +
+            " items; the labeler format caps transactions at " +
+            std::to_string(kMaxLabelerTransactionItems));
+      }
       const uint32_t n = static_cast<uint32_t>(tx.size());
       ROCK_RETURN_IF_ERROR(WriteRaw(f, &n, sizeof(n)));
       if (n > 0) {
@@ -159,7 +322,7 @@ Result<TransactionLabeler> TransactionLabeler::Load(const std::string& path) {
     for (uint64_t t = 0; t < set_size; ++t) {
       uint32_t n = 0;
       ROCK_RETURN_IF_ERROR(ReadRaw(f, &n, sizeof(n)));
-      if (n > (1u << 24)) {
+      if (n > kMaxLabelerTransactionItems) {
         return Status::Corruption("implausible transaction length");
       }
       std::vector<ItemId> items(n);
@@ -171,24 +334,120 @@ Result<TransactionLabeler> TransactionLabeler::Load(const std::string& path) {
     labeler.normalizers_[c] =
         std::pow(static_cast<double>(set.size()) + 1.0, exponent);
   }
+  // A labeler file must end exactly where the last labeling set does:
+  // trailing bytes mean truncated-then-appended data or a reader/writer
+  // mismatch, both unrecoverable.
+  if (std::fgetc(f) != EOF) {
+    return Status::Corruption("trailing data after labeler payload in '" +
+                              path + "'");
+  }
+  labeler.BuildIndex();
   return labeler;
 }
 
 Result<LabelingRunResult> LabelStore(const std::string& store_path,
-                                     const TransactionLabeler& labeler) {
-  auto reader = TransactionStoreReader::Open(store_path);
-  ROCK_RETURN_IF_ERROR(reader.status());
+                                     const TransactionLabeler& labeler,
+                                     const LabelStoreOptions& options) {
+  Timer timer;
+  const size_t threads = ResolveThreads(options.num_threads);
+  auto header = TransactionStoreReader::Open(store_path);
+  ROCK_RETURN_IF_ERROR(header.status());
+  const uint64_t total = header->count();
+
   LabelingRunResult out;
-  out.assignments.reserve(reader->count());
-  out.ground_truth.reserve(reader->count());
-  while (reader->Next()) {
-    const ClusterIndex c = labeler.Assign(reader->transaction());
-    out.assignments.push_back(c);
-    out.ground_truth.push_back(reader->label());
-    if (c == kUnassigned) ++out.num_outliers;
+  out.threads_used = threads;
+  out.assignments.assign(total, kUnassigned);
+  out.ground_truth.assign(total, kNoLabel);
+
+  std::vector<StoreShardRange> shards;
+  if (total > 0) {
+    // More shards than workers (4×) lets the dynamic claim loop rebalance
+    // when transaction sizes are skewed across the file.
+    const uint64_t want =
+        threads <= 1
+            ? 1
+            : std::min<uint64_t>(total, static_cast<uint64_t>(threads) * 4);
+    auto planned = TransactionStoreReader::PlanShards(store_path, want);
+    ROCK_RETURN_IF_ERROR(planned.status());
+    shards = std::move(*planned);
   }
-  ROCK_RETURN_IF_ERROR(reader->status());
+  out.shards = shards.size();
+
+  // Workers claim shards from a shared counter and write each row's
+  // assignment straight into its slot — rows are disjoint across shards,
+  // so the merged result is bit-identical to a serial in-order scan.
+  std::vector<TransactionLabeler::AssignStats> shard_stats(shards.size());
+  std::vector<Status> shard_status(shards.size(), Status::OK());
+  std::vector<uint64_t> shard_outliers(shards.size(), 0);
+  std::atomic<size_t> next{0};
+  ParallelInvoke(shards.size() <= 1 ? 1 : threads, [&](size_t) {
+    TransactionLabeler::Scratch scratch;
+    while (true) {
+      const size_t s = next.fetch_add(1);
+      if (s >= shards.size()) break;
+      const StoreShardRange& range = shards[s];
+      auto reader = TransactionStoreReader::OpenRange(store_path, range);
+      if (!reader.ok()) {
+        shard_status[s] = reader.status();
+        continue;
+      }
+      uint64_t row = range.first_row;
+      while (reader->Next()) {
+        const ClusterIndex c =
+            labeler.Assign(reader->transaction(), &scratch, &shard_stats[s]);
+        out.assignments[row] = c;
+        out.ground_truth[row] = reader->label();
+        if (c == kUnassigned) ++shard_outliers[s];
+        ++row;
+      }
+      if (!reader->status().ok()) {
+        shard_status[s] = reader->status();
+      } else if (row != range.first_row + range.num_rows) {
+        shard_status[s] = Status::Corruption(
+            "store shard ended early (file truncated or changed underfoot)");
+      }
+    }
+  });
+
+  // First failing shard (in store order) wins, deterministically.
+  for (const Status& s : shard_status) {
+    ROCK_RETURN_IF_ERROR(s);
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    out.stats.Merge(shard_stats[s]);
+    out.num_outliers += static_cast<size_t>(shard_outliers[s]);
+  }
+  out.seconds = timer.ElapsedSeconds();
+
+  if (options.metrics != nullptr) {
+    diag::MetricsRegistry* m = options.metrics;
+    m->RecordSeconds("stage.label_scan", out.seconds);
+    m->AddCounter("label.threads", out.threads_used);
+    m->AddCounter("label.shards", out.shards);
+    m->AddCounter("label.clusters_scored", out.stats.clusters_scored);
+    m->AddCounter("label.clusters_pruned", out.stats.clusters_pruned);
+    m->AddCounter("label.points_skipped_length",
+                  out.stats.points_skipped_length);
+    m->AddCounter("label.similarities_computed",
+                  out.stats.similarities_computed);
+    const uint64_t candidates =
+        out.stats.clusters_scored + out.stats.clusters_pruned;
+    m->SetGauge("label.prune_hit_rate",
+                candidates == 0
+                    ? 0.0
+                    : static_cast<double>(out.stats.clusters_pruned) /
+                          static_cast<double>(candidates));
+    m->SetGauge("label.transactions_per_sec",
+                out.seconds > 0.0
+                    ? static_cast<double>(total) / out.seconds
+                    : 0.0);
+  }
   return out;
+}
+
+Result<LabelingRunResult> LabelStore(const std::string& store_path,
+                                     const TransactionLabeler& labeler) {
+  return LabelStore(store_path, labeler, LabelStoreOptions{});
 }
 
 }  // namespace rock

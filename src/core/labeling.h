@@ -13,6 +13,7 @@
 #ifndef ROCK_CORE_LABELING_H_
 #define ROCK_CORE_LABELING_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"
@@ -24,6 +25,10 @@
 #include "similarity/jaccard.h"
 
 namespace rock {
+
+namespace diag {
+class MetricsRegistry;
+}  // namespace diag
 
 /// Options for building a TransactionLabeler.
 struct LabelingOptions {
@@ -47,9 +52,57 @@ class TransactionLabeler {
                                           const RockOptions& rock_options,
                                           const LabelingOptions& options);
 
+  /// Per-thread reusable workspace for Assign. The ScanCount pass marks
+  /// labeling points and clusters through epoch-stamped arrays, so nothing
+  /// is cleared between calls; giving each labeling worker its own Scratch
+  /// makes Assign allocation-free (after warm-up) and thread-safe.
+  struct Scratch {
+    std::vector<uint32_t> point_count;        ///< |T ∩ q| per labeling point
+    std::vector<uint32_t> point_stamp;        ///< epoch marks for point_count
+    std::vector<uint32_t> touched;            ///< points with count > 0
+    std::vector<uint32_t> cluster_neighbors;  ///< N_i(T) per cluster
+    std::vector<uint32_t> cluster_stamp;      ///< epoch marks for clusters
+    uint32_t epoch = 0;
+  };
+
+  /// Pruning counters accumulated by Assign. Summed per shard and merged in
+  /// shard order by LabelStore, so totals are deterministic.
+  struct AssignStats {
+    /// Clusters skipped because they share no item with the transaction.
+    uint64_t clusters_pruned = 0;
+    /// Clusters whose labeling set was actually scanned.
+    uint64_t clusters_scored = 0;
+    /// Item-sharing labeling points skipped by the Jaccard length bound
+    /// min(|T|,|q|)/max(|T|,|q|) < θ without evaluating the similarity.
+    uint64_t points_skipped_length = 0;
+    /// Exact Jaccard evaluations (from ScanCount intersection counts).
+    uint64_t similarities_computed = 0;
+
+    /// Adds `other`'s counts into this.
+    void Merge(const AssignStats& other);
+  };
+
   /// Cluster index for `tx`, or kUnassigned when tx has no neighbor in any
   /// labeling set.
   ClusterIndex Assign(const Transaction& tx) const;
+
+  /// As above, with an optional reusable `scratch` (nullptr = internal
+  /// temporary) and optional pruning-counter accumulation into `stats`.
+  /// Walks the inverted item index once to accumulate exact intersection
+  /// counts for every labeling point sharing an item with `tx` (ScanCount),
+  /// then derives each touched point's Jaccard from its count in O(1) —
+  /// untouched points have similarity 0 and are never visited, and the
+  /// Jaccard length bound min(|T|,|q|)/max(|T|,|q|) < θ skips the rest
+  /// before the division. Every surviving similarity is the same
+  /// `double(|∩|)/double(|∪|)` JaccardSimilarity computes, so the result
+  /// is bit-identical to AssignUnpruned for every input.
+  ClusterIndex Assign(const Transaction& tx, Scratch* scratch,
+                      AssignStats* stats) const;
+
+  /// Reference implementation: brute-force Jaccard against every labeling
+  /// point of every cluster, exactly the pre-index engine. Kept as the
+  /// oracle for the differential tests and the labeling benchmarks.
+  ClusterIndex AssignUnpruned(const Transaction& tx) const;
 
   /// Number of clusters the labeler can assign to.
   size_t num_clusters() const { return sets_.size(); }
@@ -70,10 +123,20 @@ class TransactionLabeler {
   TransactionLabeler(double theta, double exponent)
       : theta_(theta), f_exponent_(exponent) {}
 
+  /// Builds the inverted point index from sets_ (called by Build and Load).
+  void BuildIndex();
+
   double theta_;
   double f_exponent_;  // f(θ), the normalization exponent
   std::vector<std::vector<Transaction>> sets_;  // L_i per cluster
   std::vector<double> normalizers_;             // (|L_i|+1)^{f(θ)}
+  /// Inverted index over all labeling points (flattened across clusters in
+  /// cluster order): item id → point ids containing the item. One pass over
+  /// a probe's postings yields exact |T ∩ q| for every point sharing an
+  /// item; points sharing none have Jaccard 0, never ≥ θ for θ > 0.
+  std::vector<std::vector<uint32_t>> item_to_points_;
+  std::vector<uint32_t> point_cluster_;  ///< point id → owning cluster
+  std::vector<uint32_t> point_size_;     ///< point id → |q|
 };
 
 /// Result of labeling one on-disk store.
@@ -83,9 +146,38 @@ struct LabelingRunResult {
   /// Ground-truth label ids carried by the store (kNoLabel where absent).
   std::vector<LabelId> ground_truth;
   size_t num_outliers = 0;
+  /// Pruning counters summed over all shards (deterministic).
+  TransactionLabeler::AssignStats stats;
+  /// Wall time of the scan itself (excludes labeler construction).
+  double seconds = 0.0;
+  /// Worker threads and store shards the scan actually used.
+  size_t threads_used = 1;
+  size_t shards = 1;
 };
 
-/// Streams `store_path` through the labeler, assigning every transaction.
+/// Controls for the sharded labeling scan.
+struct LabelStoreOptions {
+  /// Worker threads: 1 = serial scan, 0 = hardware concurrency.
+  /// Assignments are bit-identical across all thread counts — shards are
+  /// per-row-disjoint and merged in store order.
+  size_t num_threads = 1;
+  /// When non-null, the scan records label.* counters/gauges here (wall
+  /// time, transactions/sec, candidate-prune hit rate; see
+  /// docs/OBSERVABILITY.md).
+  diag::MetricsRegistry* metrics = nullptr;
+};
+
+/// Labels every transaction of `store_path`. The store is split into
+/// near-equal row ranges (StoreShardRange) claimed dynamically by
+/// `options.num_threads` workers; each worker streams its ranges with a
+/// range-scoped reader and writes assignments directly into the row slots
+/// of the shared result, so the merged output is bit-identical to a serial
+/// scan in store order.
+Result<LabelingRunResult> LabelStore(const std::string& store_path,
+                                     const TransactionLabeler& labeler,
+                                     const LabelStoreOptions& options);
+
+/// Serial convenience overload (num_threads = 1, no metrics).
 Result<LabelingRunResult> LabelStore(const std::string& store_path,
                                      const TransactionLabeler& labeler);
 

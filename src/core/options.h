@@ -78,6 +78,12 @@ struct RockOptions {
   /// identical regardless of thread count.
   size_t num_threads = 1;
 
+  /// Worker threads for the disk labeling phase (§4.6, the only stage that
+  /// touches the whole database). The store is split into row shards that
+  /// workers claim dynamically; assignments are bit-identical across all
+  /// thread counts. 1 = serial (default), 0 = hardware concurrency.
+  size_t label_threads = 1;
+
   /// Metrics collection and runtime invariant checking.
   DiagOptions diag;
 

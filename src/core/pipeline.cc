@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/sampling.h"
+#include "diag/metrics.h"
 
 namespace rock {
 
@@ -52,19 +53,24 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
   out.sample_result = std::move(*rock_result);
   out.cluster_seconds = cluster_timer.ElapsedSeconds();
 
-  // Pass 2: stream the store through the labeler.
+  // Pass 2: stream the store through the labeler, sharded over
+  // options.rock.label_threads workers.
   Timer label_timer;
   auto labeler =
       TransactionLabeler::Build(sample, out.sample_result.clustering,
                                 options.rock, options.labeling);
   ROCK_RETURN_IF_ERROR(labeler.status());
-  auto labeling = LabelStore(store_path, *labeler);
+  diag::MetricsRegistry registry;
+  const bool collect = options.rock.diag.collect_metrics;
+  LabelStoreOptions label_options;
+  label_options.num_threads = options.rock.label_threads;
+  label_options.metrics = collect ? &registry : nullptr;
+  auto labeling = LabelStore(store_path, *labeler, label_options);
   ROCK_RETURN_IF_ERROR(labeling.status());
   out.labeling = std::move(*labeling);
   out.label_seconds = label_timer.ElapsedSeconds();
 
-  if (options.rock.diag.collect_metrics) {
-    diag::MetricsRegistry registry;
+  if (collect) {
     registry.RecordSeconds("stage.sample", out.sample_seconds);
     registry.RecordSeconds("stage.label", out.label_seconds);
     registry.AddCounter("sample.rows", out.sample_rows.size());

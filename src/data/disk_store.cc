@@ -1,5 +1,6 @@
 #include "data/disk_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace rock {
@@ -9,6 +10,7 @@ namespace {
 constexpr uint64_t kMagic = 0x524f434b53544f52ULL;  // "ROCKSTOR"
 constexpr uint32_t kVersion = 1;
 constexpr long kCountOffset = sizeof(uint64_t) + sizeof(uint32_t);
+constexpr long kHeaderSize = kCountOffset + static_cast<long>(sizeof(uint64_t));
 
 // Sanity bound on items-per-transaction to catch corrupt length fields
 // before they turn into huge allocations.
@@ -26,6 +28,23 @@ Status ReadRaw(std::FILE* f, void* data, size_t n) {
     return Status::Corruption("short read from transaction store");
   }
   return Status::OK();
+}
+
+/// Validates magic + version at the current position and reads the header
+/// record count into *count.
+Status ReadHeader(std::FILE* f, const std::string& path, uint64_t* count) {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &magic, sizeof(magic)));
+  if (magic != kMagic) {
+    return Status::Corruption("'" + path + "' is not a transaction store");
+  }
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported store version " +
+                              std::to_string(version));
+  }
+  return ReadRaw(f, count, sizeof(*count));
 }
 
 }  // namespace
@@ -85,19 +104,74 @@ Result<TransactionStoreReader> TransactionStoreReader::Open(
     return Status::IOError("cannot open '" + path + "'");
   }
   TransactionStoreReader reader(f);
-  uint64_t magic = 0;
-  uint32_t version = 0;
-  ROCK_RETURN_IF_ERROR(ReadRaw(f, &magic, sizeof(magic)));
-  if (magic != kMagic) {
-    return Status::Corruption("'" + path + "' is not a transaction store");
-  }
-  ROCK_RETURN_IF_ERROR(ReadRaw(f, &version, sizeof(version)));
-  if (version != kVersion) {
-    return Status::Corruption("unsupported store version " +
-                              std::to_string(version));
-  }
-  ROCK_RETURN_IF_ERROR(ReadRaw(f, &reader.count_, sizeof(reader.count_)));
+  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &reader.count_));
+  reader.start_offset_ = kHeaderSize;
   return reader;
+}
+
+Result<TransactionStoreReader> TransactionStoreReader::OpenRange(
+    const std::string& path, const StoreShardRange& range) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  TransactionStoreReader reader(f);
+  uint64_t header_count = 0;
+  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &header_count));
+  if (range.byte_offset < static_cast<uint64_t>(kHeaderSize) ||
+      range.first_row + range.num_rows > header_count) {
+    return Status::InvalidArgument("shard range does not fit the store");
+  }
+  if (std::fseek(f, static_cast<long>(range.byte_offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failure opening store range");
+  }
+  reader.count_ = range.num_rows;
+  reader.start_offset_ = static_cast<long>(range.byte_offset);
+  return reader;
+}
+
+Result<std::vector<StoreShardRange>> TransactionStoreReader::PlanShards(
+    const std::string& path, uint64_t max_shards) {
+  if (max_shards == 0) {
+    return Status::InvalidArgument("max_shards must be > 0");
+  }
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::FILE* f = file.get();
+  uint64_t count = 0;
+  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &count));
+
+  std::vector<StoreShardRange> shards;
+  if (count == 0) return shards;
+  const uint64_t num_shards = std::min<uint64_t>(max_shards, count);
+  // Rows r in [s·count/S, (s+1)·count/S) go to shard s: near-equal ranges
+  // whose boundaries we resolve to byte offsets during one header-skipping
+  // scan of the record stream.
+  uint64_t offset = static_cast<uint64_t>(kHeaderSize);
+  uint64_t next_shard = 0;
+  for (uint64_t row = 0; row < count; ++row) {
+    if (row == next_shard * count / num_shards) {
+      const uint64_t end = (next_shard + 1) * count / num_shards;
+      shards.push_back(StoreShardRange{offset, row, end - row});
+      ++next_shard;
+    }
+    uint32_t n = 0;
+    if (std::fseek(f, static_cast<long>(offset + sizeof(LabelId)),
+                   SEEK_SET) != 0) {
+      return Status::IOError("seek failure planning store shards");
+    }
+    ROCK_RETURN_IF_ERROR(ReadRaw(f, &n, sizeof(n)));
+    if (n > kMaxTransactionItems) {
+      return Status::Corruption("implausible transaction length " +
+                                std::to_string(n));
+    }
+    offset += sizeof(LabelId) + sizeof(uint32_t) +
+              static_cast<uint64_t>(n) * sizeof(ItemId);
+  }
+  return shards;
 }
 
 bool TransactionStoreReader::Next() {
@@ -123,8 +197,7 @@ bool TransactionStoreReader::Next() {
 
 Status TransactionStoreReader::Rewind() {
   std::FILE* f = file_.get();
-  if (std::fseek(f, kCountOffset + static_cast<long>(sizeof(uint64_t)),
-                 SEEK_SET) != 0) {
+  if (std::fseek(f, start_offset_, SEEK_SET) != 0) {
     return Status::IOError("seek failure rewinding store");
   }
   read_ = 0;

@@ -18,12 +18,23 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/transaction.h"
 
 namespace rock {
+
+/// One contiguous row range of a transaction store, resolved to its byte
+/// offset so a reader can seek straight to it. Produced by
+/// TransactionStoreReader::PlanShards; consumed by OpenRange. The labeling
+/// phase fans these out over worker threads (core/labeling.h).
+struct StoreShardRange {
+  uint64_t byte_offset = 0;  ///< file offset of the range's first record
+  uint64_t first_row = 0;    ///< store row index of that record
+  uint64_t num_rows = 0;     ///< records in the range
+};
 
 /// Sequential writer for a transaction store file.
 class TransactionStoreWriter {
@@ -61,6 +72,20 @@ class TransactionStoreReader {
   /// Opens the file and validates the header.
   static Result<TransactionStoreReader> Open(const std::string& path);
 
+  /// Opens a reader scoped to `range` (from PlanShards): it starts at the
+  /// range's byte offset and Next() ends after `range.num_rows` records.
+  /// count() returns the range size; Rewind() returns to the range start.
+  static Result<TransactionStoreReader> OpenRange(const std::string& path,
+                                                  const StoreShardRange& range);
+
+  /// Splits the store into at most `max_shards` contiguous, near-equal row
+  /// ranges whose byte offsets are resolved with one cheap header-skipping
+  /// scan (no item payload is read). Returns fewer ranges when the store
+  /// has fewer rows than `max_shards`, and none for an empty store. The
+  /// ranges cover every row exactly once, in store order.
+  static Result<std::vector<StoreShardRange>> PlanShards(
+      const std::string& path, uint64_t max_shards);
+
   TransactionStoreReader(TransactionStoreReader&&) = default;
   TransactionStoreReader& operator=(TransactionStoreReader&&) = default;
 
@@ -77,11 +102,13 @@ class TransactionStoreReader {
   /// OK unless a read error or corruption was encountered.
   const Status& status() const { return status_; }
 
-  /// Total number of transactions in the file (from the header).
+  /// Total number of transactions this reader will yield: the header count
+  /// for Open(), the range size for OpenRange().
   uint64_t count() const { return count_; }
 
-  /// Rewinds the stream to the first transaction (labeling makes one pass,
-  /// but multi-θ experiments rescan the same store).
+  /// Rewinds the stream to its first transaction — the file's first record
+  /// for Open(), the range start for OpenRange(). (Labeling makes one pass,
+  /// but multi-θ experiments rescan the same store.)
   Status Rewind();
 
  private:
@@ -90,6 +117,7 @@ class TransactionStoreReader {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
   uint64_t count_ = 0;
   uint64_t read_ = 0;
+  long start_offset_ = 0;  ///< byte offset Next() starts/rewinds at
   Transaction current_;
   LabelId label_ = kNoLabel;
   Status status_;

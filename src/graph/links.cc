@@ -12,8 +12,16 @@ LinkCount LinkMatrix::Count(PointIndex i, PointIndex j) const {
 }
 
 void LinkMatrix::Add(PointIndex i, PointIndex j, LinkCount delta) {
+  // A point has no links to itself (Count(i, i) == 0 by convention).
+  // Without this guard the two symmetric writes below would both hit the
+  // same diagonal cell and store 2·delta of garbage.
+  if (i == j) return;
   rows_[i][j] += delta;
   rows_[j][i] += delta;
+}
+
+void LinkMatrix::AddDirected(PointIndex i, PointIndex j, LinkCount delta) {
+  rows_[i][j] += delta;
 }
 
 size_t LinkMatrix::NumNonZeroPairs() const {

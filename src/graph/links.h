@@ -34,8 +34,16 @@ class LinkMatrix {
   /// link(i, j); zero if no entry. i == j returns 0 by convention.
   LinkCount Count(PointIndex i, PointIndex j) const;
 
-  /// Adds `delta` to link(i, j) (and symmetrically link(j, i)); i != j.
+  /// Adds `delta` to link(i, j) (and symmetrically link(j, i)). Diagonal
+  /// adds (i == j) are ignored: a point has no links to itself, and the
+  /// symmetric double-write would otherwise corrupt the cell with 2·delta.
   void Add(PointIndex i, PointIndex j, LinkCount delta);
+
+  /// Writes only row i — deliberately breaking the symmetry/diagonal
+  /// invariants. For tests and the diag oracles (diag/invariants.h), which
+  /// need corrupted matrices to prove the checkers fire; never called by
+  /// the clustering code.
+  void AddDirected(PointIndex i, PointIndex j, LinkCount delta);
 
   /// Non-zero entries of row i: partner → count.
   const std::unordered_map<PointIndex, LinkCount>& Row(PointIndex i) const {

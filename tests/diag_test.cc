@@ -205,6 +205,29 @@ TEST(InvariantOracleTest, DetectsZeroAndSelfLinkEntries) {
   EXPECT_EQ(report.violations().front().check, "links.zero_entry");
 }
 
+TEST(InvariantOracleTest, DetectsStoredDiagonalEntry) {
+  // Add(i, i, d) is a guarded no-op, so a stored diagonal can only come
+  // from memory corruption; plant one with the AddDirected test hook and
+  // prove the links.self oracle still catches it.
+  LinkMatrix links(3);
+  links.Add(0, 1, 2);
+  links.AddDirected(1, 1, 4);
+  diag::InvariantReport report;
+  diag::CheckLinkMatrixSymmetry(links, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations().front().check, "links.self");
+}
+
+TEST(InvariantOracleTest, DetectsAsymmetricLinkCounts) {
+  LinkMatrix links(3);
+  links.Add(0, 1, 2);
+  links.AddDirected(0, 1, 1);  // forward row only: 3 vs reverse 2
+  diag::InvariantReport report;
+  diag::CheckLinkMatrixSymmetry(links, &report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations().front().check, "links.symmetry");
+}
+
 TEST(InvariantOracleTest, DetectsLinkRecountMismatch) {
   const NeighborGraph g = SmallGraph();
   LinkMatrix links = ComputeLinks(g);

@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <numeric>
+#include <vector>
 
 #include "core/labeling.h"
 #include "data/arff_reader.h"
@@ -186,6 +190,101 @@ TEST_F(LabelerIoTest, LoadRejectsGarbage) {
   EXPECT_TRUE(TransactionLabeler::Load(path()).status().IsCorruption());
   EXPECT_TRUE(
       TransactionLabeler::Load("/no/such/file").status().IsIOError());
+}
+
+namespace {
+
+/// Builds a small two-cluster labeler and Save()s it to `path`.
+void WriteValidLabelerFile(const std::string& path) {
+  TransactionDataset sample;
+  sample.AddTransaction({"a", "b"});
+  sample.AddTransaction({"b", "c"});
+  sample.AddTransaction({"x", "y"});
+  sample.AddTransaction({"y", "z"});
+  Clustering clustering = Clustering::FromAssignment({0, 0, 1, 1});
+  RockOptions rock;
+  rock.theta = 0.3;
+  LabelingOptions opt;
+  opt.fraction = 1.0;
+  auto labeler = TransactionLabeler::Build(sample, clustering, rock, opt);
+  ASSERT_TRUE(labeler.ok()) << labeler.status().ToString();
+  ASSERT_TRUE(labeler->Save(path).ok());
+}
+
+/// XORs one byte of the file at `offset` with `mask`.
+void FlipByte(const std::string& path, long offset, unsigned char mask) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(static_cast<unsigned char>(c) ^ mask, f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST_F(LabelerIoTest, LoadRejectsTruncatedFile) {
+  WriteValidLabelerFile(path());
+  const auto full = std::filesystem::file_size(path());
+  ASSERT_GT(full, 8u);
+  // Cut mid-payload and mid-header: both must fail as corruption, at every
+  // truncation point — a prefix of a labeler file is never a labeler file.
+  for (uintmax_t keep : {full - 5, full / 2, uintmax_t{9}}) {
+    std::filesystem::resize_file(path(), keep);
+    EXPECT_TRUE(TransactionLabeler::Load(path()).status().IsCorruption())
+        << "kept " << keep << " of " << full << " bytes";
+  }
+}
+
+TEST_F(LabelerIoTest, LoadRejectsBitFlippedCounts) {
+  // Flipping a high bit of a count field must be caught by the plausibility
+  // bounds rather than driving a multi-gigabyte allocation.
+  // Header layout: magic u64 | version u32 | theta f64 | exponent f64 |
+  // num_clusters u64 | per cluster: set_size u64 | ...
+  WriteValidLabelerFile(path());
+  FlipByte(path(), 0, 0xff);  // magic
+  EXPECT_TRUE(TransactionLabeler::Load(path()).status().IsCorruption());
+
+  WriteValidLabelerFile(path());
+  FlipByte(path(), 8 + 4 + 8 + 8 + 6, 0xff);  // num_clusters, high byte
+  EXPECT_TRUE(TransactionLabeler::Load(path()).status().IsCorruption());
+
+  WriteValidLabelerFile(path());
+  FlipByte(path(), 8 + 4 + 8 + 8 + 8 + 6, 0xff);  // first set_size, high byte
+  EXPECT_TRUE(TransactionLabeler::Load(path()).status().IsCorruption());
+}
+
+TEST_F(LabelerIoTest, LoadRejectsTrailingBytes) {
+  WriteValidLabelerFile(path());
+  {
+    std::FILE* f = std::fopen(path().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0, f);
+    std::fclose(f);
+  }
+  auto loaded = TransactionLabeler::Load(path());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  EXPECT_NE(loaded.status().ToString().find("trailing"), std::string::npos);
+}
+
+TEST_F(LabelerIoTest, SaveRejectsOversizeTransaction) {
+  // The file format stores transaction lengths as u32 with a 2^24-item cap;
+  // Save must refuse (not silently truncate) anything larger.
+  std::vector<ItemId> huge((1u << 24) + 1);
+  std::iota(huge.begin(), huge.end(), ItemId{0});
+  TransactionDataset sample;
+  sample.AddTransaction(Transaction(std::move(huge)));
+  sample.AddTransaction({"a", "b"});
+  Clustering clustering = Clustering::FromAssignment({0, 0});
+  RockOptions rock;
+  LabelingOptions opt;
+  opt.fraction = 1.0;
+  auto labeler = TransactionLabeler::Build(sample, clustering, rock, opt);
+  ASSERT_TRUE(labeler.ok());
+  EXPECT_TRUE(labeler->Save(path()).IsInvalidArgument());
+  std::filesystem::remove(path());
 }
 
 // ------------------------------------------------------------------- ARFF --

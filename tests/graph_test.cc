@@ -205,6 +205,24 @@ TEST(LinksTest, SymmetricStorage) {
   EXPECT_EQ(links.NumNonZeroPairs(), 1u);
 }
 
+TEST(LinksTest, DiagonalAddIsIgnored) {
+  // Regression: Add(i, i, d) used to perform both symmetric writes on the
+  // same cell, storing 2d on the diagonal. It must be a no-op instead.
+  LinkMatrix links(3);
+  links.Add(1, 1, 5);
+  EXPECT_EQ(links.Count(1, 1), 0u);
+  EXPECT_TRUE(links.Row(1).empty());
+  EXPECT_EQ(links.NumNonZeroPairs(), 0u);
+  EXPECT_EQ(links.TotalLinks(), 0u);
+  // Off-diagonal behaviour is unchanged.
+  links.Add(0, 2, 3);
+  links.Add(2, 2, 7);
+  EXPECT_EQ(links.Count(0, 2), 3u);
+  EXPECT_EQ(links.Count(2, 0), 3u);
+  EXPECT_EQ(links.Count(2, 2), 0u);
+  EXPECT_EQ(links.TotalLinks(), 3u);
+}
+
 TEST(LinksTest, DenseAccumulatorMatchesSparsePath) {
   ROCK_SEEDED_RNG(rng, 123);
   const size_t n = 60;
