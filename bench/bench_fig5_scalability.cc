@@ -6,9 +6,19 @@
 // Expected shape (paper): roughly quadratic growth in sample size; larger
 // θ is faster because each transaction has fewer neighbors, making link
 // computation cheaper.
+//
+// Usage: bench_fig5_scalability [scale] [--compare-engines]
+//   scale             — multiplies the generated database size (default 1.0)
+//   --compare-engines — run every cell under both merge engines (flat and
+//                       hashed) and report the stage.merge speedup
+//
+// Every run appends to the machine-readable perf trajectory
+// (BENCH_rock.json, or $ROCK_BENCH_JSON; schema in docs/OBSERVABILITY.md).
+// CI's perf-smoke job runs this binary at a small scale with
+// --compare-engines and gates on the flat/hashed stage.merge ratio.
 
 #include <cstdio>
-#include <filesystem>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,15 +27,31 @@
 #include "common/timer.h"
 #include "core/rock.h"
 #include "core/sampling.h"
-#include "data/disk_store.h"
 #include "similarity/jaccard.h"
 #include "synth/basket_generator.h"
+
+namespace {
+
+const char* EngineName(rock::MergeEngineKind kind) {
+  return kind == rock::MergeEngineKind::kFlat ? "flat" : "hashed";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rock;
   bench::Banner("Figure 5 — scalability: time vs random-sample size");
 
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  double scale = 1.0;
+  bool compare_engines = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--compare-engines") == 0) {
+      compare_engines = true;
+    } else {
+      scale = std::atof(argv[a]);
+    }
+  }
+
   BasketGeneratorOptions gen;
   if (scale != 1.0) {
     for (auto& s : gen.cluster_sizes) {
@@ -44,15 +70,19 @@ int main(int argc, char** argv) {
 
   const double thetas[] = {0.5, 0.6, 0.7, 0.8};
   const size_t samples[] = {1000, 2000, 3000, 4000, 5000};
+  std::vector<MergeEngineKind> engines = {MergeEngineKind::kFlat};
+  if (compare_engines) engines.push_back(MergeEngineKind::kHashed);
 
   std::printf("\nexecution time in seconds (excludes labeling, as in the "
-              "paper)\n");
+              "paper)%s\n",
+              compare_engines ? "; flat engine" : "");
   std::printf("%-12s", "sample");
   for (double theta : thetas) std::printf("   θ=%.1f", theta);
   std::printf("\n");
 
   // Per-run diag metrics, kept for the stage breakdown table below.
   std::vector<std::pair<std::string, diag::RunMetrics>> breakdowns;
+  bench::PerfJsonWriter perf("bench_fig5_scalability");
 
   Rng rng(7);
   for (size_t n : samples) {
@@ -65,23 +95,36 @@ int main(int argc, char** argv) {
     std::printf("%-12zu", n);
     for (double theta : thetas) {
       TransactionJaccard sim(sample);
-      RockOptions opt;
-      opt.theta = theta;
-      opt.num_clusters = 10;
-      opt.outlier_stop_multiple = 3.0;
-      opt.min_cluster_support = 5;
-      Timer timer;
-      auto result = RockClusterer(opt).Cluster(sim);
-      if (!result.ok()) {
-        std::fprintf(stderr, "ROCK failed: %s\n",
-                     result.status().ToString().c_str());
-        return 1;
+      for (MergeEngineKind engine : engines) {
+        RockOptions opt;
+        opt.theta = theta;
+        opt.num_clusters = 10;
+        opt.outlier_stop_multiple = 3.0;
+        opt.min_cluster_support = 5;
+        opt.merge_engine = engine;
+        Timer timer;
+        auto result = RockClusterer(opt).Cluster(sim);
+        if (!result.ok()) {
+          std::fprintf(stderr, "ROCK failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        if (engine == MergeEngineKind::kFlat) {
+          std::printf("%8.2f", timer.ElapsedSeconds());
+          std::fflush(stdout);
+        }
+        char label[64];
+        std::snprintf(label, sizeof(label), "n=%zu θ=%.1f %s", n, theta,
+                      EngineName(engine));
+        perf.BeginEntry(label);
+        perf.Param("n", std::to_string(n));
+        char theta_str[16];
+        std::snprintf(theta_str, sizeof(theta_str), "%.1f", theta);
+        perf.Param("theta", theta_str);
+        perf.Param("engine", EngineName(engine));
+        perf.AddRunMetrics(result->metrics);
+        breakdowns.emplace_back(label, std::move(result->metrics));
       }
-      std::printf("%8.2f", timer.ElapsedSeconds());
-      std::fflush(stdout);
-      char label[64];
-      std::snprintf(label, sizeof(label), "n=%zu θ=%.1f", n, theta);
-      breakdowns.emplace_back(label, std::move(result->metrics));
     }
     std::printf("\n");
   }
@@ -91,6 +134,22 @@ int main(int argc, char** argv) {
     bench::PrintStageBreakdown(label, metrics);
   }
 
+  if (compare_engines) {
+    bench::Section("merge-engine comparison (stage.merge seconds)");
+    std::printf("%-20s %10s %10s %9s\n", "cell", "flat", "hashed",
+                "speedup");
+    for (size_t i = 0; i + 1 < breakdowns.size(); i += 2) {
+      const double flat_s =
+          bench::StageSeconds(breakdowns[i].second, "merge");
+      const double hashed_s =
+          bench::StageSeconds(breakdowns[i + 1].second, "merge");
+      std::printf("%-20s %10.4f %10.4f %8.2fx\n",
+                  breakdowns[i].first.c_str(), flat_s, hashed_s,
+                  flat_s > 0.0 ? hashed_s / flat_s : 0.0);
+    }
+  }
+
+  perf.Write();
   std::printf("\nshape checks (paper): each column grows ~quadratically in "
               "sample size; rows decrease left→right (larger θ → fewer "
               "neighbors → cheaper links); within a row, link time should "

@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/goodness.h"
 #include "core/rock.h"
 #include "core/sampling.h"
@@ -148,6 +150,86 @@ BENCHMARK(BM_RockClusterMetrics)
     ->ArgName("collect_metrics")
     ->Unit(benchmark::kMillisecond);
 
+// The two merge-engine layouts over an identical precomputed neighbor
+// graph: flat (CSR + sorted-merge relinking) vs hashed (unordered_map
+// oracle). Same merge sequence, different memory traffic.
+void BM_RockMergeEngine(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  TransactionDataset local = MakeBaskets(n);
+  TransactionJaccard local_sim(local);
+  auto graph = ComputeNeighbors(local_sim, 0.5);
+  RockOptions opt;
+  opt.theta = 0.5;
+  opt.num_clusters = 4;
+  opt.merge_engine = state.range(1) != 0 ? MergeEngineKind::kFlat
+                                         : MergeEngineKind::kHashed;
+  RockClusterer clusterer(opt);
+  for (auto _ : state) {
+    auto result = clusterer.ClusterGraph(*graph);
+    benchmark::DoNotOptimize(result->stats.num_merges);
+  }
+}
+BENCHMARK(BM_RockMergeEngine)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->ArgNames({"n", "flat"})
+    ->Unit(benchmark::kMillisecond);
+
+// The merge loop's new heap primitives: rename-in-place vs the
+// erase + insert pair it replaces, and bulk Assign vs repeated inserts.
+void BM_HeapReplaceKey(benchmark::State& state) {
+  Rng rng(4);
+  const bool use_replace = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdatableHeap<uint32_t, double> heap;
+    for (uint32_t i = 0; i < 4096; ++i) {
+      heap.InsertOrUpdate(i, rng.UniformDouble());
+    }
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 4096; ++i) {
+      const double priority = rng.UniformDouble();
+      if (use_replace) {
+        heap.ReplaceKey(i, i + 100000, priority);
+      } else {
+        heap.Erase(i);
+        heap.InsertOrUpdate(i + 100000, priority);
+      }
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+}
+BENCHMARK(BM_HeapReplaceKey)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("replace_key")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HeapAssign(benchmark::State& state) {
+  Rng rng(5);
+  const bool use_assign = state.range(0) != 0;
+  std::vector<UpdatableHeap<uint32_t, double>::Entry> entries;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    entries.push_back({i, rng.UniformDouble()});
+  }
+  for (auto _ : state) {
+    UpdatableHeap<uint32_t, double> heap;
+    if (use_assign) {
+      heap.Assign(entries);
+    } else {
+      for (const auto& e : entries) heap.InsertOrUpdate(e.key, e.priority);
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+}
+BENCHMARK(BM_HeapAssign)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("assign")
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_MushroomGenerator(benchmark::State& state) {
   for (auto _ : state) {
     MushroomGeneratorOptions opt;
@@ -158,7 +240,45 @@ void BM_MushroomGenerator(benchmark::State& state) {
 }
 BENCHMARK(BM_MushroomGenerator)->Unit(benchmark::kMillisecond);
 
+// Direct flat-vs-hashed measurement for the perf trajectory: one timed
+// ClusterGraph per engine at each size, full diag metrics captured, written
+// to BENCH_rock.json ($ROCK_BENCH_JSON). Runs after the google-benchmark
+// suite so the JSON exists even when benchmarks are filtered out.
+void WritePerfTrajectory() {
+  bench::PerfJsonWriter perf("bench_micro");
+  for (size_t n : {size_t{512}, size_t{2048}}) {
+    TransactionDataset ds = MakeBaskets(n);
+    TransactionJaccard sim(ds);
+    auto graph = ComputeNeighbors(sim, 0.5);
+    for (bool flat : {true, false}) {
+      RockOptions opt;
+      opt.theta = 0.5;
+      opt.num_clusters = 4;
+      opt.merge_engine =
+          flat ? MergeEngineKind::kFlat : MergeEngineKind::kHashed;
+      Timer timer;
+      auto result = RockClusterer(opt).ClusterGraph(*graph);
+      const double seconds = timer.ElapsedSeconds();
+      if (!result.ok()) continue;
+      const char* engine = flat ? "flat" : "hashed";
+      perf.BeginEntry("merge_engine n=" + std::to_string(n) + " " + engine);
+      perf.Param("n", std::to_string(n));
+      perf.Param("engine", engine);
+      perf.Timer("wall", seconds);
+      perf.AddRunMetrics(result->metrics);
+    }
+  }
+  perf.Write();
+}
+
 }  // namespace
 }  // namespace rock
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  rock::WritePerfTrajectory();
+  return 0;
+}

@@ -6,7 +6,10 @@
 #define ROCK_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "diag/metrics.h"
 #include "eval/contingency.h"
@@ -81,6 +84,101 @@ inline void PrintContingency(const ContingencyTable& table,
   }
   std::printf("%10llu\n", static_cast<unsigned long long>(outlier_total));
 }
+
+// ------------------------------------------------- BENCH_rock.json writer --
+
+/// Machine-readable perf-trajectory report (schema documented in
+/// docs/OBSERVABILITY.md, `"version": 1`). Bench binaries append one entry
+/// per measured configuration — label, string params, stage timers in
+/// seconds, counters — and write the file once at exit. CI's perf-smoke job
+/// diffs these files across commits, so keys must stay stable.
+class PerfJsonWriter {
+ public:
+  explicit PerfJsonWriter(std::string tool) : tool_(std::move(tool)) {}
+
+  /// Starts a new entry; subsequent Param/Timer/Counter calls attach to it.
+  void BeginEntry(const std::string& label) {
+    entries_.push_back(Entry{label, {}, {}, {}});
+  }
+  void Param(const std::string& key, const std::string& value) {
+    entries_.back().params.emplace_back(key, value);
+  }
+  void Timer(const std::string& name, double seconds) {
+    entries_.back().timers.emplace_back(name, seconds);
+  }
+  void Counter(const std::string& name, uint64_t value) {
+    entries_.back().counters.emplace_back(name, value);
+  }
+
+  /// Copies every stage.* timer (total seconds) and all counters out of a
+  /// run's diag metrics into the current entry.
+  void AddRunMetrics(const diag::RunMetrics& metrics) {
+    for (const auto& [name, stats] : metrics.timers) {
+      if (name.rfind("stage.", 0) == 0) Timer(name, stats.total_seconds);
+    }
+    for (const auto& [name, value] : metrics.counters) {
+      Counter(name, value);
+    }
+  }
+
+  /// Resolved output path: the ROCK_BENCH_JSON environment variable when
+  /// set, else BENCH_rock.json in the working directory.
+  static std::string DefaultPath() {
+    const char* env = std::getenv("ROCK_BENCH_JSON");
+    return env != nullptr && env[0] != '\0' ? env : "BENCH_rock.json";
+  }
+
+  /// Writes the report; returns false (with a note on stderr) on I/O error.
+  bool Write(const std::string& path = DefaultPath()) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf-json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"version\": 1,\n  \"tool\": \"%s\",\n",
+                 tool_.c_str());
+    std::fprintf(f, "  \"entries\": [");
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      const Entry& entry = entries_[e];
+      std::fprintf(f, "%s\n    {\n      \"label\": \"%s\",\n",
+                   e == 0 ? "" : ",", entry.label.c_str());
+      std::fprintf(f, "      \"params\": {");
+      for (size_t i = 0; i < entry.params.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                     entry.params[i].first.c_str(),
+                     entry.params[i].second.c_str());
+      }
+      std::fprintf(f, "},\n      \"timers\": {");
+      for (size_t i = 0; i < entry.timers.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.6f", i == 0 ? "" : ", ",
+                     entry.timers[i].first.c_str(), entry.timers[i].second);
+      }
+      std::fprintf(f, "},\n      \"counters\": {");
+      for (size_t i = 0; i < entry.counters.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %llu", i == 0 ? "" : ", ",
+                     entry.counters[i].first.c_str(),
+                     static_cast<unsigned long long>(
+                         entry.counters[i].second));
+      }
+      std::fprintf(f, "}\n    }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("perf json written to %s (%zu entries)\n", path.c_str(),
+                entries_.size());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    std::vector<std::pair<std::string, std::string>> params;
+    std::vector<std::pair<std::string, double>> timers;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+  };
+  std::string tool_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace rock::bench
 

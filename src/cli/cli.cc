@@ -386,7 +386,9 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   bool profiles = false;
   int64_t seed = 42;
   size_t threads = 1;
+  size_t row_chunk = 16;
   std::string neighbors = "exact";
+  std::string merge_engine = "flat";
 
   FlagSet flags;
   flags.AddString("input", &input, "input file");
@@ -419,9 +421,15 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   flags.AddInt("seed", &seed, "seed (kmeans)");
   flags.AddSize("threads", &threads,
                 "worker threads for neighbors/links (0 = all cores, rock)");
+  flags.AddSize("row-chunk", &row_chunk,
+                "rows claimed per parallel scheduling step (rock, "
+                "with --threads > 1)");
   flags.AddString("neighbors", &neighbors,
                   "exact | lsh (MinHash-accelerated; basket/store inputs, "
                   "rock only)");
+  flags.AddString("merge-engine", &merge_engine,
+                  "flat | hashed merge-engine layout (rock; results are "
+                  "identical, flat is faster)");
   if (help_only) {
     EmitStr(out, "rock cluster — cluster a data file\n" + flags.Help());
     return 0;
@@ -466,7 +474,16 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
       opt.outlier_stop_multiple = stop_multiple;
       opt.min_cluster_support = min_support;
       opt.num_threads = threads;
+      opt.row_chunk = row_chunk;
       opt.diag.invariant_check_every = check_invariants;
+      if (merge_engine == "flat") {
+        opt.merge_engine = MergeEngineKind::kFlat;
+      } else if (merge_engine == "hashed") {
+        opt.merge_engine = MergeEngineKind::kHashed;
+      } else {
+        EmitStr(out, "error: unknown --merge-engine '" + merge_engine + "'\n");
+        return 2;
+      }
       Result<RockResult> result = Status::Internal("unreachable");
       if (neighbors == "lsh") {
         if (loaded->is_categorical) {
@@ -613,11 +630,19 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   double stop_multiple = 3.0;
   size_t min_support = 5;
   size_t check_invariants = 0;
+  size_t threads = 1;
+  size_t row_chunk = 16;
   size_t label_threads = 1;
   int64_t seed = 42;
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
+  flags.AddSize("threads", &threads,
+                "worker threads for the neighbor/link phases "
+                "(0 = all cores; results are identical at any count)");
+  flags.AddSize("row-chunk", &row_chunk,
+                "rows claimed per parallel scheduling step "
+                "(with --threads > 1)");
   flags.AddSize("label-threads", &label_threads,
                 "worker threads for the disk labeling phase "
                 "(0 = all cores; assignments are identical at any count)");
@@ -657,6 +682,8 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   opt.rock.outlier_stop_multiple = stop_multiple;
   opt.rock.min_cluster_support = min_support;
   opt.rock.diag.invariant_check_every = check_invariants;
+  opt.rock.num_threads = threads;
+  opt.rock.row_chunk = row_chunk;
   opt.rock.label_threads = label_threads;
   opt.sample_size = sample_size;
   opt.labeling.fraction = labeling_fraction;

@@ -1,0 +1,37 @@
+// librock — core/merge_engine.h (internal)
+//
+// The two interchangeable implementations of the Fig. 3 agglomerative merge
+// loop. Both consume a prebuilt neighbor graph, run the link phase, and
+// return a complete RockResult; they differ only in data layout:
+//
+//   * flat   — CSR link rows (LinkMatrix::Freeze), sorted flat partner/count
+//              vectors per cluster with lazy dead-entry removal, per-run
+//              arena-allocated cluster slabs, and batched heap updates.
+//              The default engine (core/merge_flat.cc).
+//   * hashed — per-cluster std::unordered_map link tables, the original
+//              layout. Kept behind the same API as the reference oracle for
+//              differential tests and perf baselines (core/merge_hashed.cc).
+//
+// Results are bit-identical: the merge sequence, clustering, stats, and
+// invariant-check outcomes agree element for element (enforced by
+// tests/diag_differential_test.cc). RockClusterer dispatches on
+// RockOptions::merge_engine; this header is not part of the public API.
+
+#ifndef ROCK_CORE_MERGE_ENGINE_H_
+#define ROCK_CORE_MERGE_ENGINE_H_
+
+#include "core/rock.h"
+
+namespace rock::internal {
+
+/// Runs the flat-layout merge engine (CSR rows, sorted-merge relinking).
+RockResult RunFlatMergeEngine(const NeighborGraph& graph,
+                              const RockOptions& options);
+
+/// Runs the original hash-table merge engine (reference oracle).
+RockResult RunHashedMergeEngine(const NeighborGraph& graph,
+                                const RockOptions& options);
+
+}  // namespace rock::internal
+
+#endif  // ROCK_CORE_MERGE_ENGINE_H_

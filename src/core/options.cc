@@ -27,6 +27,9 @@ Status RockOptions::Validate() const {
     return Status::InvalidArgument(
         "outlier_stop_multiple must be >= 1 when enabled");
   }
+  if (row_chunk == 0) {
+    return Status::InvalidArgument("row_chunk must be >= 1");
+  }
   return Status::OK();
 }
 

@@ -31,6 +31,18 @@ double MarketBasketF(double theta);
 /// canonical default.
 double ConservativeMarketBasketF(double theta);
 
+/// Which data layout the Fig. 3 merge engine runs on. Results (merge
+/// sequence, clustering, stats) are bit-identical between the two; only
+/// memory layout and speed differ.
+enum class MergeEngineKind {
+  /// CSR link rows + sorted flat partner lists + batched heap updates —
+  /// the default, cache-friendly engine.
+  kFlat,
+  /// The original per-cluster `unordered_map` link tables. Kept as the
+  /// reference oracle for differential tests and perf baselines.
+  kHashed,
+};
+
 /// Observability and self-checking knobs (see docs/OBSERVABILITY.md).
 struct DiagOptions {
   /// Collect per-stage timers and counters into RockResult::metrics /
@@ -77,6 +89,16 @@ struct RockOptions {
   /// 1 = serial (default), 0 = hardware concurrency. Results are
   /// identical regardless of thread count.
   size_t num_threads = 1;
+
+  /// Rows claimed per scheduling step by the parallel graph phases
+  /// (ParallelOptions::row_chunk). Smaller chunks balance better on skewed
+  /// rows, larger chunks cut scheduling overhead. Ignored when
+  /// num_threads == 1.
+  size_t row_chunk = 16;
+
+  /// Merge-engine data layout; see MergeEngineKind. Both engines produce
+  /// bit-identical results.
+  MergeEngineKind merge_engine = MergeEngineKind::kFlat;
 
   /// Worker threads for the disk labeling phase (§4.6, the only stage that
   /// touches the whole database). The store is split into row shards that

@@ -16,12 +16,47 @@ void LinkMatrix::Add(PointIndex i, PointIndex j, LinkCount delta) {
   // Without this guard the two symmetric writes below would both hit the
   // same diagonal cell and store 2·delta of garbage.
   if (i == j) return;
+  Thaw();
   rows_[i][j] += delta;
   rows_[j][i] += delta;
 }
 
 void LinkMatrix::AddDirected(PointIndex i, PointIndex j, LinkCount delta) {
+  Thaw();
   rows_[i][j] += delta;
+}
+
+void LinkMatrix::Thaw() {
+  if (!frozen_) return;
+  frozen_ = false;
+  csr_offsets_.clear();
+  csr_offsets_.shrink_to_fit();
+  csr_partners_.clear();
+  csr_partners_.shrink_to_fit();
+  csr_counts_.clear();
+  csr_counts_.shrink_to_fit();
+}
+
+void LinkMatrix::Freeze() {
+  if (frozen_) return;
+  size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  csr_offsets_.assign(rows_.size() + 1, 0);
+  csr_partners_.clear();
+  csr_partners_.reserve(total);
+  csr_counts_.clear();
+  csr_counts_.reserve(total);
+  std::vector<std::pair<PointIndex, LinkCount>> entries;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    entries.assign(rows_[i].begin(), rows_[i].end());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [j, count] : entries) {
+      csr_partners_.push_back(j);
+      csr_counts_.push_back(count);
+    }
+    csr_offsets_[i + 1] = csr_partners_.size();
+  }
+  frozen_ = true;
 }
 
 size_t LinkMatrix::NumNonZeroPairs() const {

@@ -5,10 +5,18 @@
 // The sparse algorithm iterates each point's neighbor list and credits one
 // link to every pair of its neighbors — O(Σ m_i²) time, far cheaper than
 // squaring the n×n adjacency matrix when the graph is sparse (§4.4).
+//
+// Storage is two-layered: per-row hash maps absorb the incremental,
+// unordered Add() stream during counting, and Freeze() then lays the same
+// data out as a CSR-style flat structure (one offset array, one sorted
+// partner array, one parallel count array) for the merge engine's
+// sequential row scans. The hash rows stay alive behind the same API and
+// serve as the oracle for the flat layout in tests and invariant checks.
 
 #ifndef ROCK_GRAPH_LINKS_H_
 #define ROCK_GRAPH_LINKS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +27,14 @@ namespace rock {
 
 /// Number of common neighbors between a pair of points/clusters.
 using LinkCount = uint32_t;
+
+/// One frozen (CSR) row of a LinkMatrix: `size` partners in strictly
+/// ascending order with their link counts in the parallel array.
+struct LinkRowSpan {
+  const PointIndex* partners = nullptr;
+  const LinkCount* counts = nullptr;
+  size_t size = 0;
+};
 
 /// Symmetric sparse matrix of link counts. Rows store only non-zero
 /// entries; both (i, j) and (j, i) are represented so that row iteration
@@ -37,17 +53,38 @@ class LinkMatrix {
   /// Adds `delta` to link(i, j) (and symmetrically link(j, i)). Diagonal
   /// adds (i == j) are ignored: a point has no links to itself, and the
   /// symmetric double-write would otherwise corrupt the cell with 2·delta.
+  /// Invalidates a previous Freeze().
   void Add(PointIndex i, PointIndex j, LinkCount delta);
 
   /// Writes only row i — deliberately breaking the symmetry/diagonal
   /// invariants. For tests and the diag oracles (diag/invariants.h), which
   /// need corrupted matrices to prove the checkers fire; never called by
-  /// the clustering code.
+  /// the clustering code. Invalidates a previous Freeze().
   void AddDirected(PointIndex i, PointIndex j, LinkCount delta);
 
   /// Non-zero entries of row i: partner → count.
   const std::unordered_map<PointIndex, LinkCount>& Row(PointIndex i) const {
     return rows_[i];
+  }
+
+  /// Builds the CSR flat layout (sorted partner/count arrays plus a row
+  /// offset array) from the hash rows. Idempotent; O(Σ rowᵢ log rowᵢ).
+  /// Any later Add()/AddDirected() drops the flat arrays again, so
+  /// incremental construction and frozen iteration cannot be interleaved
+  /// by accident.
+  void Freeze();
+
+  /// True once Freeze() has run and no Add has invalidated it.
+  bool frozen() const { return frozen_; }
+
+  /// Row i of the CSR layout, partners strictly ascending. Requires
+  /// frozen().
+  LinkRowSpan FlatRow(PointIndex i) const {
+    assert(frozen_);
+    const size_t begin = csr_offsets_[i];
+    const size_t end = csr_offsets_[i + 1];
+    return LinkRowSpan{csr_partners_.data() + begin,
+                       csr_counts_.data() + begin, end - begin};
   }
 
   /// Number of stored non-zero unordered pairs.
@@ -57,7 +94,17 @@ class LinkMatrix {
   uint64_t TotalLinks() const;
 
  private:
+  /// Drops the flat arrays when a mutation invalidates them.
+  void Thaw();
+
   std::vector<std::unordered_map<PointIndex, LinkCount>> rows_;
+
+  // CSR flat layout, valid only while frozen_: row i spans
+  // [csr_offsets_[i], csr_offsets_[i+1]) of the partner/count arrays.
+  bool frozen_ = false;
+  std::vector<size_t> csr_offsets_;
+  std::vector<PointIndex> csr_partners_;
+  std::vector<LinkCount> csr_counts_;
 };
 
 /// Computes all pairwise link counts from the neighbor graph using the

@@ -71,6 +71,37 @@ class UpdatableHeap {
     return true;
   }
 
+  /// Renames the entry `old_key` to `new_key` and sets its priority — one
+  /// sift instead of an Erase + InsertOrUpdate pair. `old_key` must be
+  /// present and `new_key` absent. The merge loop uses this when a partner
+  /// cluster u is replaced by the merged cluster w in a local heap.
+  void ReplaceKey(const Key& old_key, const Key& new_key,
+                  const Priority& priority) {
+    auto it = index_.find(old_key);
+    assert(it != index_.end());
+    assert(index_.count(new_key) == 0);
+    const size_t pos = it->second;
+    index_.erase(it);
+    entries_[pos] = Entry{new_key, priority};
+    index_[new_key] = pos;
+    if (!SiftUp(pos)) SiftDown(pos);
+  }
+
+  /// Replaces the whole heap with `entries` in O(n) (Floyd heapify) instead
+  /// of n individual O(log n) inserts. Keys must be unique; any previous
+  /// content is discarded. The merge loop uses this to build the merged
+  /// cluster's local heap from its freshly counted partner list.
+  void Assign(std::vector<Entry> entries) {
+    entries_ = std::move(entries);
+    index_.clear();
+    index_.reserve(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      assert(index_.count(entries_[i].key) == 0);
+      index_[entries_[i].key] = i;
+    }
+    for (size_t i = entries_.size() / 2; i-- > 0;) SiftDown(i);
+  }
+
   /// The maximum entry; heap must be non-empty.
   const Entry& Top() const {
     assert(!entries_.empty());

@@ -258,10 +258,9 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
   ASSERT_FALSE(json.empty());
 
   // Stage list, with values unmasked — stages are stable across machines.
-  EXPECT_NE(
-      json.find(
-          "\"stages\": [\"links\", \"merge\", \"neighbors\", \"total\"]"),
-      std::string::npos)
+  EXPECT_NE(json.find("\"stages\": [\"links\", \"merge\", \"merge.heap\", "
+                      "\"merge.relink\", \"neighbors\", \"total\"]"),
+            std::string::npos)
       << json;
   EXPECT_NE(json.find("\"tool\": \"cluster\""), std::string::npos);
   EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
@@ -272,6 +271,8 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "stages",          "timers",
       "counters",        "gauges",
       "stage.links",     "stage.merge",
+      "stage.merge.heap",
+      "stage.merge.relink",
       "stage.neighbors", "stage.total",
       "count",           "total_seconds",
       "min_seconds",     "max_seconds",
@@ -284,8 +285,13 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "links.total",
       "heap.global_peak",
       "heap.local_entries_peak",
+      "heap.ops",
       "merge.merges",
       "merge.goodness_updates",
+      "merge.relink_partners",
+      "merge.relink_dead_skipped",
+      "merge.relink_compactions",
+      "merge.relink_best_rescans",
       "weed.clusters",   "weed.points",
       "graph.average_degree",
       "criterion.value",

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/rock.h"
 #include "diag/invariants.h"
 #include "graph/links.h"
 #include "graph/neighbors.h"
@@ -129,6 +130,159 @@ TEST_P(DifferentialSeedTest, ParallelMatchesSerialAcrossSeeds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeedTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ------------------------------------------------- merge-engine differential --
+
+// The flat merge engine (CSR rows, sorted-merge relinking, batched heap
+// updates) must reproduce the hashed oracle bit for bit: the same merge
+// sequence record by record, the same clustering, the same stats. Any
+// divergence in the relink algebra or heap ordering shows up as the first
+// differing MergeRecord.
+
+void ExpectRunsIdentical(const RockResult& hashed, const RockResult& flat) {
+  ASSERT_EQ(hashed.merges.size(), flat.merges.size());
+  for (size_t m = 0; m < hashed.merges.size(); ++m) {
+    const MergeRecord& a = hashed.merges[m];
+    const MergeRecord& b = flat.merges[m];
+    ASSERT_EQ(a.left, b.left) << "merge " << m;
+    ASSERT_EQ(a.right, b.right) << "merge " << m;
+    ASSERT_EQ(a.merged, b.merged) << "merge " << m;
+    ASSERT_EQ(a.new_size, b.new_size) << "merge " << m;
+    ASSERT_DOUBLE_EQ(a.goodness, b.goodness) << "merge " << m;
+  }
+  EXPECT_EQ(hashed.clustering.assignment, flat.clustering.assignment);
+  ASSERT_EQ(hashed.clustering.num_clusters(), flat.clustering.num_clusters());
+  for (size_t c = 0; c < hashed.clustering.num_clusters(); ++c) {
+    EXPECT_EQ(hashed.clustering.clusters[c], flat.clustering.clusters[c])
+        << "cluster " << c;
+  }
+  EXPECT_EQ(hashed.stats.num_points, flat.stats.num_points);
+  EXPECT_EQ(hashed.stats.num_pruned_points, flat.stats.num_pruned_points);
+  EXPECT_EQ(hashed.stats.num_weeded_clusters,
+            flat.stats.num_weeded_clusters);
+  EXPECT_EQ(hashed.stats.num_weeded_points, flat.stats.num_weeded_points);
+  EXPECT_EQ(hashed.stats.num_merges, flat.stats.num_merges);
+  EXPECT_DOUBLE_EQ(hashed.stats.criterion_value,
+                   flat.stats.criterion_value);
+}
+
+// θ × thread-count grid, with outlier pruning and weeding enabled so the
+// flat engine's lazy-deletion path is exercised through WeedSmallClusters
+// as well as merges. Invariant checking runs in both engines every few
+// merges, so each engine's own bookkeeping oracle must also stay clean.
+class MergeEngineDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(MergeEngineDifferentialTest, FlatMatchesHashedOracle) {
+  const auto [theta, threads] = GetParam();
+  const uint64_t seed = 20260806;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 2);
+  TransactionJaccard sim(ds);
+
+  RockOptions opt;
+  opt.theta = theta;
+  opt.num_clusters = 3;
+  opt.outlier_stop_multiple = 3.0;
+  opt.min_cluster_support = 4;
+  opt.num_threads = threads;
+  opt.row_chunk = 5;  // force many scheduling steps on a small input
+  opt.diag.invariant_check_every = 7;
+
+  opt.merge_engine = MergeEngineKind::kHashed;
+  auto hashed = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(hashed.ok());
+  opt.merge_engine = MergeEngineKind::kFlat;
+  auto flat = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(flat.ok());
+
+  ExpectRunsIdentical(*hashed, *flat);
+  EXPECT_EQ(hashed->metrics.CounterOr("diag.invariant_violations"), 0u);
+  EXPECT_EQ(flat->metrics.CounterOr("diag.invariant_violations"), 0u);
+  EXPECT_GT(flat->metrics.CounterOr("diag.invariant_checks"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaByThreads, MergeEngineDifferentialTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{4})),
+    [](const ::testing::TestParamInfo<
+        MergeEngineDifferentialTest::ParamType>& param) {
+      const double theta = std::get<0>(param.param);
+      return "theta" + std::to_string(static_cast<int>(theta * 10)) +
+             "_threads" + std::to_string(std::get<1>(param.param));
+    });
+
+// Varying datasets at a fixed grid point: different seeds produce different
+// merge orders, weeding patterns, and pruning sets.
+class MergeEngineSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeEngineSeedTest, FlatMatchesHashedAcrossDatasets) {
+  const uint64_t seed = GetParam();
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 1);
+  TransactionJaccard sim(ds);
+
+  RockOptions opt;
+  opt.theta = 0.5;
+  opt.num_clusters = 3;
+  opt.outlier_stop_multiple = 2.0;
+  opt.min_cluster_support = 3;
+  opt.diag.invariant_check_every = 5;
+
+  opt.merge_engine = MergeEngineKind::kHashed;
+  auto hashed = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(hashed.ok());
+  opt.merge_engine = MergeEngineKind::kFlat;
+  auto flat = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(flat.ok());
+
+  ExpectRunsIdentical(*hashed, *flat);
+  EXPECT_EQ(flat->metrics.CounterOr("diag.invariant_violations"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeEngineSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// Degenerate inputs: a link-free graph (every point isolated → everything
+// pruned) and the complete graph (θ = 0, densest relinking possible) must
+// agree too, including when weeding is disabled.
+TEST(MergeEngineEdgeCaseTest, DegenerateGraphsAgree) {
+  TransactionDataset disjoint;
+  for (int t = 0; t < 30; ++t) {
+    disjoint.AddTransaction({"item_" + std::to_string(2 * t),
+                             "item_" + std::to_string(2 * t + 1)});
+  }
+  const uint64_t seed = 100;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset dense = RandomDataset(seed, 1);
+
+  struct Case {
+    const char* name;
+    const TransactionDataset* ds;
+    double theta;
+  };
+  TransactionJaccard disjoint_sim(disjoint);
+  TransactionJaccard dense_sim(dense);
+  const Case cases[] = {{"disjoint", &disjoint, 0.5},
+                        {"complete", &dense, 0.0}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    TransactionJaccard sim(*c.ds);
+    RockOptions opt;
+    opt.theta = c.theta;
+    opt.num_clusters = 2;
+    opt.diag.invariant_check_every = 3;
+    opt.merge_engine = MergeEngineKind::kHashed;
+    auto hashed = RockClusterer(opt).Cluster(sim);
+    ASSERT_TRUE(hashed.ok());
+    opt.merge_engine = MergeEngineKind::kFlat;
+    auto flat = RockClusterer(opt).Cluster(sim);
+    ASSERT_TRUE(flat.ok());
+    ExpectRunsIdentical(*hashed, *flat);
+    EXPECT_EQ(flat->metrics.CounterOr("diag.invariant_violations"), 0u);
+  }
+}
 
 // ------------------------------------------------------------- edge cases --
 

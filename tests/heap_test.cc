@@ -109,6 +109,75 @@ TEST(UpdatableHeapTest, NegativeInfinityPriorities) {
   EXPECT_EQ(h.Top().key, 1);
 }
 
+TEST(UpdatableHeapTest, ReplaceKeyRenamesEntry) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 0.1);
+  h.InsertOrUpdate(2, 0.5);
+  h.InsertOrUpdate(3, 0.9);
+  h.ReplaceKey(2, 7, 0.5);  // same priority, new name
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_FALSE(h.Contains(2));
+  EXPECT_TRUE(h.Contains(7));
+  EXPECT_DOUBLE_EQ(h.PriorityOf(7), 0.5);
+  EXPECT_EQ(h.Top().key, 3);
+}
+
+TEST(UpdatableHeapTest, ReplaceKeyCanRaiseToTop) {
+  UpdatableHeap<int, double> h;
+  for (int i = 0; i < 8; ++i) h.InsertOrUpdate(i, static_cast<double>(i));
+  h.ReplaceKey(0, 100, 50.0);  // bottom entry renamed and sifted to top
+  EXPECT_EQ(h.Top().key, 100);
+  EXPECT_DOUBLE_EQ(h.Top().priority, 50.0);
+  std::vector<int> order;
+  while (!h.empty()) order.push_back(h.ExtractTop().key);
+  EXPECT_EQ(order, (std::vector<int>{100, 7, 6, 5, 4, 3, 2, 1}));
+}
+
+TEST(UpdatableHeapTest, ReplaceKeyCanLowerTop) {
+  UpdatableHeap<int, double> h;
+  for (int i = 0; i < 8; ++i) h.InsertOrUpdate(i, static_cast<double>(i));
+  h.ReplaceKey(7, 100, -1.0);  // top entry renamed and sunk to the bottom
+  EXPECT_EQ(h.Top().key, 6);
+  EXPECT_TRUE(h.Contains(100));
+  std::vector<int> order;
+  while (!h.empty()) order.push_back(h.ExtractTop().key);
+  EXPECT_EQ(order, (std::vector<int>{6, 5, 4, 3, 2, 1, 0, 100}));
+}
+
+TEST(UpdatableHeapTest, AssignBuildsHeapInBulk) {
+  using Entry = UpdatableHeap<int, double>::Entry;
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(99, 99.0);  // previous content must be discarded
+  std::vector<Entry> entries;
+  for (int i = 0; i < 20; ++i) {
+    entries.push_back(Entry{i, static_cast<double>((i * 7) % 20)});
+  }
+  h.Assign(std::move(entries));
+  EXPECT_EQ(h.size(), 20u);
+  EXPECT_FALSE(h.Contains(99));
+  // Extraction order matches 20 individual inserts.
+  UpdatableHeap<int, double> ref;
+  for (int i = 0; i < 20; ++i) {
+    ref.InsertOrUpdate(i, static_cast<double>((i * 7) % 20));
+  }
+  while (!ref.empty()) {
+    ASSERT_FALSE(h.empty());
+    const auto want = ref.ExtractTop();
+    const auto got = h.ExtractTop();
+    EXPECT_EQ(got.key, want.key);
+    EXPECT_DOUBLE_EQ(got.priority, want.priority);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(UpdatableHeapTest, AssignEmptyClearsHeap) {
+  UpdatableHeap<int, double> h;
+  h.InsertOrUpdate(1, 1.0);
+  h.Assign({});
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(1));
+}
+
 // ------------------------------------------------ randomized property test --
 
 /// Reference: a sorted set of (priority desc, key asc) plus a map for
@@ -154,6 +223,17 @@ TEST_P(HeapPropertyTest, AgreesWithReferenceUnderRandomOps) {
           static_cast<double>(rng.UniformUint64(10)) / 10.0;
       heap.InsertOrUpdate(key, priority);
       ref.InsertOrUpdate(key, priority);
+    } else if (action < 0.6 && ref.Contains(key) &&
+               !ref.Contains(key + 100)) {
+      // ReplaceKey ≡ Erase(old) + Insert(new) in one sift; renamed keys
+      // land in 100…149 and can themselves be renamed targets later.
+      const double priority =
+          static_cast<double>(rng.UniformUint64(10)) / 10.0;
+      heap.ReplaceKey(key, key + 100, priority);
+      ref.Erase(key);
+      ref.InsertOrUpdate(key + 100, priority);
+      EXPECT_FALSE(heap.Contains(key));
+      EXPECT_TRUE(heap.Contains(key + 100));
     } else if (action < 0.75) {
       EXPECT_EQ(heap.Erase(key), ref.Erase(key));
     } else if (!ref.size()) {

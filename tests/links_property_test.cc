@@ -108,6 +108,115 @@ TEST(LinksBudgetBoundaryTest, TinyGraphsEveryBudget) {
   }
 }
 
+// -------------------------------------------------------- CSR flat layout --
+
+// Freeze() must lay out exactly the hash rows' content, sorted: same
+// partners, same counts, strictly ascending ids, against the brute-force
+// oracle as ground truth.
+TEST(LinkMatrixCsrTest, FrozenRowsMatchHashRowsAndBruteForce) {
+  const uint64_t seed = 87;
+  ROCK_TRACE_SEED(seed);
+  for (double theta : {0.2, 0.5, 0.8}) {
+    SCOPED_TRACE(::testing::Message() << "theta = " << theta);
+    const NeighborGraph g = RandomGraph(seed, theta);
+    const LinkMatrix oracle = ComputeLinksBruteForce(g);
+    LinkMatrix links = ComputeLinks(g);
+    EXPECT_FALSE(links.frozen());
+    links.Freeze();
+    ASSERT_TRUE(links.frozen());
+
+    for (size_t i = 0; i < links.size(); ++i) {
+      const auto p = static_cast<PointIndex>(i);
+      const LinkRowSpan flat = links.FlatRow(p);
+      ASSERT_EQ(flat.size, links.Row(p).size()) << "row " << i;
+      for (size_t e = 0; e < flat.size; ++e) {
+        if (e > 0) {
+          EXPECT_LT(flat.partners[e - 1], flat.partners[e])
+              << "row " << i << " not strictly ascending";
+        }
+        EXPECT_EQ(flat.counts[e], oracle.Count(p, flat.partners[e]))
+            << "entry (" << i << ", " << flat.partners[e] << ")";
+      }
+    }
+  }
+}
+
+TEST(LinkMatrixCsrTest, FreezeIsIdempotent) {
+  LinkMatrix links(4);
+  links.Add(0, 1, 3);
+  links.Add(1, 2, 5);
+  links.Freeze();
+  links.Freeze();  // no-op
+  ASSERT_TRUE(links.frozen());
+  const LinkRowSpan row = links.FlatRow(1);
+  ASSERT_EQ(row.size, 2u);
+  EXPECT_EQ(row.partners[0], 0u);
+  EXPECT_EQ(row.counts[0], 3u);
+  EXPECT_EQ(row.partners[1], 2u);
+  EXPECT_EQ(row.counts[1], 5u);
+}
+
+TEST(LinkMatrixCsrTest, AddThawsAndRefreezeSeesNewData) {
+  LinkMatrix links(3);
+  links.Add(0, 1, 1);
+  links.Freeze();
+  ASSERT_TRUE(links.frozen());
+  links.Add(0, 2, 7);  // mutation drops the flat arrays
+  EXPECT_FALSE(links.frozen());
+  links.Freeze();
+  const LinkRowSpan row = links.FlatRow(0);
+  ASSERT_EQ(row.size, 2u);
+  EXPECT_EQ(row.partners[1], 2u);
+  EXPECT_EQ(row.counts[1], 7u);
+}
+
+TEST(LinkMatrixCsrTest, EmptyAndZeroRowGraphs) {
+  LinkMatrix empty(0);
+  empty.Freeze();
+  EXPECT_TRUE(empty.frozen());
+
+  LinkMatrix sparse(5);  // no entries at all
+  sparse.Freeze();
+  for (PointIndex p = 0; p < 5; ++p) {
+    EXPECT_EQ(sparse.FlatRow(p).size, 0u);
+  }
+}
+
+// Fuzz: random symmetric matrices, frozen, every flat row checked against
+// the hash row it was built from.
+TEST(LinkMatrixCsrTest, FuzzFlatRowsMatchHashRows) {
+  const uint64_t base_seed = 9119;
+  for (uint64_t round = 0; round < 8; ++round) {
+    ROCK_SEEDED_RNG(rng, base_seed + round);
+    const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 40));
+    LinkMatrix links(n);
+    const auto adds = static_cast<int>(rng.UniformInt(0, 300));
+    for (int op = 0; op < adds; ++op) {
+      const auto i = static_cast<PointIndex>(
+          rng.UniformInt(0, static_cast<int>(n) - 1));
+      auto j = static_cast<PointIndex>(
+          rng.UniformInt(0, static_cast<int>(n) - 1));
+      if (i == j) j = (j + 1) % static_cast<PointIndex>(n);
+      links.Add(i, j, static_cast<LinkCount>(rng.UniformInt(1, 4)));
+    }
+    links.Freeze();
+    for (size_t i = 0; i < n; ++i) {
+      const auto p = static_cast<PointIndex>(i);
+      const auto& hash_row = links.Row(p);
+      const LinkRowSpan flat = links.FlatRow(p);
+      ASSERT_EQ(flat.size, hash_row.size()) << "row " << i;
+      for (size_t e = 0; e < flat.size; ++e) {
+        if (e > 0) {
+          ASSERT_LT(flat.partners[e - 1], flat.partners[e]);
+        }
+        const auto it = hash_row.find(flat.partners[e]);
+        ASSERT_NE(it, hash_row.end());
+        ASSERT_EQ(flat.counts[e], it->second);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------------- fuzz --
 
 // Random Add/Count sequences against a std::map model. Checks per-query

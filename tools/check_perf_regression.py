@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Gate on the flat/hashed merge-engine speedup in a BENCH_rock.json report.
+
+Usage: check_perf_regression.py CURRENT.json BASELINE.json [--tolerance=0.25]
+
+Both files follow the BENCH_rock.json schema (docs/OBSERVABILITY.md §2b) and
+must come from `bench_fig5_scalability --compare-engines`, which emits one
+entry per (n, theta, engine) cell. For every (n, theta) cell present in both
+reports, the per-cell metric is the ratio
+
+    speedup = hashed stage.merge seconds / flat stage.merge seconds
+
+and the gate compares the geometric mean of those ratios: current must not
+fall below baseline * (1 - tolerance). Ratios — not absolute seconds — keep
+the gate independent of the machine the baseline was recorded on; the
+geometric mean keeps one noisy cell from dominating.
+
+Exit status: 0 pass, 1 regression, 2 bad input.
+"""
+
+import json
+import math
+import sys
+
+
+def load_cells(path):
+    """Maps (n, theta) -> {engine: stage.merge seconds}."""
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("version") != 1:
+        raise ValueError(f"{path}: unsupported schema version "
+                         f"{report.get('version')!r}")
+    cells = {}
+    for entry in report.get("entries", []):
+        params = entry.get("params", {})
+        engine = params.get("engine")
+        merge = entry.get("timers", {}).get("stage.merge")
+        if engine not in ("flat", "hashed") or merge is None:
+            continue
+        key = (params.get("n"), params.get("theta"))
+        cells.setdefault(key, {})[engine] = merge
+    return cells
+
+
+def speedups(cells):
+    """Maps (n, theta) -> hashed/flat stage.merge ratio, where both ran."""
+    out = {}
+    for key, engines in cells.items():
+        flat = engines.get("flat")
+        hashed = engines.get("hashed")
+        if flat and hashed and flat > 0:
+            out[key] = hashed / flat
+    return out
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        current = speedups(load_cells(paths[0]))
+        baseline = speedups(load_cells(paths[1]))
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"perf-smoke: {e}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("perf-smoke: no comparable (n, theta) cells between "
+              f"{paths[0]} and {paths[1]}", file=sys.stderr)
+        return 2
+
+    print(f"{'cell':<16} {'current':>9} {'baseline':>9}")
+    for key in shared:
+        n, theta = key
+        print(f"n={n} θ={theta}   {current[key]:8.2f}x {baseline[key]:8.2f}x")
+
+    cur = geomean([current[k] for k in shared])
+    base = geomean([baseline[k] for k in shared])
+    floor = base * (1.0 - tolerance)
+    verdict = "OK" if cur >= floor else "REGRESSION"
+    print(f"geometric mean: current {cur:.2f}x, baseline {base:.2f}x, "
+          f"floor {floor:.2f}x ({tolerance:.0%} tolerance) -> {verdict}")
+    return 0 if cur >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

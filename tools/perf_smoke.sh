@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# tools/perf_smoke.sh — CI's merge-engine perf gate.
+#
+# Runs bench_fig5_scalability at a small scale with --compare-engines
+# (every (n, θ) cell under both the flat and the hashed merge engine),
+# collects the BENCH_rock.json perf report, and fails if the flat/hashed
+# stage.merge speedup regressed more than 25% against the checked-in
+# baseline (bench/baselines/BENCH_rock_smoke.json). The gate compares
+# speedup *ratios*, never absolute seconds, so it holds across machines.
+#
+# Usage: tools/perf_smoke.sh [build-dir]   (default: build)
+#
+# To refresh the baseline after an intentional perf change:
+#   tools/perf_smoke.sh && cp build/BENCH_rock_smoke.json \
+#       bench/baselines/BENCH_rock_smoke.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SCALE=0.02  # DB ≈ 2300 tx -> sample sizes 1000 and 2000 only
+BASELINE=bench/baselines/BENCH_rock_smoke.json
+REPORT="$BUILD_DIR/BENCH_rock_smoke.json"
+
+cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability
+
+echo "=== perf-smoke: bench_fig5_scalability $SCALE --compare-engines ==="
+ROCK_BENCH_JSON="$REPORT" \
+    "$BUILD_DIR/bench/bench_fig5_scalability" "$SCALE" --compare-engines
+
+echo "=== perf-smoke: gate vs $BASELINE ==="
+python3 tools/check_perf_regression.py "$REPORT" "$BASELINE"
