@@ -634,9 +634,22 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   size_t row_chunk = 16;
   size_t label_threads = 1;
   int64_t seed = 42;
+  std::string checkpoint_path;
+  bool resume = false;
+  std::string failpoints;
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
+  flags.AddString("checkpoint", &checkpoint_path,
+                  "persist labeling progress here after every shard; the "
+                  "file is removed when the run completes");
+  flags.AddBool("resume", &resume,
+                "resume from --checkpoint if it matches this run (a "
+                "missing or corrupt checkpoint restarts cleanly)");
+  flags.AddString("failpoints", &failpoints,
+                  "deterministic fault-injection schedule, e.g. "
+                  "'store.read=fire_on_hit_10:error' "
+                  "(docs/ROBUSTNESS.md; debug builds only)");
   flags.AddSize("threads", &threads,
                 "worker threads for the neighbor/link phases "
                 "(0 = all cores; results are identical at any count)");
@@ -675,6 +688,10 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
     EmitStr(out, "error: --store is required\n");
     return 2;
   }
+  if (resume && checkpoint_path.empty()) {
+    EmitStr(out, "error: --resume requires --checkpoint\n");
+    return 2;
+  }
 
   PipelineOptions opt;
   opt.rock.theta = theta;
@@ -688,6 +705,9 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   opt.sample_size = sample_size;
   opt.labeling.fraction = labeling_fraction;
   opt.seed = static_cast<uint64_t>(seed);
+  opt.rock.failpoints = failpoints;
+  opt.checkpoint_path = checkpoint_path;
+  opt.resume = resume;
   auto result = RunRockPipeline(store, opt);
   if (!result.ok()) {
     EmitStr(out, "error: " + result.status().ToString() + "\n");
@@ -696,9 +716,16 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   Emit(out,
        "pipeline: sample=%zu clusters=%zu outliers=%zu "
        "(sample %.2fs, cluster %.2fs, label %.2fs)\n",
-       sample_size, result->sample_result.clustering.num_clusters(),
+       result->sample_rows.size(),
+       result->sample_result.clustering.num_clusters(),
        result->labeling.num_outliers, result->sample_seconds,
        result->cluster_seconds, result->label_seconds);
+  if (result->resumed) {
+    Emit(out,
+         "resume: sample clustering restored from checkpoint, "
+         "%zu of %zu label shards skipped\n",
+         result->shards_skipped, result->labeling.shards);
+  }
   {
     const auto& lab = result->labeling;
     const uint64_t candidates =

@@ -19,8 +19,10 @@ namespace rock {
 ///
 /// A default-constructed Status is OK. Non-OK statuses carry a code and a
 /// human-readable message. Statuses are cheap to copy (the message is only
-/// allocated on the error path).
-class Status {
+/// allocated on the error path). Marked [[nodiscard]]: silently dropping a
+/// Status is how I/O errors turn into wrong results, so ignoring one is a
+/// compile error under -Werror.
+class [[nodiscard]] Status {
  public:
   /// Error taxonomy. Kept deliberately small; the message carries detail.
   enum class Code {
@@ -99,8 +101,9 @@ class Status {
 ///
 /// Mirrors rocksdb's StatusOr / arrow::Result. Dereferencing a Result that
 /// holds an error is a programming bug and asserts in debug builds.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -139,11 +142,17 @@ class Result {
   std::optional<T> value_;
 };
 
-/// Propagates a non-OK Status from an expression to the caller.
-#define ROCK_RETURN_IF_ERROR(expr)            \
-  do {                                        \
-    ::rock::Status _rock_status = (expr);     \
-    if (!_rock_status.ok()) return _rock_status; \
+/// Propagates a non-OK Status from an expression to the caller. The
+/// temporary's name is line-pasted so the macro can appear inside a lambda
+/// that is itself an argument to another ROCK_RETURN_IF_ERROR without
+/// tripping -Wshadow.
+#define ROCK_STATUS_CONCAT_IMPL(x, y) x##y
+#define ROCK_STATUS_CONCAT(x, y) ROCK_STATUS_CONCAT_IMPL(x, y)
+#define ROCK_RETURN_IF_ERROR(expr)                                          \
+  do {                                                                      \
+    ::rock::Status ROCK_STATUS_CONCAT(_rock_status_, __LINE__) = (expr);    \
+    if (!ROCK_STATUS_CONCAT(_rock_status_, __LINE__).ok())                  \
+      return ROCK_STATUS_CONCAT(_rock_status_, __LINE__);                   \
   } while (false)
 
 }  // namespace rock

@@ -1,0 +1,450 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/checksum.h"
+#include "util/failpoint.h"
+
+namespace rock {
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x524f434b434b5054ULL;  // "ROCKCKPT"
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr size_t kHeaderSize =
+    sizeof(kCheckpointMagic) + sizeof(kCheckpointVersion) +
+    sizeof(uint64_t) + sizeof(uint32_t);
+
+// Caps on serialized counts, mirroring the stores: anything beyond these is
+// a corrupt length field, not data, and must not turn into an allocation.
+constexpr uint64_t kMaxCheckpointRows = 1ull << 40;
+constexpr uint64_t kMaxCheckpointItems = 1u << 24;
+
+/// Appends POD fields to an in-memory payload buffer.
+struct ByteWriter {
+  std::vector<uint8_t> buf;
+
+  void Write(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf.insert(buf.end(), p, p + n);
+  }
+  template <typename T>
+  void Pod(const T& v) {
+    Write(&v, sizeof(v));
+  }
+};
+
+/// Bounds-checked reader over the payload buffer. Every overrun is the
+/// same Corruption — a truncated or tampered payload.
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  Status Read(void* out, size_t n) {
+    if (n > size - pos) {
+      return Status::Corruption("truncated checkpoint payload");
+    }
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return Status::OK();
+  }
+  template <typename T>
+  Status Pod(T* out) {
+    return Read(out, sizeof(*out));
+  }
+  /// Remaining bytes — used to sanity-check counts before allocating.
+  size_t Remaining() const { return size - pos; }
+};
+
+void WriteFingerprint(ByteWriter& w, const CheckpointFingerprint& fp) {
+  w.Pod(fp.store_count);
+  w.Pod(fp.theta);
+  w.Pod(fp.num_clusters);
+  w.Pod(fp.min_neighbors);
+  w.Pod(fp.outlier_stop_multiple);
+  w.Pod(fp.min_cluster_support);
+  w.Pod(fp.sample_size);
+  w.Pod(fp.sample_seed);
+  w.Pod(fp.labeling_fraction);
+  w.Pod(fp.min_labeling_points);
+  w.Pod(fp.labeling_seed);
+}
+
+Status ReadFingerprint(ByteReader& r, CheckpointFingerprint* fp) {
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->store_count));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->theta));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->num_clusters));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->min_neighbors));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->outlier_stop_multiple));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->min_cluster_support));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->sample_size));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->sample_seed));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->labeling_fraction));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp->min_labeling_points));
+  return r.Pod(&fp->labeling_seed);
+}
+
+void WriteStats(ByteWriter& w, const RockStats& s) {
+  w.Pod(static_cast<uint64_t>(s.num_points));
+  w.Pod(static_cast<uint64_t>(s.num_pruned_points));
+  w.Pod(static_cast<uint64_t>(s.num_weeded_clusters));
+  w.Pod(static_cast<uint64_t>(s.num_weeded_points));
+  w.Pod(static_cast<uint64_t>(s.num_merges));
+  w.Pod(s.average_degree);
+  w.Pod(static_cast<uint64_t>(s.max_degree));
+  w.Pod(s.neighbor_seconds);
+  w.Pod(s.link_seconds);
+  w.Pod(s.merge_seconds);
+  w.Pod(s.total_seconds);
+  w.Pod(s.criterion_value);
+}
+
+Status ReadStats(ByteReader& r, RockStats* s) {
+  uint64_t u = 0;
+  ROCK_RETURN_IF_ERROR(r.Pod(&u));
+  s->num_points = static_cast<size_t>(u);
+  ROCK_RETURN_IF_ERROR(r.Pod(&u));
+  s->num_pruned_points = static_cast<size_t>(u);
+  ROCK_RETURN_IF_ERROR(r.Pod(&u));
+  s->num_weeded_clusters = static_cast<size_t>(u);
+  ROCK_RETURN_IF_ERROR(r.Pod(&u));
+  s->num_weeded_points = static_cast<size_t>(u);
+  ROCK_RETURN_IF_ERROR(r.Pod(&u));
+  s->num_merges = static_cast<size_t>(u);
+  ROCK_RETURN_IF_ERROR(r.Pod(&s->average_degree));
+  ROCK_RETURN_IF_ERROR(r.Pod(&u));
+  s->max_degree = static_cast<size_t>(u);
+  ROCK_RETURN_IF_ERROR(r.Pod(&s->neighbor_seconds));
+  ROCK_RETURN_IF_ERROR(r.Pod(&s->link_seconds));
+  ROCK_RETURN_IF_ERROR(r.Pod(&s->merge_seconds));
+  ROCK_RETURN_IF_ERROR(r.Pod(&s->total_seconds));
+  return r.Pod(&s->criterion_value);
+}
+
+std::vector<uint8_t> SerializePayload(const PipelineCheckpoint& cp) {
+  ByteWriter w;
+  WriteFingerprint(w, cp.fingerprint);
+
+  w.Pod(static_cast<uint64_t>(cp.sample_rows.size()));
+  for (uint64_t row : cp.sample_rows) w.Pod(row);
+
+  w.Pod(static_cast<uint64_t>(cp.sample.size()));
+  for (const Transaction& tx : cp.sample) {
+    w.Pod(static_cast<uint32_t>(tx.size()));
+    if (!tx.empty()) {
+      w.Write(tx.items().data(), tx.size() * sizeof(ItemId));
+    }
+  }
+
+  w.Pod(static_cast<uint64_t>(cp.clustering.assignment.size()));
+  if (!cp.clustering.assignment.empty()) {
+    w.Write(cp.clustering.assignment.data(),
+            cp.clustering.assignment.size() * sizeof(ClusterIndex));
+  }
+  w.Pod(static_cast<uint64_t>(cp.clustering.clusters.size()));
+  for (const auto& members : cp.clustering.clusters) {
+    w.Pod(static_cast<uint64_t>(members.size()));
+    if (!members.empty()) {
+      w.Write(members.data(), members.size() * sizeof(PointIndex));
+    }
+  }
+
+  w.Pod(static_cast<uint64_t>(cp.merges.size()));
+  for (const MergeRecord& m : cp.merges) {
+    w.Pod(m.left);
+    w.Pod(m.right);
+    w.Pod(m.merged);
+    w.Pod(m.goodness);
+    w.Pod(static_cast<uint64_t>(m.new_size));
+  }
+  WriteStats(w, cp.stats);
+
+  w.Pod(cp.num_shards);
+  if (!cp.shard_done.empty()) {
+    w.Write(cp.shard_done.data(), cp.shard_done.size());
+  }
+  for (const auto& s : cp.shard_stats) {
+    w.Pod(s.clusters_pruned);
+    w.Pod(s.clusters_scored);
+    w.Pod(s.points_skipped_length);
+    w.Pod(s.similarities_computed);
+  }
+  for (uint64_t o : cp.shard_outliers) w.Pod(o);
+
+  w.Pod(static_cast<uint64_t>(cp.assignments.size()));
+  if (!cp.assignments.empty()) {
+    w.Write(cp.assignments.data(),
+            cp.assignments.size() * sizeof(ClusterIndex));
+  }
+  w.Pod(static_cast<uint64_t>(cp.ground_truth.size()));
+  if (!cp.ground_truth.empty()) {
+    w.Write(cp.ground_truth.data(), cp.ground_truth.size() * sizeof(LabelId));
+  }
+  return std::move(w.buf);
+}
+
+Status ParsePayload(const uint8_t* data, size_t size, PipelineCheckpoint* cp) {
+  ByteReader r{data, size};
+  ROCK_RETURN_IF_ERROR(ReadFingerprint(r, &cp->fingerprint));
+
+  uint64_t count = 0;
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > r.Remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("implausible checkpoint sample-row count");
+  }
+  cp->sample_rows.resize(static_cast<size_t>(count));
+  if (count > 0) {
+    ROCK_RETURN_IF_ERROR(r.Read(cp->sample_rows.data(),
+                                static_cast<size_t>(count) * sizeof(uint64_t)));
+  }
+
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > r.Remaining()) {  // every transaction takes ≥ 4 bytes
+    return Status::Corruption("implausible checkpoint sample count");
+  }
+  cp->sample.clear();
+  cp->sample.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t n = 0;
+    ROCK_RETURN_IF_ERROR(r.Pod(&n));
+    if (n > kMaxCheckpointItems ||
+        static_cast<size_t>(n) * sizeof(ItemId) > r.Remaining()) {
+      return Status::Corruption("implausible checkpoint transaction length");
+    }
+    std::vector<ItemId> items(n);
+    if (n > 0) {
+      ROCK_RETURN_IF_ERROR(
+          r.Read(items.data(), static_cast<size_t>(n) * sizeof(ItemId)));
+    }
+    cp->sample.emplace_back(std::move(items));
+  }
+
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > r.Remaining() / sizeof(ClusterIndex)) {
+    return Status::Corruption("implausible checkpoint assignment size");
+  }
+  cp->clustering.assignment.resize(static_cast<size_t>(count));
+  if (count > 0) {
+    ROCK_RETURN_IF_ERROR(
+        r.Read(cp->clustering.assignment.data(),
+               static_cast<size_t>(count) * sizeof(ClusterIndex)));
+  }
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > r.Remaining()) {  // every cluster takes ≥ 8 bytes
+    return Status::Corruption("implausible checkpoint cluster count");
+  }
+  cp->clustering.clusters.clear();
+  cp->clustering.clusters.resize(static_cast<size_t>(count));
+  for (auto& members : cp->clustering.clusters) {
+    uint64_t n = 0;
+    ROCK_RETURN_IF_ERROR(r.Pod(&n));
+    if (n > r.Remaining() / sizeof(PointIndex)) {
+      return Status::Corruption("implausible checkpoint cluster size");
+    }
+    members.resize(static_cast<size_t>(n));
+    if (n > 0) {
+      ROCK_RETURN_IF_ERROR(r.Read(
+          members.data(), static_cast<size_t>(n) * sizeof(PointIndex)));
+    }
+  }
+
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > r.Remaining()) {  // every merge record takes ≥ 28 bytes
+    return Status::Corruption("implausible checkpoint merge count");
+  }
+  cp->merges.clear();
+  cp->merges.resize(static_cast<size_t>(count));
+  for (MergeRecord& m : cp->merges) {
+    uint64_t new_size = 0;
+    ROCK_RETURN_IF_ERROR(r.Pod(&m.left));
+    ROCK_RETURN_IF_ERROR(r.Pod(&m.right));
+    ROCK_RETURN_IF_ERROR(r.Pod(&m.merged));
+    ROCK_RETURN_IF_ERROR(r.Pod(&m.goodness));
+    ROCK_RETURN_IF_ERROR(r.Pod(&new_size));
+    m.new_size = static_cast<size_t>(new_size);
+  }
+  ROCK_RETURN_IF_ERROR(ReadStats(r, &cp->stats));
+
+  ROCK_RETURN_IF_ERROR(r.Pod(&cp->num_shards));
+  if (cp->num_shards > r.Remaining()) {  // ≥ 1 byte per shard follows
+    return Status::Corruption("implausible checkpoint shard count");
+  }
+  const size_t shards = static_cast<size_t>(cp->num_shards);
+  cp->shard_done.resize(shards);
+  if (shards > 0) {
+    ROCK_RETURN_IF_ERROR(r.Read(cp->shard_done.data(), shards));
+  }
+  cp->shard_stats.clear();
+  cp->shard_stats.resize(shards);
+  for (auto& s : cp->shard_stats) {
+    ROCK_RETURN_IF_ERROR(r.Pod(&s.clusters_pruned));
+    ROCK_RETURN_IF_ERROR(r.Pod(&s.clusters_scored));
+    ROCK_RETURN_IF_ERROR(r.Pod(&s.points_skipped_length));
+    ROCK_RETURN_IF_ERROR(r.Pod(&s.similarities_computed));
+  }
+  cp->shard_outliers.resize(shards);
+  for (auto& o : cp->shard_outliers) {
+    ROCK_RETURN_IF_ERROR(r.Pod(&o));
+  }
+
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > kMaxCheckpointRows ||
+      count > r.Remaining() / sizeof(ClusterIndex)) {
+    return Status::Corruption("implausible checkpoint assignments size");
+  }
+  cp->assignments.resize(static_cast<size_t>(count));
+  if (count > 0) {
+    ROCK_RETURN_IF_ERROR(
+        r.Read(cp->assignments.data(),
+               static_cast<size_t>(count) * sizeof(ClusterIndex)));
+  }
+  ROCK_RETURN_IF_ERROR(r.Pod(&count));
+  if (count > r.Remaining() / sizeof(LabelId)) {
+    return Status::Corruption("implausible checkpoint ground-truth size");
+  }
+  cp->ground_truth.resize(static_cast<size_t>(count));
+  if (count > 0) {
+    ROCK_RETURN_IF_ERROR(r.Read(cp->ground_truth.data(),
+                                static_cast<size_t>(count) * sizeof(LabelId)));
+  }
+
+  if (r.Remaining() != 0) {
+    return Status::Corruption("trailing bytes after checkpoint payload");
+  }
+
+  // Cross-field consistency: the shard vectors and row arrays must agree
+  // with the counts the fingerprint pins, or resume would index out of
+  // bounds.
+  if (cp->assignments.size() != cp->fingerprint.store_count ||
+      cp->ground_truth.size() != cp->fingerprint.store_count) {
+    return Status::Corruption(
+        "checkpoint row arrays do not match the store count");
+  }
+  if (cp->sample.size() != cp->sample_rows.size()) {
+    return Status::Corruption(
+        "checkpoint sample rows and transactions disagree");
+  }
+  return Status::OK();
+}
+
+Status WriteFileBytes(const std::string& path, const uint8_t* data,
+                      size_t n) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  if (n > 0 && std::fwrite(data, 1, n, file.get()) != n) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::IOError("flush failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const PipelineCheckpoint& checkpoint,
+                      const std::string& path) {
+  const std::vector<uint8_t> payload = SerializePayload(checkpoint);
+
+  ByteWriter file;
+  file.buf.reserve(kHeaderSize + payload.size());
+  file.Pod(kCheckpointMagic);
+  file.Pod(kCheckpointVersion);
+  file.Pod(static_cast<uint64_t>(payload.size()));
+  file.Pod(Crc32(payload.data(), payload.size()));
+  file.Write(payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  switch (fail::Consult("pipeline.checkpoint")) {
+    case fail::Action::kNone:
+      break;
+    case fail::Action::kTornWrite:
+      // A filesystem without atomic rename tearing the checkpoint: half
+      // the bytes land at the *final* path.
+      ROCK_RETURN_IF_ERROR(
+          WriteFileBytes(path, file.buf.data(), file.buf.size() / 2));
+      return fail::InjectedError("pipeline.checkpoint");
+    case fail::Action::kCrash:
+      // Death between writing the tmp file and renaming it: the tmp file
+      // is complete but the final path never updates.
+      ROCK_RETURN_IF_ERROR(
+          WriteFileBytes(tmp, file.buf.data(), file.buf.size()));
+      return fail::InjectedCrash("pipeline.checkpoint");
+    case fail::Action::kError:
+    case fail::Action::kShortRead:
+      return fail::InjectedError("pipeline.checkpoint");
+  }
+
+  ROCK_RETURN_IF_ERROR(WriteFileBytes(tmp, file.buf.data(), file.buf.size()));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<PipelineCheckpoint> LoadCheckpoint(const std::string& path) {
+  ROCK_RETURN_IF_ERROR(fail::ConsultRead("checkpoint.load"));
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::FILE* f = file.get();
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failure on '" + path + "'");
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    return Status::IOError("tell failure on '" + path + "'");
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failure on '" + path + "'");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    return Status::IOError("read failure on '" + path + "'");
+  }
+
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("checkpoint file '" + path + "' is truncated");
+  }
+  ByteReader header{bytes.data(), kHeaderSize};
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t expected_crc = 0;
+  ROCK_RETURN_IF_ERROR(header.Pod(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("'" + path + "' is not a pipeline checkpoint");
+  }
+  ROCK_RETURN_IF_ERROR(header.Pod(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  ROCK_RETURN_IF_ERROR(header.Pod(&payload_size));
+  ROCK_RETURN_IF_ERROR(header.Pod(&expected_crc));
+  if (payload_size != bytes.size() - kHeaderSize) {
+    return Status::Corruption("checkpoint '" + path +
+                              "' payload size mismatch (torn write)");
+  }
+  const uint8_t* payload = bytes.data() + kHeaderSize;
+  if (Crc32(payload, static_cast<size_t>(payload_size)) != expected_crc) {
+    return Status::Corruption("checkpoint '" + path +
+                              "' checksum mismatch (bit rot or torn write)");
+  }
+
+  PipelineCheckpoint cp;
+  ROCK_RETURN_IF_ERROR(
+      ParsePayload(payload, static_cast<size_t>(payload_size), &cp));
+  return cp;
+}
+
+}  // namespace rock

@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <memory>
 
+#include <mutex>
+
 #include "common/timer.h"
 #include "diag/metrics.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace rock {
@@ -218,12 +221,46 @@ ClusterIndex TransactionLabeler::Assign(const Transaction& tx,
 namespace {
 
 constexpr uint64_t kLabelerMagic = 0x524f434b4c41424cULL;  // "ROCKLABL"
-constexpr uint32_t kLabelerVersion = 1;
+// Version 2 added the header crc32 over the payload.
+constexpr uint32_t kLabelerVersion = 2;
+constexpr long kLabelerCrcOffset =
+    static_cast<long>(sizeof(kLabelerMagic) + sizeof(kLabelerVersion));
 
 /// Per-transaction item cap shared by Save (reject) and Load (corruption
 /// bound): lengths are serialized as uint32_t, and anything this large is
 /// a bug or a corrupt file, not data.
 constexpr uint64_t kMaxLabelerTransactionItems = 1u << 24;
+
+/// Checksumming writer for the labeler payload; every write consults the
+/// "labeler.save" failpoint site, so torn writes can land mid-file.
+struct LabelerPayloadWriter {
+  std::FILE* f;
+  Crc32Accumulator crc;
+
+  Status Write(const void* data, size_t n) {
+    ROCK_RETURN_IF_ERROR(fail::ConsultWrite("labeler.save", f, data, n));
+    if (std::fwrite(data, 1, n, f) != n) {
+      return Status::IOError("short write to labeler file");
+    }
+    crc.Update(data, n);
+    return Status::OK();
+  }
+};
+
+/// Checksumming reader for the labeler payload ("labeler.load" site).
+struct LabelerPayloadReader {
+  std::FILE* f;
+  Crc32Accumulator crc;
+
+  Status Read(void* data, size_t n) {
+    ROCK_RETURN_IF_ERROR(fail::ConsultRead("labeler.load"));
+    if (std::fread(data, 1, n, f) != n) {
+      return Status::Corruption("short read from labeler file");
+    }
+    crc.Update(data, n);
+    return Status::OK();
+  }
+};
 
 Status WriteRaw(std::FILE* f, const void* data, size_t n) {
   if (std::fwrite(data, 1, n, f) != n) {
@@ -250,13 +287,16 @@ Status TransactionLabeler::Save(const std::string& path) const {
   std::FILE* f = file.get();
   ROCK_RETURN_IF_ERROR(WriteRaw(f, &kLabelerMagic, sizeof(kLabelerMagic)));
   ROCK_RETURN_IF_ERROR(WriteRaw(f, &kLabelerVersion, sizeof(kLabelerVersion)));
-  ROCK_RETURN_IF_ERROR(WriteRaw(f, &theta_, sizeof(theta_)));
-  ROCK_RETURN_IF_ERROR(WriteRaw(f, &f_exponent_, sizeof(f_exponent_)));
+  uint32_t crc_placeholder = 0;
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &crc_placeholder, sizeof(crc_placeholder)));
+  LabelerPayloadWriter w{f, Crc32Accumulator{}};
+  ROCK_RETURN_IF_ERROR(w.Write(&theta_, sizeof(theta_)));
+  ROCK_RETURN_IF_ERROR(w.Write(&f_exponent_, sizeof(f_exponent_)));
   const uint64_t num_clusters = sets_.size();
-  ROCK_RETURN_IF_ERROR(WriteRaw(f, &num_clusters, sizeof(num_clusters)));
+  ROCK_RETURN_IF_ERROR(w.Write(&num_clusters, sizeof(num_clusters)));
   for (const auto& set : sets_) {
     const uint64_t set_size = set.size();
-    ROCK_RETURN_IF_ERROR(WriteRaw(f, &set_size, sizeof(set_size)));
+    ROCK_RETURN_IF_ERROR(w.Write(&set_size, sizeof(set_size)));
     for (const Transaction& tx : set) {
       if (tx.size() > kMaxLabelerTransactionItems) {
         return Status::InvalidArgument(
@@ -265,13 +305,17 @@ Status TransactionLabeler::Save(const std::string& path) const {
             std::to_string(kMaxLabelerTransactionItems));
       }
       const uint32_t n = static_cast<uint32_t>(tx.size());
-      ROCK_RETURN_IF_ERROR(WriteRaw(f, &n, sizeof(n)));
+      ROCK_RETURN_IF_ERROR(w.Write(&n, sizeof(n)));
       if (n > 0) {
-        ROCK_RETURN_IF_ERROR(
-            WriteRaw(f, tx.items().data(), n * sizeof(ItemId)));
+        ROCK_RETURN_IF_ERROR(w.Write(tx.items().data(), n * sizeof(ItemId)));
       }
     }
   }
+  if (std::fseek(f, kLabelerCrcOffset, SEEK_SET) != 0) {
+    return Status::IOError("seek failure finalizing '" + path + "'");
+  }
+  const uint32_t crc = w.crc.value();
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &crc, sizeof(crc)));
   if (std::fflush(f) != 0) {
     return Status::IOError("flush failure on '" + path + "'");
   }
@@ -296,16 +340,19 @@ Result<TransactionLabeler> TransactionLabeler::Load(const std::string& path) {
     return Status::Corruption("unsupported labeler version " +
                               std::to_string(version));
   }
+  uint32_t expected_crc = 0;
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, &expected_crc, sizeof(expected_crc)));
+  LabelerPayloadReader r{f, Crc32Accumulator{}};
   double theta = 0.0;
   double exponent = 0.0;
-  ROCK_RETURN_IF_ERROR(ReadRaw(f, &theta, sizeof(theta)));
-  ROCK_RETURN_IF_ERROR(ReadRaw(f, &exponent, sizeof(exponent)));
+  ROCK_RETURN_IF_ERROR(r.Read(&theta, sizeof(theta)));
+  ROCK_RETURN_IF_ERROR(r.Read(&exponent, sizeof(exponent)));
   if (!(theta >= 0.0 && theta <= 1.0) || !(exponent >= 0.0)) {
     return Status::Corruption("implausible labeler parameters");
   }
   TransactionLabeler labeler(theta, exponent);
   uint64_t num_clusters = 0;
-  ROCK_RETURN_IF_ERROR(ReadRaw(f, &num_clusters, sizeof(num_clusters)));
+  ROCK_RETURN_IF_ERROR(r.Read(&num_clusters, sizeof(num_clusters)));
   if (num_clusters > (1u << 24)) {
     return Status::Corruption("implausible cluster count");
   }
@@ -313,7 +360,7 @@ Result<TransactionLabeler> TransactionLabeler::Load(const std::string& path) {
   labeler.normalizers_.resize(num_clusters);
   for (uint64_t c = 0; c < num_clusters; ++c) {
     uint64_t set_size = 0;
-    ROCK_RETURN_IF_ERROR(ReadRaw(f, &set_size, sizeof(set_size)));
+    ROCK_RETURN_IF_ERROR(r.Read(&set_size, sizeof(set_size)));
     if (set_size > (1u << 28)) {
       return Status::Corruption("implausible labeling-set size");
     }
@@ -321,18 +368,23 @@ Result<TransactionLabeler> TransactionLabeler::Load(const std::string& path) {
     set.reserve(set_size);
     for (uint64_t t = 0; t < set_size; ++t) {
       uint32_t n = 0;
-      ROCK_RETURN_IF_ERROR(ReadRaw(f, &n, sizeof(n)));
+      ROCK_RETURN_IF_ERROR(r.Read(&n, sizeof(n)));
       if (n > kMaxLabelerTransactionItems) {
         return Status::Corruption("implausible transaction length");
       }
       std::vector<ItemId> items(n);
       if (n > 0) {
-        ROCK_RETURN_IF_ERROR(ReadRaw(f, items.data(), n * sizeof(ItemId)));
+        ROCK_RETURN_IF_ERROR(r.Read(items.data(), n * sizeof(ItemId)));
       }
       set.emplace_back(std::move(items));
     }
     labeler.normalizers_[c] =
         std::pow(static_cast<double>(set.size()) + 1.0, exponent);
+  }
+  // The payload checksum catches bit flips that still parse plausibly.
+  if (r.crc.value() != expected_crc) {
+    return Status::Corruption("labeler checksum mismatch in '" + path +
+                              "' (bit rot or torn write)");
   }
   // A labeler file must end exactly where the last labeling set does:
   // trailing bytes mean truncated-then-appended data or a reader/writer
@@ -350,64 +402,159 @@ Result<LabelingRunResult> LabelStore(const std::string& store_path,
                                      const LabelStoreOptions& options) {
   Timer timer;
   const size_t threads = ResolveThreads(options.num_threads);
-  auto header = TransactionStoreReader::Open(store_path);
-  ROCK_RETURN_IF_ERROR(header.status());
-  const uint64_t total = header->count();
 
   LabelingRunResult out;
   out.threads_used = threads;
+
+  // The header open and the shard plan both touch the store file, so both
+  // ride the transient-retry schedule (their failpoint site is
+  // "store.open").
+  uint64_t total = 0;
+  ROCK_RETURN_IF_ERROR(RetryTransient(
+      options.retry,
+      [&]() -> Status {
+        auto header = TransactionStoreReader::Open(store_path);
+        ROCK_RETURN_IF_ERROR(header.status());
+        total = header->count();
+        return Status::OK();
+      },
+      &out.retry_stats, options.retry_sleeper));
   out.assignments.assign(total, kUnassigned);
   out.ground_truth.assign(total, kNoLabel);
 
   std::vector<StoreShardRange> shards;
   if (total > 0) {
     // More shards than workers (4×) lets the dynamic claim loop rebalance
-    // when transaction sizes are skewed across the file.
-    const uint64_t want =
-        threads <= 1
-            ? 1
-            : std::min<uint64_t>(total, static_cast<uint64_t>(threads) * 4);
-    auto planned = TransactionStoreReader::PlanShards(store_path, want);
-    ROCK_RETURN_IF_ERROR(planned.status());
-    shards = std::move(*planned);
+    // when transaction sizes are skewed across the file. A caller that
+    // persists per-shard progress pins the plan size instead, so a resumed
+    // run replans the exact same boundaries at any thread count.
+    uint64_t want = options.num_shards;
+    if (options.resume != nullptr && options.resume->num_shards > 0) {
+      want = options.resume->num_shards;
+    }
+    if (want == 0) {
+      want = threads <= 1
+                 ? 1
+                 : std::min<uint64_t>(total,
+                                      static_cast<uint64_t>(threads) * 4);
+    }
+    ROCK_RETURN_IF_ERROR(RetryTransient(
+        options.retry,
+        [&]() -> Status {
+          auto planned = TransactionStoreReader::PlanShards(store_path, want);
+          ROCK_RETURN_IF_ERROR(planned.status());
+          shards = std::move(*planned);
+          return Status::OK();
+        },
+        &out.retry_stats, options.retry_sleeper));
   }
   out.shards = shards.size();
 
+  // Restore completed shards from the resume state: their rows, counters
+  // and outlier counts are copied verbatim and the claim loop skips them,
+  // so a resumed run only pays for the shards the interrupted run missed.
+  std::vector<uint8_t> skip(shards.size(), 0);
+  std::vector<TransactionLabeler::AssignStats> shard_stats(shards.size());
+  std::vector<uint64_t> shard_outliers(shards.size(), 0);
+  if (options.resume != nullptr) {
+    const LabelResumeState& resume = *options.resume;
+    if (resume.num_shards != static_cast<uint64_t>(shards.size()) ||
+        resume.shard_done == nullptr ||
+        resume.shard_done->size() != shards.size() ||
+        resume.assignments == nullptr ||
+        resume.assignments->size() != total ||
+        resume.ground_truth == nullptr ||
+        resume.ground_truth->size() != total ||
+        resume.shard_stats == nullptr ||
+        resume.shard_stats->size() != shards.size() ||
+        resume.shard_outliers == nullptr ||
+        resume.shard_outliers->size() != shards.size()) {
+      return Status::InvalidArgument(
+          "labeling resume state does not match the store's shard plan");
+    }
+    for (size_t s = 0; s < shards.size(); ++s) {
+      if (!(*resume.shard_done)[s]) continue;
+      skip[s] = 1;
+      const StoreShardRange& range = shards[s];
+      for (uint64_t row = range.first_row;
+           row < range.first_row + range.num_rows; ++row) {
+        out.assignments[row] = (*resume.assignments)[row];
+        out.ground_truth[row] = (*resume.ground_truth)[row];
+      }
+      shard_stats[s] = (*resume.shard_stats)[s];
+      shard_outliers[s] = (*resume.shard_outliers)[s];
+      ++out.shards_skipped;
+    }
+  }
+
   // Workers claim shards from a shared counter and write each row's
   // assignment straight into its slot — rows are disjoint across shards,
-  // so the merged result is bit-identical to a serial in-order scan.
-  std::vector<TransactionLabeler::AssignStats> shard_stats(shards.size());
+  // so the merged result is bit-identical to a serial in-order scan. A
+  // shard attempt that fails with a transient IOError is retried from its
+  // start with its counters reset, which keeps retries invisible in the
+  // output: rows are rewritten in place with identical values.
   std::vector<Status> shard_status(shards.size(), Status::OK());
-  std::vector<uint64_t> shard_outliers(shards.size(), 0);
+  const size_t num_workers = shards.size() <= 1 ? 1 : threads;
+  std::vector<RetryStats> worker_retry(num_workers);
   std::atomic<size_t> next{0};
-  ParallelInvoke(shards.size() <= 1 ? 1 : threads, [&](size_t) {
+  std::atomic<bool> abort{false};
+  std::mutex completion_mutex;
+  ParallelInvoke(num_workers, [&](size_t worker) {
     TransactionLabeler::Scratch scratch;
-    while (true) {
+    while (!abort.load(std::memory_order_acquire)) {
       const size_t s = next.fetch_add(1);
       if (s >= shards.size()) break;
+      if (skip[s]) continue;
       const StoreShardRange& range = shards[s];
-      auto reader = TransactionStoreReader::OpenRange(store_path, range);
-      if (!reader.ok()) {
-        shard_status[s] = reader.status();
+      Status attempt = RetryTransient(
+          options.retry,
+          [&]() -> Status {
+            shard_stats[s] = TransactionLabeler::AssignStats{};
+            shard_outliers[s] = 0;
+            auto reader = TransactionStoreReader::OpenRange(store_path, range);
+            ROCK_RETURN_IF_ERROR(reader.status());
+            uint64_t row = range.first_row;
+            while (reader->Next()) {
+              const ClusterIndex c = labeler.Assign(reader->transaction(),
+                                                    &scratch, &shard_stats[s]);
+              out.assignments[row] = c;
+              out.ground_truth[row] = reader->label();
+              if (c == kUnassigned) ++shard_outliers[s];
+              ++row;
+            }
+            ROCK_RETURN_IF_ERROR(reader->status());
+            if (row != range.first_row + range.num_rows) {
+              return Status::Corruption(
+                  "store shard ended early (file truncated or changed "
+                  "underfoot)");
+            }
+            return Status::OK();
+          },
+          &worker_retry[worker], options.retry_sleeper);
+      if (!attempt.ok()) {
+        shard_status[s] = std::move(attempt);
         continue;
       }
-      uint64_t row = range.first_row;
-      while (reader->Next()) {
-        const ClusterIndex c =
-            labeler.Assign(reader->transaction(), &scratch, &shard_stats[s]);
-        out.assignments[row] = c;
-        out.ground_truth[row] = reader->label();
-        if (c == kUnassigned) ++shard_outliers[s];
-        ++row;
-      }
-      if (!reader->status().ok()) {
-        shard_status[s] = reader->status();
-      } else if (row != range.first_row + range.num_rows) {
-        shard_status[s] = Status::Corruption(
-            "store shard ended early (file truncated or changed underfoot)");
+      if (options.on_shard_complete) {
+        // Serialized so checkpoint writers never interleave; the shard's
+        // rows are final here, making the callback's reads race-free.
+        LabelShardCompletion done;
+        done.shard = s;
+        done.range = range;
+        done.assignments = out.assignments.data() + range.first_row;
+        done.ground_truth = out.ground_truth.data() + range.first_row;
+        done.stats = shard_stats[s];
+        done.outliers = shard_outliers[s];
+        std::lock_guard<std::mutex> lock(completion_mutex);
+        Status cb = options.on_shard_complete(done);
+        if (!cb.ok()) {
+          shard_status[s] = std::move(cb);
+          abort.store(true, std::memory_order_release);
+        }
       }
     }
   });
+  for (const RetryStats& w : worker_retry) out.retry_stats.Merge(w);
 
   // First failing shard (in store order) wins, deterministically.
   for (const Status& s : shard_status) {
@@ -424,6 +571,11 @@ Result<LabelingRunResult> LabelStore(const std::string& store_path,
     m->RecordSeconds("stage.label_scan", out.seconds);
     m->AddCounter("label.threads", out.threads_used);
     m->AddCounter("label.shards", out.shards);
+    m->AddCounter("label.shards_skipped", out.shards_skipped);
+    m->AddCounter("retry.attempts", out.retry_stats.attempts);
+    m->AddCounter("retry.retries", out.retry_stats.retries);
+    m->AddCounter("retry.exhausted", out.retry_stats.exhausted);
+    m->SetGauge("retry.backoff_ms", out.retry_stats.backoff_ms);
     m->AddCounter("label.clusters_scored", out.stats.clusters_scored);
     m->AddCounter("label.clusters_pruned", out.stats.clusters_pruned);
     m->AddCounter("label.points_skipped_length",

@@ -14,6 +14,7 @@
 #define ROCK_CORE_LABELING_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/random.h"
@@ -23,6 +24,7 @@
 #include "data/dataset.h"
 #include "data/disk_store.h"
 #include "similarity/jaccard.h"
+#include "util/retry.h"
 
 namespace rock {
 
@@ -112,7 +114,9 @@ class TransactionLabeler {
 
   /// Serializes the labeler (θ, f(θ), all labeling sets) to a binary file
   /// so the labeling phase can run in a different process — e.g. sharded
-  /// over the store — without re-clustering the sample.
+  /// over the store — without re-clustering the sample. The file carries a
+  /// payload crc32 (format version 2) that Load verifies, and the write
+  /// path exposes the "labeler.save" failpoint site.
   Status Save(const std::string& path) const;
 
   /// Restores a labeler written by Save(). Item ids must come from the
@@ -153,6 +157,38 @@ struct LabelingRunResult {
   /// Worker threads and store shards the scan actually used.
   size_t threads_used = 1;
   size_t shards = 1;
+  /// Shards restored from LabelStoreOptions::resume instead of scanned.
+  size_t shards_skipped = 0;
+  /// Transient-I/O retry accounting for the whole scan (retry.* metrics).
+  RetryStats retry_stats;
+};
+
+/// Everything LabelStore reports about one finished shard, handed to
+/// LabelStoreOptions::on_shard_complete so callers can checkpoint. The row
+/// spans point at the shard's slice of the (still shared) result arrays —
+/// the shard's rows are final once the callback runs, and LabelStore
+/// serializes callback invocations, so reading them is race-free.
+struct LabelShardCompletion {
+  size_t shard = 0;              ///< index into the shard plan
+  StoreShardRange range;         ///< rows this shard covered
+  const ClusterIndex* assignments = nullptr;  ///< [range.num_rows]
+  const LabelId* ground_truth = nullptr;      ///< [range.num_rows]
+  TransactionLabeler::AssignStats stats;      ///< this shard's counters
+  uint64_t outliers = 0;         ///< kUnassigned rows in this shard
+};
+
+/// Prior labeling progress for a resumed scan (from a pipeline checkpoint,
+/// core/checkpoint.h). All vectors are borrowed and must outlive the
+/// LabelStore call. `shard_done`, `shard_stats` and `shard_outliers` have
+/// one entry per planned shard; `assignments`/`ground_truth` cover the
+/// whole store and are only read for rows of completed shards.
+struct LabelResumeState {
+  uint64_t num_shards = 0;  ///< shard plan size the progress refers to
+  const std::vector<uint8_t>* shard_done = nullptr;
+  const std::vector<ClusterIndex>* assignments = nullptr;
+  const std::vector<LabelId>* ground_truth = nullptr;
+  const std::vector<TransactionLabeler::AssignStats>* shard_stats = nullptr;
+  const std::vector<uint64_t>* shard_outliers = nullptr;
 };
 
 /// Controls for the sharded labeling scan.
@@ -165,6 +201,24 @@ struct LabelStoreOptions {
   /// time, transactions/sec, candidate-prune hit rate; see
   /// docs/OBSERVABILITY.md).
   diag::MetricsRegistry* metrics = nullptr;
+  /// Overrides the shard plan size (0 = derive from num_threads). Set by
+  /// callers that persist per-shard progress so a resumed run replans the
+  /// exact same shard boundaries regardless of its thread count.
+  uint64_t num_shards = 0;
+  /// Transient-I/O retry schedule for shard scans (docs/ROBUSTNESS.md).
+  /// A shard whose reader fails with IOError is reopened and rescanned
+  /// from its start; results stay bit-identical because shard rows are
+  /// rewritten in place and per-shard counters reset per attempt.
+  RetryPolicy retry;
+  /// Injectable sleeper for the retry backoff (tests; nullptr = real).
+  RetrySleeper retry_sleeper = nullptr;
+  /// When set, called once per freshly scanned shard, right after its rows
+  /// are final. Calls are serialized (a mutex) but can come from any
+  /// worker, in any shard order. A non-OK return aborts the scan — that is
+  /// how an injected checkpoint crash stops a run mid-flight.
+  std::function<Status(const LabelShardCompletion&)> on_shard_complete;
+  /// When non-null, shards marked done are restored instead of scanned.
+  const LabelResumeState* resume = nullptr;
 };
 
 /// Labels every transaction of `store_path`. The store is split into

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/status.h"
 
@@ -108,6 +109,13 @@ struct RockOptions {
 
   /// Metrics collection and runtime invariant checking.
   DiagOptions diag;
+
+  /// Deterministic fault-injection schedule (util/failpoint.h grammar,
+  /// e.g. "store.read=fire_on_hit_100:error"). Empty = leave the process
+  /// schedule untouched. Applied by RunRockPipeline before any I/O; in
+  /// builds compiled with -DROCK_FAILPOINTS=OFF a non-empty schedule is
+  /// rejected with FailedPrecondition instead of being silently ignored.
+  std::string failpoints;
 
   /// Checks parameter sanity.
   Status Validate() const;

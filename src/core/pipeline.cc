@@ -1,13 +1,42 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
+#include "core/checkpoint.h"
 #include "core/sampling.h"
 #include "diag/metrics.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
 
 namespace rock {
+
+namespace {
+
+/// The identity the checkpoint of this run must carry (core/checkpoint.h).
+CheckpointFingerprint MakeFingerprint(uint64_t store_count,
+                                      uint64_t effective_sample,
+                                      const PipelineOptions& options) {
+  CheckpointFingerprint fp;
+  fp.store_count = store_count;
+  fp.theta = options.rock.theta;
+  fp.num_clusters = options.rock.num_clusters;
+  fp.min_neighbors = options.rock.min_neighbors;
+  fp.outlier_stop_multiple = options.rock.outlier_stop_multiple;
+  fp.min_cluster_support = options.rock.min_cluster_support;
+  fp.sample_size = effective_sample;
+  fp.sample_seed = options.seed;
+  fp.labeling_fraction = options.labeling.fraction;
+  fp.min_labeling_points = options.labeling.min_labeling_points;
+  fp.labeling_seed = options.labeling.seed;
+  return fp;
+}
+
+}  // namespace
 
 Result<PipelineResult> RunRockPipeline(const std::string& store_path,
                                        const PipelineOptions& options) {
@@ -15,43 +44,173 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
   if (options.sample_size == 0) {
     return Status::InvalidArgument("sample_size must be > 0");
   }
+  if (!options.rock.failpoints.empty()) {
+    ROCK_RETURN_IF_ERROR(fail::Configure(options.rock.failpoints));
+  }
+  if (options.resume && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "resume requires a checkpoint_path to resume from");
+  }
+
+  diag::MetricsRegistry registry;
+  const bool collect = options.rock.diag.collect_metrics;
+  diag::MetricsRegistry* m = collect ? &registry : nullptr;
+  const bool checkpointing = !options.checkpoint_path.empty();
 
   PipelineResult out;
+  RetryStats retry_stats;  // sampling + checkpoint I/O (labeling has its own)
 
-  // Pass 1: streaming reservoir sample of the store.
-  Timer sample_timer;
-  Rng rng(options.seed);
-  auto reader = TransactionStoreReader::Open(store_path);
-  ROCK_RETURN_IF_ERROR(reader.status());
-  if (reader->count() < options.sample_size) {
-    return Status::InvalidArgument("store has fewer rows than sample_size");
+  // Row count first: it clamps the sample and keys the checkpoint
+  // fingerprint. Retried — the open consults the "store.open" site.
+  uint64_t store_count = 0;
+  ROCK_RETURN_IF_ERROR(RetryTransient(
+      options.retry,
+      [&]() -> Status {
+        auto reader = TransactionStoreReader::Open(store_path);
+        ROCK_RETURN_IF_ERROR(reader.status());
+        store_count = reader->count();
+        return Status::OK();
+      },
+      &retry_stats, options.retry_sleeper));
+  if (store_count == 0) {
+    return Status::InvalidArgument(
+        "cannot run the pipeline on an empty store");
   }
-  ReservoirSampler<Transaction> sampler(options.sample_size, &rng);
-  while (reader->Next()) sampler.Offer(reader->transaction());
-  ROCK_RETURN_IF_ERROR(reader->status());
 
-  // Keep sample rows in store order so results are stable and reportable.
-  std::vector<size_t> order(sampler.sample().size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return sampler.sample_indices()[a] < sampler.sample_indices()[b];
-  });
+  // A sample larger than the store degenerates to "cluster everything":
+  // clamp instead of failing, and record that we did.
+  const uint64_t effective_sample =
+      std::min<uint64_t>(options.sample_size, store_count);
+  if (effective_sample < options.sample_size) {
+    diag::AddCounter(m, "sample.clamped", 1);
+  }
+  const CheckpointFingerprint fingerprint =
+      MakeFingerprint(store_count, effective_sample, options);
+
+  // Try to resume. Anything wrong with the checkpoint — missing, torn,
+  // bit-rotted, or written by a different run — falls back to a clean
+  // fresh start; only an injected crash (simulated process death in the
+  // fault tests) propagates.
+  PipelineCheckpoint cp;
+  bool have_checkpoint = false;
+  if (options.resume) {
+    auto loaded = LoadCheckpoint(options.checkpoint_path);
+    if (loaded.ok()) {
+      if (loaded->fingerprint == fingerprint) {
+        cp = std::move(*loaded);
+        have_checkpoint = true;
+      } else {
+        diag::AddCounter(m, "checkpoint.mismatch", 1);
+      }
+    } else if (fail::IsInjectedCrash(loaded.status())) {
+      return loaded.status();
+    } else if (loaded.status().IsCorruption()) {
+      diag::AddCounter(m, "checkpoint.invalid", 1);
+    } else if (loaded.status().IsIOError() || loaded.status().IsNotFound()) {
+      diag::AddCounter(m, "checkpoint.missing", 1);
+    } else {
+      return loaded.status();
+    }
+  }
+
   TransactionDataset sample;
-  out.sample_rows.reserve(order.size());
-  for (size_t idx : order) {
-    sample.AddTransaction(sampler.sample()[idx]);
-    out.sample_rows.push_back(sampler.sample_indices()[idx]);
-  }
-  out.sample_seconds = sample_timer.ElapsedSeconds();
+  if (have_checkpoint) {
+    // Sample phase restored verbatim: the clustering's member lists feed
+    // TransactionLabeler::Build's RNG draws, so reusing them bit-for-bit
+    // keeps the resumed labels identical to an uninterrupted run.
+    out.resumed = true;
+    diag::AddCounter(m, "pipeline.resumed", 1);
+    for (const Transaction& tx : cp.sample) sample.AddTransaction(tx);
+    out.sample_rows = cp.sample_rows;
+    out.sample_result.clustering = cp.clustering;
+    out.sample_result.merges = cp.merges;
+    out.sample_result.stats = cp.stats;
+  } else {
+    // Pass 1: streaming reservoir sample of the store. Retried as a unit —
+    // the RNG and reservoir reset every attempt, so a retry after a
+    // transient mid-stream error draws exactly the sample an undisturbed
+    // pass would.
+    Timer sample_timer;
+    std::vector<Transaction> picked;
+    std::vector<uint64_t> rows;
+    ROCK_RETURN_IF_ERROR(RetryTransient(
+        options.retry,
+        [&]() -> Status {
+          picked.clear();
+          rows.clear();
+          Rng rng(options.seed);
+          auto reader = TransactionStoreReader::Open(store_path);
+          ROCK_RETURN_IF_ERROR(reader.status());
+          ReservoirSampler<Transaction> sampler(
+              static_cast<size_t>(effective_sample), &rng);
+          while (reader->Next()) sampler.Offer(reader->transaction());
+          ROCK_RETURN_IF_ERROR(reader->status());
+          // Keep sample rows in store order so results are stable and
+          // reportable.
+          std::vector<size_t> order(sampler.sample().size());
+          std::iota(order.begin(), order.end(), size_t{0});
+          std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return sampler.sample_indices()[a] < sampler.sample_indices()[b];
+          });
+          picked.reserve(order.size());
+          rows.reserve(order.size());
+          for (size_t idx : order) {
+            picked.push_back(sampler.sample()[idx]);
+            rows.push_back(sampler.sample_indices()[idx]);
+          }
+          return Status::OK();
+        },
+        &retry_stats, options.retry_sleeper));
+    for (const Transaction& tx : picked) sample.AddTransaction(tx);
+    out.sample_rows = std::move(rows);
+    out.sample_seconds = sample_timer.ElapsedSeconds();
 
-  // Cluster the sample.
-  Timer cluster_timer;
-  TransactionJaccard sim(sample);
-  RockClusterer clusterer(options.rock);
-  auto rock_result = clusterer.Cluster(sim);
-  ROCK_RETURN_IF_ERROR(rock_result.status());
-  out.sample_result = std::move(*rock_result);
-  out.cluster_seconds = cluster_timer.ElapsedSeconds();
+    // Cluster the sample.
+    Timer cluster_timer;
+    TransactionJaccard sim(sample);
+    RockClusterer clusterer(options.rock);
+    auto rock_result = clusterer.Cluster(sim);
+    ROCK_RETURN_IF_ERROR(rock_result.status());
+    out.sample_result = std::move(*rock_result);
+    out.cluster_seconds = cluster_timer.ElapsedSeconds();
+
+    cp.fingerprint = fingerprint;
+    cp.sample_rows = out.sample_rows;
+    cp.sample = std::move(picked);
+    cp.clustering = out.sample_result.clustering;
+    cp.merges = out.sample_result.merges;
+    cp.stats = out.sample_result.stats;
+  }
+
+  // Pin the shard plan so resumed runs replan the exact same boundaries
+  // whatever --label-threads they are given (core/labeling.h).
+  const size_t threads = ResolveThreads(options.rock.label_threads);
+  const uint64_t num_shards =
+      have_checkpoint
+          ? cp.num_shards
+          : (threads <= 1
+                 ? 1
+                 : std::min<uint64_t>(store_count,
+                                      static_cast<uint64_t>(threads) * 4));
+  uint64_t checkpoint_writes = 0;
+  if (!have_checkpoint) {
+    cp.num_shards = num_shards;
+    cp.shard_done.assign(static_cast<size_t>(num_shards), 0);
+    cp.shard_stats.assign(static_cast<size_t>(num_shards),
+                          TransactionLabeler::AssignStats{});
+    cp.shard_outliers.assign(static_cast<size_t>(num_shards), 0);
+    cp.assignments.assign(static_cast<size_t>(store_count), kUnassigned);
+    cp.ground_truth.assign(static_cast<size_t>(store_count), kNoLabel);
+    if (checkpointing) {
+      // Persist the sample phase before the long scan starts, so even a
+      // crash in the very first shard resumes without re-clustering.
+      ROCK_RETURN_IF_ERROR(RetryTransient(
+          options.retry,
+          [&] { return SaveCheckpoint(cp, options.checkpoint_path); },
+          &retry_stats, options.retry_sleeper));
+      ++checkpoint_writes;
+    }
+  }
 
   // Pass 2: stream the store through the labeler, sharded over
   // options.rock.label_threads workers.
@@ -60,15 +219,54 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
       TransactionLabeler::Build(sample, out.sample_result.clustering,
                                 options.rock, options.labeling);
   ROCK_RETURN_IF_ERROR(labeler.status());
-  diag::MetricsRegistry registry;
-  const bool collect = options.rock.diag.collect_metrics;
   LabelStoreOptions label_options;
   label_options.num_threads = options.rock.label_threads;
-  label_options.metrics = collect ? &registry : nullptr;
+  label_options.metrics = m;
+  label_options.num_shards = num_shards;
+  label_options.retry = options.retry;
+  label_options.retry_sleeper = options.retry_sleeper;
+  LabelResumeState resume_state;
+  if (have_checkpoint) {
+    resume_state.num_shards = cp.num_shards;
+    resume_state.shard_done = &cp.shard_done;
+    resume_state.assignments = &cp.assignments;
+    resume_state.ground_truth = &cp.ground_truth;
+    resume_state.shard_stats = &cp.shard_stats;
+    resume_state.shard_outliers = &cp.shard_outliers;
+    label_options.resume = &resume_state;
+  }
+  if (checkpointing) {
+    // Serialized by LabelStore, so mutating the shared checkpoint object
+    // here is race-free; the completed shard's rows are final.
+    label_options.on_shard_complete =
+        [&](const LabelShardCompletion& done) -> Status {
+      cp.shard_done[done.shard] = 1;
+      std::copy(done.assignments, done.assignments + done.range.num_rows,
+                cp.assignments.begin() +
+                    static_cast<ptrdiff_t>(done.range.first_row));
+      std::copy(done.ground_truth, done.ground_truth + done.range.num_rows,
+                cp.ground_truth.begin() +
+                    static_cast<ptrdiff_t>(done.range.first_row));
+      cp.shard_stats[done.shard] = done.stats;
+      cp.shard_outliers[done.shard] = done.outliers;
+      ROCK_RETURN_IF_ERROR(RetryTransient(
+          options.retry,
+          [&] { return SaveCheckpoint(cp, options.checkpoint_path); },
+          &retry_stats, options.retry_sleeper));
+      ++checkpoint_writes;
+      return Status::OK();
+    };
+  }
   auto labeling = LabelStore(store_path, *labeler, label_options);
   ROCK_RETURN_IF_ERROR(labeling.status());
   out.labeling = std::move(*labeling);
+  out.shards_skipped = out.labeling.shards_skipped;
   out.label_seconds = label_timer.ElapsedSeconds();
+
+  // The run completed; the checkpoint has nothing left to resume.
+  if (checkpointing) {
+    std::remove(options.checkpoint_path.c_str());
+  }
 
   if (collect) {
     registry.RecordSeconds("stage.sample", out.sample_seconds);
@@ -76,6 +274,21 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
     registry.AddCounter("sample.rows", out.sample_rows.size());
     registry.AddCounter("label.rows", out.labeling.assignments.size());
     registry.AddCounter("label.outliers", out.labeling.num_outliers);
+    if (checkpointing) {
+      registry.AddCounter("checkpoint.writes", checkpoint_writes);
+    }
+    // LabelStore already recorded its own retry counters into this
+    // registry; these add the sampling/checkpoint share on top. The gauge
+    // is last-write, so it carries the full total.
+    registry.AddCounter("retry.attempts", retry_stats.attempts);
+    registry.AddCounter("retry.retries", retry_stats.retries);
+    registry.AddCounter("retry.exhausted", retry_stats.exhausted);
+    registry.SetGauge(
+        "retry.backoff_ms",
+        retry_stats.backoff_ms + out.labeling.retry_stats.backoff_ms);
+    for (const auto& [site, fired] : fail::FiredSnapshot()) {
+      registry.AddCounter("fault.fired." + site, fired);
+    }
     out.metrics = registry.Snapshot();
     out.metrics.Merge(out.sample_result.metrics);
   }

@@ -13,15 +13,33 @@
 #include "common/status.h"
 #include "core/labeling.h"
 #include "core/rock.h"
+#include "util/retry.h"
 
 namespace rock {
 
 /// Options for a full disk-backed pipeline run.
 struct PipelineOptions {
   RockOptions rock;          ///< θ, k, f, outlier handling
-  size_t sample_size = 1000; ///< points drawn into memory (reservoir)
+  size_t sample_size = 1000; ///< points drawn into memory (reservoir);
+                             ///< clamped to the store size when larger
   LabelingOptions labeling;  ///< L_i construction
   uint64_t seed = 42;        ///< sampling seed
+
+  /// When non-empty, the labeling phase persists a checkpoint here after
+  /// every completed shard (core/checkpoint.h) and deletes it once the run
+  /// finishes. Enables `resume`.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path` if it holds a valid checkpoint whose
+  /// fingerprint matches this run: the sample clustering is reused and
+  /// completed label shards are skipped. A missing, torn, corrupt or
+  /// mismatched checkpoint falls back to a clean fresh run (recorded under
+  /// checkpoint.missing / checkpoint.invalid / checkpoint.mismatch).
+  bool resume = false;
+  /// Transient-I/O retry schedule for every store/checkpoint access
+  /// (docs/ROBUSTNESS.md).
+  RetryPolicy retry;
+  /// Injectable sleeper for the retry backoff (tests; nullptr = real).
+  RetrySleeper retry_sleeper = nullptr;
 };
 
 /// Result of a full pipeline run.
@@ -38,6 +56,12 @@ struct PipelineResult {
   double sample_seconds = 0.0;
   double cluster_seconds = 0.0;
   double label_seconds = 0.0;
+  /// True when the sample clustering was restored from a checkpoint
+  /// instead of recomputed (sample/cluster seconds are then 0).
+  bool resumed = false;
+  /// Label shards restored from the checkpoint instead of rescanned
+  /// (mirror of labeling.shards_skipped).
+  size_t shards_skipped = 0;
   /// Per-stage metrics for the whole pipeline: the clusterer's report
   /// (stage.neighbors/links/merge/total plus graph/link/merge counters)
   /// merged with the pipeline's own stage.sample / stage.label timers and
@@ -48,8 +72,11 @@ struct PipelineResult {
 
 /// Runs sample → cluster → label against a transaction store file.
 /// The sample is drawn with one streaming reservoir pass; labeling makes a
-/// second streaming pass. Fails if the store has fewer rows than
-/// `options.sample_size`.
+/// second streaming pass. A sample_size larger than the store clamps to
+/// the store size (recorded as sample.clamped); an empty store is
+/// InvalidArgument. With checkpoint_path set the run is crash-safe: it can
+/// be re-invoked with resume=true after any interruption and completes
+/// with output bit-identical to an uninterrupted run.
 Result<PipelineResult> RunRockPipeline(const std::string& store_path,
                                        const PipelineOptions& options);
 

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace rock {
 
 namespace {
 
 constexpr uint64_t kMagic = 0x524f434b53544f52ULL;  // "ROCKSTOR"
-constexpr uint32_t kVersion = 1;
+// Version 2 added the header crc32 over the record bytes.
+constexpr uint32_t kVersion = 2;
 constexpr long kCountOffset = sizeof(uint64_t) + sizeof(uint32_t);
-constexpr long kHeaderSize = kCountOffset + static_cast<long>(sizeof(uint64_t));
+constexpr long kCrcOffset = kCountOffset + static_cast<long>(sizeof(uint64_t));
+constexpr long kHeaderSize = kCrcOffset + static_cast<long>(sizeof(uint32_t));
 
 // Sanity bound on items-per-transaction to catch corrupt length fields
 // before they turn into huge allocations.
@@ -31,8 +35,9 @@ Status ReadRaw(std::FILE* f, void* data, size_t n) {
 }
 
 /// Validates magic + version at the current position and reads the header
-/// record count into *count.
-Status ReadHeader(std::FILE* f, const std::string& path, uint64_t* count) {
+/// record count and checksum into *count / *crc.
+Status ReadHeader(std::FILE* f, const std::string& path, uint64_t* count,
+                  uint32_t* crc) {
   uint64_t magic = 0;
   uint32_t version = 0;
   ROCK_RETURN_IF_ERROR(ReadRaw(f, &magic, sizeof(magic)));
@@ -44,7 +49,8 @@ Status ReadHeader(std::FILE* f, const std::string& path, uint64_t* count) {
     return Status::Corruption("unsupported store version " +
                               std::to_string(version));
   }
-  return ReadRaw(f, count, sizeof(*count));
+  ROCK_RETURN_IF_ERROR(ReadRaw(f, count, sizeof(*count)));
+  return ReadRaw(f, crc, sizeof(*crc));
 }
 
 }  // namespace
@@ -57,9 +63,11 @@ Result<TransactionStoreWriter> TransactionStoreWriter::Open(
   }
   TransactionStoreWriter writer(f);
   uint64_t count_placeholder = 0;
+  uint32_t crc_placeholder = 0;
   Status s = WriteRaw(f, &kMagic, sizeof(kMagic));
   if (s.ok()) s = WriteRaw(f, &kVersion, sizeof(kVersion));
   if (s.ok()) s = WriteRaw(f, &count_placeholder, sizeof(count_placeholder));
+  if (s.ok()) s = WriteRaw(f, &crc_placeholder, sizeof(crc_placeholder));
   if (!s.ok()) return s;
   return writer;
 }
@@ -72,12 +80,20 @@ Status TransactionStoreWriter::Append(const Transaction& tx, LabelId label) {
   }
   std::FILE* f = file_.get();
   uint32_t n = static_cast<uint32_t>(tx.size());
+  // Failpoint "store.append": the torn variant persists a prefix of the
+  // item payload, leaving the file exactly as a writer crash would.
+  ROCK_RETURN_IF_ERROR(
+      fail::ConsultWrite("store.append", f, tx.items().data(),
+                         static_cast<size_t>(n) * sizeof(ItemId)));
   ROCK_RETURN_IF_ERROR(WriteRaw(f, &label, sizeof(label)));
   ROCK_RETURN_IF_ERROR(WriteRaw(f, &n, sizeof(n)));
   if (n > 0) {
     ROCK_RETURN_IF_ERROR(
         WriteRaw(f, tx.items().data(), n * sizeof(ItemId)));
   }
+  crc_.Update(&label, sizeof(label));
+  crc_.Update(&n, sizeof(n));
+  if (n > 0) crc_.Update(tx.items().data(), n * sizeof(ItemId));
   ++count_;
   return Status::OK();
 }
@@ -90,6 +106,8 @@ Status TransactionStoreWriter::Finish() {
     return Status::IOError("seek failure finalizing store");
   }
   ROCK_RETURN_IF_ERROR(WriteRaw(f, &count_, sizeof(count_)));
+  const uint32_t crc = crc_.value();
+  ROCK_RETURN_IF_ERROR(WriteRaw(f, &crc, sizeof(crc)));
   if (std::fflush(f) != 0) {
     return Status::IOError("flush failure finalizing store");
   }
@@ -104,8 +122,11 @@ Result<TransactionStoreReader> TransactionStoreReader::Open(
     return Status::IOError("cannot open '" + path + "'");
   }
   TransactionStoreReader reader(f);
-  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &reader.count_));
+  ROCK_RETURN_IF_ERROR(fail::ConsultRead("store.open"));
+  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &reader.count_,
+                                  &reader.expected_crc_));
   reader.start_offset_ = kHeaderSize;
+  reader.verify_full_ = true;
   return reader;
 }
 
@@ -116,8 +137,10 @@ Result<TransactionStoreReader> TransactionStoreReader::OpenRange(
     return Status::IOError("cannot open '" + path + "'");
   }
   TransactionStoreReader reader(f);
+  ROCK_RETURN_IF_ERROR(fail::ConsultRead("store.open"));
   uint64_t header_count = 0;
-  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &header_count));
+  uint32_t header_crc = 0;
+  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &header_count, &header_crc));
   if (range.byte_offset < static_cast<uint64_t>(kHeaderSize) ||
       range.first_row + range.num_rows > header_count) {
     return Status::InvalidArgument("shard range does not fit the store");
@@ -141,8 +164,10 @@ Result<std::vector<StoreShardRange>> TransactionStoreReader::PlanShards(
     return Status::IOError("cannot open '" + path + "'");
   }
   std::FILE* f = file.get();
+  ROCK_RETURN_IF_ERROR(fail::ConsultRead("store.open"));
   uint64_t count = 0;
-  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &count));
+  uint32_t crc = 0;
+  ROCK_RETURN_IF_ERROR(ReadHeader(f, path, &count, &crc));
 
   std::vector<StoreShardRange> shards;
   if (count == 0) return shards;
@@ -175,7 +200,28 @@ Result<std::vector<StoreShardRange>> TransactionStoreReader::PlanShards(
 }
 
 bool TransactionStoreReader::Next() {
-  if (!status_.ok() || read_ >= count_) return false;
+  if (!status_.ok()) return false;
+  if (read_ >= count_) {
+    // Exhausted. Whole-file readers verify the header checksum over every
+    // record byte and reject trailing data, once, so corruption anywhere in
+    // the payload — and garbage appended past it — surfaces as a non-OK
+    // status instead of a silently wrong dataset.
+    if (verify_full_ && !end_checked_) {
+      end_checked_ = true;
+      if (crc_.value() != expected_crc_) {
+        status_ = Status::Corruption(
+            "transaction store checksum mismatch (bit rot or torn write)");
+      } else if (std::fgetc(file_.get()) != EOF) {
+        status_ = Status::Corruption(
+            "trailing data after the last transaction store record");
+      }
+    }
+    return false;
+  }
+  if (Status injected = fail::ConsultRead("store.read"); !injected.ok()) {
+    status_ = std::move(injected);
+    return false;
+  }
   std::FILE* f = file_.get();
   uint32_t n = 0;
   status_ = ReadRaw(f, &label_, sizeof(label_));
@@ -190,6 +236,11 @@ bool TransactionStoreReader::Next() {
     status_ = ReadRaw(f, items.data(), n * sizeof(ItemId));
     if (!status_.ok()) return false;
   }
+  if (verify_full_) {
+    crc_.Update(&label_, sizeof(label_));
+    crc_.Update(&n, sizeof(n));
+    if (n > 0) crc_.Update(items.data(), n * sizeof(ItemId));
+  }
   current_ = Transaction(std::move(items));
   ++read_;
   return true;
@@ -202,6 +253,8 @@ Status TransactionStoreReader::Rewind() {
   }
   read_ = 0;
   status_ = Status::OK();
+  crc_.Reset();
+  end_checked_ = false;
   return Status::OK();
 }
 

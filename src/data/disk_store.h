@@ -6,11 +6,21 @@
 // phase without ever materializing the whole database in memory.
 //
 // Format (little-endian, fixed magic + version header):
-//   [u64 magic][u32 version][u64 count]
+//   [u64 magic][u32 version][u64 count][u32 crc32]
 //   count × { u32 label; u32 n; n × u32 item; }
 // `label` is the ground-truth class id (kNoLabel when absent) — carried for
 // evaluation (Table 6 counts misclassified transactions), never consulted by
 // the clustering code.
+//
+// Integrity (version 2, docs/ROBUSTNESS.md): `crc32` covers every record
+// byte after the header. Whole-file readers (Open) verify it — and reject
+// trailing bytes — once the last record is consumed, so truncation, bit
+// flips and appended garbage surface as Corruption. Range readers
+// (OpenRange) stream a slice and cannot verify the whole-file checksum; the
+// labeling phase relies on per-record bounds plus the shard row counts
+// instead. I/O paths carry the "store.read" / "store.append" failpoint
+// sites (util/failpoint.h) so the fault tests can inject errors, short
+// reads and torn writes deterministically.
 
 #ifndef ROCK_DATA_DISK_STORE_H_
 #define ROCK_DATA_DISK_STORE_H_
@@ -23,6 +33,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "data/transaction.h"
+#include "util/checksum.h"
 
 namespace rock {
 
@@ -61,6 +72,7 @@ class TransactionStoreWriter {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
   uint64_t count_ = 0;
   bool finished_ = false;
+  Crc32Accumulator crc_;  ///< running checksum of the record bytes
 };
 
 /// Streaming reader. Usage:
@@ -121,6 +133,12 @@ class TransactionStoreReader {
   Transaction current_;
   LabelId label_ = kNoLabel;
   Status status_;
+  /// Whole-file readers verify the header checksum and reject trailing
+  /// bytes once the stream is exhausted; range readers skip both.
+  bool verify_full_ = false;
+  bool end_checked_ = false;
+  uint32_t expected_crc_ = 0;
+  Crc32Accumulator crc_;
 };
 
 /// Writes an in-memory dataset to a store file (convenience for tests and

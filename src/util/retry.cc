@@ -1,0 +1,52 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace rock {
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void RetryStats::Merge(const RetryStats& other) {
+  attempts += other.attempts;
+  retries += other.retries;
+  exhausted += other.exhausted;
+  backoff_ms += other.backoff_ms;
+}
+
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& op, RetryStats* stats,
+                      const RetrySleeper& sleeper) {
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  double backoff = policy.initial_backoff_ms;
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (stats != nullptr) {
+      ++stats->attempts;
+      if (attempt > 1) ++stats->retries;
+    }
+    last = op();
+    if (last.ok()) return last;
+    // Only IOError is worth retrying; corruption is deterministic, and an
+    // injected crash (Status::Internal) must surface as-is so resume paths
+    // are exercised.
+    if (!last.IsIOError()) return last;
+    if (attempt == max_attempts) break;
+    const double sleep_ms = std::min(backoff, policy.max_backoff_ms);
+    if (stats != nullptr) stats->backoff_ms += sleep_ms;
+    if (sleeper) {
+      sleeper(sleep_ms);
+    } else {
+      SleepMs(sleep_ms);
+    }
+    backoff *= policy.multiplier;
+  }
+  if (stats != nullptr) ++stats->exhausted;
+  return last;
+}
+
+}  // namespace rock

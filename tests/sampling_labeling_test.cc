@@ -276,10 +276,38 @@ TEST_F(PipelineTest, EndToEndOnSmallSyntheticStore) {
   EXPECT_EQ(distinct.size(), 2u);
 }
 
-TEST_F(PipelineTest, SampleLargerThanStoreFails) {
+TEST_F(PipelineTest, SampleLargerThanStoreClampsToStoreSize) {
   TransactionDataset tiny;
-  tiny.AddTransaction({"a"});
+  tiny.AddTransaction({"a", "b"});
+  tiny.AddTransaction({"a", "b", "c"});
+  tiny.AddTransaction({"x", "y"});
   ASSERT_TRUE(WriteDatasetToStore(tiny, path()).ok());
+  PipelineOptions opt;
+  opt.sample_size = 10;
+  auto result = RunRockPipeline(path(), opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The whole store became the sample, and the clamp is observable.
+  EXPECT_EQ(result->sample_rows.size(), 3u);
+  EXPECT_EQ(result->labeling.assignments.size(), 3u);
+  EXPECT_EQ(result->metrics.CounterOr("sample.clamped"), 1u);
+}
+
+TEST_F(PipelineTest, SampleExactlyStoreSizeIsNotClamped) {
+  TransactionDataset tiny;
+  tiny.AddTransaction({"a", "b"});
+  tiny.AddTransaction({"a", "b", "c"});
+  ASSERT_TRUE(WriteDatasetToStore(tiny, path()).ok());
+  PipelineOptions opt;
+  opt.sample_size = 2;
+  auto result = RunRockPipeline(path(), opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->sample_rows.size(), 2u);
+  EXPECT_EQ(result->metrics.CounterOr("sample.clamped"), 0u);
+}
+
+TEST_F(PipelineTest, EmptyStoreIsInvalidArgument) {
+  TransactionDataset empty;
+  ASSERT_TRUE(WriteDatasetToStore(empty, path()).ok());
   PipelineOptions opt;
   opt.sample_size = 10;
   EXPECT_TRUE(RunRockPipeline(path(), opt).status().IsInvalidArgument());

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# tools/fault_overhead_guard.sh — failpoint compile-out perf gate.
+#
+# The fault subsystem promises that release builds can compile every
+# failpoint site to a no-op (-DROCK_FAILPOINTS=OFF) and that the default
+# build's armed-flag fast path costs nothing measurable. This gate proves
+# both: it builds the rock CLI with failpoints ON (the default) and OFF,
+# runs the same disk-labeling workload in each, and fails when the ON
+# build's labeling scan (stage.label_scan, min of N runs) is more than
+# TOLERANCE slower than the compiled-out build. The comparison is a ratio
+# between two builds on the same machine in the same run, so it holds on
+# any CI host — no absolute-seconds baseline needed.
+#
+# It also checks the compile-out contract itself: the OFF build must
+# *reject* --failpoints with an error, never silently ignore a schedule.
+#
+# Usage: tools/fault_overhead_guard.sh [on-build-dir] [off-build-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ON_DIR="${1:-build}"
+OFF_DIR="${2:-build-nofp}"
+RUNS=5
+TOLERANCE=0.25
+SCALE=0.05 # DB ≈ 5700 tx — enough labeling work to time meaningfully
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "=== fault-overhead: building rock CLI with failpoints ON and OFF ==="
+cmake -B "$ON_DIR" -S . -DROCK_FAILPOINTS=ON >/dev/null
+cmake --build "$ON_DIR" -j --target rock_cli
+cmake -B "$OFF_DIR" -S . -DROCK_FAILPOINTS=OFF >/dev/null
+cmake --build "$OFF_DIR" -j --target rock_cli
+
+echo "=== fault-overhead: compile-out contract ==="
+if "$OFF_DIR/tools/rock" pipeline --store=/dev/null \
+    --failpoints='store.read=fire_on_hit_1:error' >/dev/null 2>&1; then
+  echo "FAIL: the ROCK_FAILPOINTS=OFF build silently accepted --failpoints"
+  exit 1
+fi
+echo "OFF build rejects --failpoints: OK"
+
+STORE="$WORK/baskets.store"
+"$ON_DIR/tools/rock" gen --dataset=basket --scale="$SCALE" --out="$STORE" \
+    >/dev/null
+
+# Minimum stage.label_scan seconds over $RUNS pipeline runs of one build.
+min_label_scan() {
+  local rock_bin="$1" best=""
+  for i in $(seq "$RUNS"); do
+    local report="$WORK/metrics_$i.json"
+    "$rock_bin" pipeline --store="$STORE" --sample-size=1000 --theta=0.5 \
+        --k=10 --metrics-json="$report" >/dev/null
+    local t
+    t=$(python3 -c "
+import json
+with open('$report') as f:
+    report = json.load(f)
+print(report['timers']['stage.label_scan']['total_seconds'])")
+    best=$(python3 -c "print(min($t, ${best:-float('inf')}))")
+  done
+  echo "$best"
+}
+
+echo "=== fault-overhead: timing stage.label_scan (min of $RUNS) ==="
+ON_SECS=$(min_label_scan "$ON_DIR/tools/rock")
+OFF_SECS=$(min_label_scan "$OFF_DIR/tools/rock")
+
+python3 - "$ON_SECS" "$OFF_SECS" "$TOLERANCE" <<'EOF'
+import sys
+on, off, tol = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+ratio = on / off if off > 0 else float("inf")
+ceiling = 1.0 + tol
+verdict = "OK" if ratio <= ceiling else "REGRESSION"
+print(f"stage.label_scan: failpoints ON {on:.4f}s, OFF {off:.4f}s, "
+      f"ratio {ratio:.2f}x, ceiling {ceiling:.2f}x -> {verdict}")
+sys.exit(0 if ratio <= ceiling else 1)
+EOF

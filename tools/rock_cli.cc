@@ -6,10 +6,16 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "util/failpoint.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string output;
+  if (rock::Status s = rock::fail::ConfigureFromEnv(); !s.ok()) {
+    std::fprintf(stderr, "error: ROCK_FAILPOINTS: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
   const int code = rock::RunCli(args, &output);
   std::fputs(output.c_str(), stdout);
   return code;
