@@ -389,6 +389,7 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   size_t row_chunk = 16;
   std::string neighbors = "exact";
   std::string merge_engine = "flat";
+  std::string neighbor_engine = "packed";
 
   FlagSet flags;
   flags.AddString("input", &input, "input file");
@@ -430,6 +431,9 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   flags.AddString("merge-engine", &merge_engine,
                   "flat | hashed merge-engine layout (rock; results are "
                   "identical, flat is faster)");
+  flags.AddString("neighbor-engine", &neighbor_engine,
+                  "packed | scalar neighbor-graph engine (rock; graphs are "
+                  "identical, packed is faster)");
   if (help_only) {
     EmitStr(out, "rock cluster — cluster a data file\n" + flags.Help());
     return 0;
@@ -482,6 +486,15 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
         opt.merge_engine = MergeEngineKind::kHashed;
       } else {
         EmitStr(out, "error: unknown --merge-engine '" + merge_engine + "'\n");
+        return 2;
+      }
+      if (neighbor_engine == "packed") {
+        opt.neighbor_engine = NeighborEngineKind::kPacked;
+      } else if (neighbor_engine == "scalar") {
+        opt.neighbor_engine = NeighborEngineKind::kScalar;
+      } else {
+        EmitStr(out, "error: unknown --neighbor-engine '" + neighbor_engine +
+                         "'\n");
         return 2;
       }
       Result<RockResult> result = Status::Internal("unreachable");
@@ -637,6 +650,7 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   std::string checkpoint_path;
   bool resume = false;
   std::string failpoints;
+  std::string neighbor_engine = "packed";
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
@@ -659,6 +673,9 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   flags.AddSize("label-threads", &label_threads,
                 "worker threads for the disk labeling phase "
                 "(0 = all cores; assignments are identical at any count)");
+  flags.AddString("neighbor-engine", &neighbor_engine,
+                  "packed | scalar neighbor-graph engine (graphs are "
+                  "identical, packed is faster)");
   flags.AddString("assignments", &assignments_path,
                   "write row,cluster CSV here");
   flags.AddString("metrics-json", &metrics_json_path,
@@ -702,6 +719,15 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   opt.rock.num_threads = threads;
   opt.rock.row_chunk = row_chunk;
   opt.rock.label_threads = label_threads;
+  if (neighbor_engine == "packed") {
+    opt.rock.neighbor_engine = NeighborEngineKind::kPacked;
+  } else if (neighbor_engine == "scalar") {
+    opt.rock.neighbor_engine = NeighborEngineKind::kScalar;
+  } else {
+    EmitStr(out,
+            "error: unknown --neighbor-engine '" + neighbor_engine + "'\n");
+    return 2;
+  }
   opt.sample_size = sample_size;
   opt.labeling.fraction = labeling_fraction;
   opt.seed = static_cast<uint64_t>(seed);

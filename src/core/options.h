@@ -44,6 +44,18 @@ enum class MergeEngineKind {
   kHashed,
 };
 
+/// Which engine builds the θ-thresholded neighbor graph. Output graphs are
+/// bit-identical between the two at any thread count; only speed differs.
+enum class NeighborEngineKind {
+  /// Bit-packed popcount kernel + θ length-bound / inverted-index pruning
+  /// (graph/neighbor_engine.h) — the default. Falls back to the scalar
+  /// path for similarities without a batch kernel.
+  kPacked,
+  /// The original per-pair virtual-call sweep (graph/neighbors.h). Kept as
+  /// the reference oracle for differential tests and perf baselines.
+  kScalar,
+};
+
 /// Observability and self-checking knobs (see docs/OBSERVABILITY.md).
 struct DiagOptions {
   /// Collect per-stage timers and counters into RockResult::metrics /
@@ -100,6 +112,10 @@ struct RockOptions {
   /// Merge-engine data layout; see MergeEngineKind. Both engines produce
   /// bit-identical results.
   MergeEngineKind merge_engine = MergeEngineKind::kFlat;
+
+  /// Neighbor-graph engine; see NeighborEngineKind. Both engines produce
+  /// bit-identical graphs.
+  NeighborEngineKind neighbor_engine = NeighborEngineKind::kPacked;
 
   /// Worker threads for the disk labeling phase (§4.6, the only stage that
   /// touches the whole database). The store is split into row shards that

@@ -2,18 +2,34 @@
 
 #include "common/timer.h"
 #include "core/merge_engine.h"
+#include "diag/metrics.h"
+#include "graph/neighbor_engine.h"
 #include "graph/parallel.h"
 
 namespace rock {
 
 Result<RockResult> RockClusterer::Cluster(const PointSimilarity& sim) const {
   ROCK_RETURN_IF_ERROR(options_.Validate());
+  diag::MetricsRegistry nbr_metrics;
   Timer nbr_timer;
-  auto graph = options_.num_threads == 1
-                   ? ComputeNeighbors(sim, options_.theta)
-                   : ComputeNeighborsParallel(
-                         sim, options_.theta,
-                         {options_.num_threads, options_.row_chunk});
+  Result<NeighborGraph> graph = NeighborGraph{};
+  switch (options_.neighbor_engine) {
+    case NeighborEngineKind::kScalar:
+      graph = options_.num_threads == 1
+                  ? ComputeNeighbors(sim, options_.theta)
+                  : ComputeNeighborsParallel(
+                        sim, options_.theta,
+                        {options_.num_threads, options_.row_chunk});
+      break;
+    case NeighborEngineKind::kPacked: {
+      PackedNeighborOptions nopts;
+      nopts.num_threads = options_.num_threads;
+      nopts.row_chunk = options_.row_chunk;
+      nopts.metrics = options_.diag.collect_metrics ? &nbr_metrics : nullptr;
+      graph = ComputeNeighborsPacked(sim, options_.theta, nopts);
+      break;
+    }
+  }
   ROCK_RETURN_IF_ERROR(graph.status());
   const double nbr_seconds = nbr_timer.ElapsedSeconds();
   auto result = ClusterGraph(*graph);
@@ -21,6 +37,7 @@ Result<RockResult> RockClusterer::Cluster(const PointSimilarity& sim) const {
   result->stats.neighbor_seconds = nbr_seconds;
   result->stats.total_seconds += nbr_seconds;
   if (options_.diag.collect_metrics) {
+    result->metrics.Merge(nbr_metrics.Snapshot());
     result->metrics.RecordSeconds("stage.neighbors", nbr_seconds);
     // stage.total must cover the whole run including this phase; replace
     // the engine's graph-only figure.

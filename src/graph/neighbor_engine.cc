@@ -1,0 +1,329 @@
+#include "graph/neighbor_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "diag/metrics.h"
+#include "graph/parallel.h"
+#include "similarity/batch.h"
+#include "util/thread_pool.h"
+
+namespace rock {
+namespace {
+
+using EdgeList = std::vector<std::pair<PointIndex, PointIndex>>;
+
+// Upper bound on sim(i, j) from the two set sizes alone. Exact under IEEE
+// round-to-nearest: inter ≤ s_min and uni ≥ s_max give inter/uni ≤
+// s_min/s_max as rationals, and fl() is monotone, so fl(sim) ≤ fl(bound) —
+// a pair with fl(bound) < θ can never satisfy fl(sim) ≥ θ. Two empty sets
+// score 0 in every oracle, hence the s_max == 0 special case (which also
+// keeps 0/0 NaN out of the comparison).
+double SizeBound(uint64_t s_min, uint64_t s_max) {
+  if (s_max == 0) return 0.0;
+  return static_cast<double>(s_min) / static_cast<double>(s_max);
+}
+
+uint64_t TotalPairs(size_t n) {
+  if (n < 2) return 0;
+  return static_cast<uint64_t>(n) * static_cast<uint64_t>(n - 1) / 2;
+}
+
+// Per-worker edge buffers → degree count, reserve, fill, sort rows. Same
+// scatter as ComputeNeighborsParallel: buffer order varies with scheduling,
+// but the sorted rows (and so the graph) do not.
+NeighborGraph ScatterEdges(size_t n, const std::vector<EdgeList>& edges) {
+  NeighborGraph graph;
+  graph.nbrlist.resize(n);
+  std::vector<size_t> degree(n, 0);
+  for (const auto& local : edges) {
+    for (const auto& [i, j] : local) {
+      ++degree[i];
+      ++degree[j];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) graph.nbrlist[i].reserve(degree[i]);
+  for (const auto& local : edges) {
+    for (const auto& [i, j] : local) {
+      graph.nbrlist[i].push_back(j);
+      graph.nbrlist[j].push_back(i);
+    }
+  }
+  for (auto& l : graph.nbrlist) std::sort(l.begin(), l.end());
+  return graph;
+}
+
+// Size-sorted window sweep: along the (size asc, index asc) order, the
+// length bound for a fixed p is monotone in q, so each position scans the
+// contiguous prefix [p+1, hi) and batch-evaluates it with the packed
+// kernel. Without a length bound (pairwise-missing) the window is all of
+// [p+1, n) and the pass degrades to a batched full sweep.
+NeighborGraph WindowPass(const BatchSimilarity& batch, double theta,
+                         const PackedNeighborOptions& options,
+                         uint64_t* pairs_evaluated) {
+  const size_t n = batch.size();
+  const std::vector<uint32_t>* sizes = batch.prune_sizes();
+  const bool bounded = sizes != nullptr && theta > 0.0;
+  std::vector<PointIndex> order(n);
+  std::iota(order.begin(), order.end(), PointIndex{0});
+  if (bounded) {
+    std::sort(order.begin(), order.end(), [&](PointIndex a, PointIndex b) {
+      const uint32_t sa = (*sizes)[a];
+      const uint32_t sb = (*sizes)[b];
+      return sa != sb ? sa < sb : a < b;
+    });
+  }
+
+  const size_t num_threads = ResolveThreads(options.num_threads);
+  std::vector<EdgeList> edges(std::max<size_t>(num_threads, 1));
+  std::vector<uint64_t> evaluated(std::max<size_t>(num_threads, 1), 0);
+  std::atomic<size_t> next{0};
+  const size_t chunk = std::max<size_t>(1, options.row_chunk);
+  ParallelInvoke(num_threads, [&](size_t worker) {
+    EdgeList& local = edges[worker];
+    std::vector<double> vals;
+    while (true) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const size_t end = std::min(begin + chunk, n);
+      for (size_t p = begin; p < end; ++p) {
+        const PointIndex i = order[p];
+        size_t hi = n;
+        if (bounded) {
+          // First position whose size fails the bound (sizes ascend along
+          // `order`, so the predicate is monotone).
+          const uint64_t sp = (*sizes)[i];
+          size_t lo = p + 1;
+          while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (SizeBound(sp, (*sizes)[order[mid]]) >= theta) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          hi = lo;
+        }
+        if (hi <= p + 1) continue;
+        const size_t count = hi - (p + 1);
+        vals.resize(count);
+        batch.SimilarityBatch(i, order.data() + (p + 1), count, vals.data());
+        evaluated[worker] += count;
+        for (size_t t = 0; t < count; ++t) {
+          if (vals[t] >= theta) {
+            const PointIndex j = order[p + 1 + t];
+            local.emplace_back(std::min(i, j), std::max(i, j));
+          }
+        }
+      }
+    }
+  });
+  *pairs_evaluated = 0;
+  for (const uint64_t e : evaluated) *pairs_evaluated += e;
+  return ScatterEdges(n, edges);
+}
+
+// Inverted-index ScanCount pass: per-item postings (rows ascending)
+// enumerate exactly the pairs sharing an item — for θ > 0 every other pair
+// has sim == 0 (batch.h items() contract) and is pruned without being
+// touched. Under the set-Jaccard contract the intersection count already
+// determines the exact similarity; otherwise survivors are batch-evaluated.
+NeighborGraph CandidatePass(const BatchSimilarity& batch, double theta,
+                            const PackedNeighborOptions& options,
+                            uint64_t* pairs_evaluated) {
+  const size_t n = batch.size();
+  const SparseItemView& view = *batch.items();
+  const std::vector<uint32_t>* sizes = batch.prune_sizes();
+
+  // Postings CSR; filling rows in ascending order keeps each list sorted.
+  const size_t universe = view.universe;
+  std::vector<uint64_t> post_off(universe + 1, 0);
+  for (const uint32_t item : view.items) ++post_off[item + 1];
+  for (size_t v = 0; v < universe; ++v) post_off[v + 1] += post_off[v];
+  std::vector<uint32_t> post(view.items.size());
+  std::vector<uint64_t> cursor(post_off.begin(), post_off.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (uint64_t k = view.row_offsets[r]; k < view.row_offsets[r + 1]; ++k) {
+      const uint32_t item = view.items[static_cast<size_t>(k)];
+      post[static_cast<size_t>(cursor[item]++)] = static_cast<uint32_t>(r);
+    }
+  }
+
+  const size_t num_threads = ResolveThreads(options.num_threads);
+  std::vector<EdgeList> edges(std::max<size_t>(num_threads, 1));
+  std::vector<uint64_t> evaluated(std::max<size_t>(num_threads, 1), 0);
+  std::atomic<size_t> next{0};
+  const size_t chunk = std::max<size_t>(1, options.row_chunk);
+  ParallelInvoke(num_threads, [&](size_t worker) {
+    EdgeList& local = edges[worker];
+    std::vector<uint32_t> count(n, 0);
+    std::vector<uint32_t> touched;
+    std::vector<double> vals;
+    while (true) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const size_t end = std::min(begin + chunk, n);
+      for (size_t r = begin; r < end; ++r) {
+        const auto i = static_cast<PointIndex>(r);
+        touched.clear();
+        for (uint64_t k = view.row_offsets[r]; k < view.row_offsets[r + 1];
+             ++k) {
+          const uint32_t item = view.items[static_cast<size_t>(k)];
+          const uint32_t* plo = post.data() + post_off[item];
+          const uint32_t* phi = post.data() + post_off[item + 1];
+          // Rows > r form a suffix of the ascending posting list.
+          for (const uint32_t* it = std::upper_bound(plo, phi, i); it != phi;
+               ++it) {
+            if (count[*it]++ == 0) touched.push_back(*it);
+          }
+        }
+        if (sizes != nullptr) {
+          const uint64_t si = (*sizes)[r];
+          for (const uint32_t j : touched) {
+            const uint64_t inter = count[j];
+            count[j] = 0;
+            const uint64_t sj = (*sizes)[j];
+            if (SizeBound(std::min(si, sj), std::max(si, sj)) < theta) {
+              continue;
+            }
+            ++evaluated[worker];
+            // Set-Jaccard contract (batch.h): this is the exact double the
+            // per-pair oracle computes. uni ≥ 1 because an item is shared.
+            const uint64_t uni = si + sj - inter;
+            const double s =
+                static_cast<double>(inter) / static_cast<double>(uni);
+            if (s >= theta) local.emplace_back(i, j);
+          }
+        } else {
+          vals.resize(touched.size());
+          if (!touched.empty()) {
+            batch.SimilarityBatch(r, touched.data(), touched.size(),
+                                  vals.data());
+          }
+          evaluated[worker] += touched.size();
+          for (size_t t = 0; t < touched.size(); ++t) {
+            count[touched[t]] = 0;
+            if (vals[t] >= theta) local.emplace_back(i, touched[t]);
+          }
+        }
+      }
+    }
+  });
+  *pairs_evaluated = 0;
+  for (const uint64_t e : evaluated) *pairs_evaluated += e;
+  return ScatterEdges(n, edges);
+}
+
+// The window pass's exact evaluated-pair count, in O(n log n): same sorted
+// order + binary searches over sizes alone.
+uint64_t WindowPairsExact(const BatchSimilarity& batch, double theta) {
+  const size_t n = batch.size();
+  const std::vector<uint32_t>* sizes = batch.prune_sizes();
+  if (sizes == nullptr || theta <= 0.0) return TotalPairs(n);
+  std::vector<uint32_t> sorted(*sizes);
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t pairs = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const uint64_t sp = sorted[p];
+    size_t lo = p + 1;
+    size_t hi = n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (SizeBound(sp, sorted[mid]) >= theta) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pairs += lo - (p + 1);
+  }
+  return pairs;
+}
+
+// ≈ upper-triangular ScanCount increments: Σ_item C(df, 2).
+uint64_t CandidateScanOps(const SparseItemView& view) {
+  std::vector<uint64_t> df(view.universe, 0);
+  for (const uint32_t item : view.items) ++df[item];
+  uint64_t ops = 0;
+  for (const uint64_t d : df) {
+    if (d > 1) ops += d * (d - 1) / 2;
+  }
+  return ops;
+}
+
+}  // namespace
+
+Result<NeighborGraph> ComputeNeighborsPacked(
+    const PointSimilarity& sim, double theta,
+    const PackedNeighborOptions& options) {
+  if (!(theta >= 0.0 && theta <= 1.0)) {
+    return Status::InvalidArgument("theta must be in [0, 1]");
+  }
+  std::unique_ptr<BatchSimilarity> batch;
+  {
+    diag::ScopedTimer pack_timer(options.metrics, "stage.neighbors.pack");
+    batch = sim.MakeBatch();
+  }
+  if (batch == nullptr) {
+    // No batch kernel (expert similarity, or packing over budget): the
+    // scalar engines are the answer, not an error.
+    diag::AddCounter(options.metrics, "neighbors.fallback_scalar", 1);
+    auto graph = options.num_threads == 1
+                     ? ComputeNeighbors(sim, theta)
+                     : ComputeNeighborsParallel(
+                           sim, theta,
+                           {options.num_threads, options.row_chunk});
+    if (graph.ok()) {
+      diag::AddCounter(options.metrics, "neighbors.pairs_evaluated",
+                       TotalPairs(sim.size()));
+      diag::AddCounter(options.metrics, "neighbors.pairs_pruned", 0);
+    }
+    return graph;
+  }
+
+  const size_t n = batch->size();
+  const uint64_t total = TotalPairs(n);
+  PackedStrategy strategy = options.strategy;
+  const bool candidates_ok = theta > 0.0 && batch->items() != nullptr;
+  if (!candidates_ok) {
+    // θ = 0 needs the complete graph (nothing shares an item with an empty
+    // row, yet everything neighbors it), so only the window pass is exact.
+    strategy = PackedStrategy::kWindow;
+  } else if (strategy == PackedStrategy::kAuto) {
+    // Window cost ≈ surviving pairs × words per popcount sweep; candidate
+    // cost ≈ postings increments. Both depend only on the data, so the
+    // choice — and with it every neighbors.* metric — is identical at any
+    // thread count.
+    const uint64_t words = std::max<uint64_t>(
+        1, (uint64_t{batch->items()->universe} + 63) / 64);
+    const uint64_t window_pairs = WindowPairsExact(*batch, theta);
+    const uint64_t window_cost =
+        window_pairs > std::numeric_limits<uint64_t>::max() / words
+            ? std::numeric_limits<uint64_t>::max()
+            : window_pairs * words;
+    strategy = CandidateScanOps(*batch->items()) < window_cost
+                   ? PackedStrategy::kCandidates
+                   : PackedStrategy::kWindow;
+  }
+
+  uint64_t evaluated = 0;
+  NeighborGraph graph;
+  if (strategy == PackedStrategy::kCandidates) {
+    graph = CandidatePass(*batch, theta, options, &evaluated);
+    diag::AddCounter(options.metrics, "neighbors.candidate_pass", 1);
+  } else {
+    graph = WindowPass(*batch, theta, options, &evaluated);
+  }
+  diag::AddCounter(options.metrics, "neighbors.pairs_evaluated", evaluated);
+  diag::AddCounter(options.metrics, "neighbors.pairs_pruned",
+                   total - evaluated);
+  return graph;
+}
+
+}  // namespace rock

@@ -1,0 +1,76 @@
+// librock — graph/neighbor_engine.h
+//
+// θ-pruned packed neighbor-graph engine. The scalar engines in neighbors.h /
+// parallel.h evaluate all n²/2 pairs through a virtual per-pair call; this
+// engine consumes a similarity's BatchSimilarity (similarity/batch.h) and
+// cuts the work two independent ways while staying bit-identical to the
+// scalar oracle at any thread count:
+//
+//   * window pruning — points sorted by set size; a pair (i, j) with sizes
+//     s_min ≤ s_max can only reach sim ≥ θ when s_min/s_max ≥ θ (the §3.1
+//     Jaccard length bound θ·|T_i| ≤ |T_j| ≤ |T_i|/θ, same bound the
+//     labeler uses), so each point only scans a contiguous size window.
+//     Surviving pairs are evaluated via the packed popcount kernel.
+//   * inverted-index candidates — for θ > 0, sim(i, j) > 0 requires a
+//     shared item, so a ScanCount pass over per-item postings enumerates
+//     exactly the pairs with nonzero intersection; for plain set-Jaccard
+//     the intersection count already determines the similarity.
+//
+// Both prunes are exact (see similarity/batch.h for the rounding argument),
+// so the output NeighborGraph equals ComputeNeighbors(sim, theta) bit for
+// bit. Pruning effectiveness is reported through the metrics registry:
+// neighbors.pairs_evaluated + neighbors.pairs_pruned == n(n−1)/2 always.
+
+#ifndef ROCK_GRAPH_NEIGHBOR_ENGINE_H_
+#define ROCK_GRAPH_NEIGHBOR_ENGINE_H_
+
+#include <cstddef>
+
+#include "graph/neighbors.h"
+#include "similarity/similarity.h"
+
+namespace rock::diag {
+class MetricsRegistry;
+}  // namespace rock::diag
+
+namespace rock {
+
+/// Which pruning pass the packed engine runs.
+enum class PackedStrategy {
+  /// Pick per dataset: candidates when the estimated postings-scan work
+  /// undercuts the windowed popcount sweep, window otherwise.
+  kAuto,
+  /// Size-sorted window + popcount sweep (always available).
+  kWindow,
+  /// Inverted-index ScanCount candidates (requires θ > 0 and an item view;
+  /// silently degrades to the window pass otherwise).
+  kCandidates,
+};
+
+/// Options for ComputeNeighborsPacked.
+struct PackedNeighborOptions {
+  /// Worker threads; 1 = serial, 0 = hardware concurrency. The result is
+  /// bit-identical at any value.
+  size_t num_threads = 1;
+  /// Rows claimed per scheduling step (as ParallelOptions::row_chunk).
+  size_t row_chunk = 16;
+  /// Pruning pass selection; kAuto outside tests.
+  PackedStrategy strategy = PackedStrategy::kAuto;
+  /// Metrics sink (may be null): neighbors.pairs_evaluated,
+  /// neighbors.pairs_pruned, neighbors.candidate_pass,
+  /// neighbors.fallback_scalar, stage.neighbors.pack.
+  diag::MetricsRegistry* metrics = nullptr;
+};
+
+/// Builds the θ-thresholded neighbor graph through the packed engine;
+/// equals ComputeNeighbors(sim, theta) bit for bit. When the similarity has
+/// no batch kernel (MakeBatch() == nullptr, e.g. expert-supplied
+/// similarities or a packing over the memory budget), falls back to the
+/// scalar engine and counts neighbors.fallback_scalar.
+Result<NeighborGraph> ComputeNeighborsPacked(
+    const PointSimilarity& sim, double theta,
+    const PackedNeighborOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_GRAPH_NEIGHBOR_ENGINE_H_

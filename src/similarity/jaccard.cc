@@ -1,5 +1,7 @@
 #include "similarity/jaccard.h"
 
+#include "similarity/packed.h"
+
 namespace rock {
 
 double JaccardSimilarity(const Transaction& a, const Transaction& b) {
@@ -9,23 +11,36 @@ double JaccardSimilarity(const Transaction& a, const Transaction& b) {
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+std::unique_ptr<BatchSimilarity> TransactionJaccard::MakeBatch() const {
+  return PackedJaccard::PackTransactions(dataset_);
+}
+
+CategoricalJaccard::CategoricalJaccard(const CategoricalDataset& dataset)
+    : dataset_(dataset) {
+  present_.reserve(dataset.size());
+  for (const Record& r : dataset.records()) {
+    present_.push_back(static_cast<uint32_t>(r.NumPresent()));
+  }
+}
+
 double CategoricalJaccard::Similarity(size_t i, size_t j) const {
   const Record& r1 = dataset_.record(i);
   const Record& r2 = dataset_.record(j);
   size_t equal = 0;
-  size_t present1 = 0;
-  size_t present2 = 0;
   const size_t d = r1.size();
   for (size_t a = 0; a < d; ++a) {
-    const bool p1 = !r1.IsMissing(a);
-    const bool p2 = !r2.IsMissing(a);
-    present1 += p1 ? 1 : 0;
-    present2 += p2 ? 1 : 0;
-    if (p1 && p2 && r1.value(a) == r2.value(a)) ++equal;
+    // A both-missing attribute would compare equal (kMissingValue on each
+    // side), so the present check must come first.
+    const ValueId v = r1.value(a);
+    if (v != kMissingValue && v == r2.value(a)) ++equal;
   }
-  const size_t uni = present1 + present2 - equal;
+  const size_t uni = present_[i] + present_[j] - equal;
   if (uni == 0) return 0.0;
   return static_cast<double>(equal) / static_cast<double>(uni);
+}
+
+std::unique_ptr<BatchSimilarity> CategoricalJaccard::MakeBatch() const {
+  return PackedJaccard::PackCategorical(dataset_);
 }
 
 double PairwiseMissingJaccard::Similarity(size_t i, size_t j) const {
@@ -43,6 +58,10 @@ double PairwiseMissingJaccard::Similarity(size_t i, size_t j) const {
   // Each restricted transaction has `both` items; the union therefore has
   // 2·both − equal items.
   return static_cast<double>(equal) / static_cast<double>(2 * both - equal);
+}
+
+std::unique_ptr<BatchSimilarity> PairwiseMissingJaccard::MakeBatch() const {
+  return PackedJaccard::PackPairwiseMissing(dataset_);
 }
 
 }  // namespace rock

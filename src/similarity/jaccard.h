@@ -9,6 +9,10 @@
 #ifndef ROCK_SIMILARITY_JACCARD_H_
 #define ROCK_SIMILARITY_JACCARD_H_
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "data/dataset.h"
 #include "similarity/similarity.h"
 
@@ -30,6 +34,9 @@ class TransactionJaccard final : public PointSimilarity {
                              dataset_.transaction(j));
   }
 
+  /// Bit-packed batch kernel (similarity/packed.h); nullptr over budget.
+  std::unique_ptr<BatchSimilarity> MakeBatch() const override;
+
  private:
   const TransactionDataset& dataset_;
 };
@@ -40,15 +47,20 @@ class TransactionJaccard final : public PointSimilarity {
 /// Missing values simply contribute no item.
 class CategoricalJaccard final : public PointSimilarity {
  public:
-  /// Binds to `dataset`, which must outlive this object.
-  explicit CategoricalJaccard(const CategoricalDataset& dataset)
-      : dataset_(dataset) {}
+  /// Binds to `dataset`, which must outlive this object and must already
+  /// contain every record (per-record presence counts are taken here, once,
+  /// instead of being recounted on all n²/2 pairs).
+  explicit CategoricalJaccard(const CategoricalDataset& dataset);
 
   size_t size() const override { return dataset_.size(); }
   double Similarity(size_t i, size_t j) const override;
 
+  /// Bit-packed batch kernel (similarity/packed.h); nullptr over budget.
+  std::unique_ptr<BatchSimilarity> MakeBatch() const override;
+
  private:
   const CategoricalDataset& dataset_;
+  std::vector<uint32_t> present_;  ///< NumPresent() per record
 };
 
 /// Pairwise-missing Jaccard (§3.1.2, time-series): for records r1, r2, form
@@ -63,6 +75,9 @@ class PairwiseMissingJaccard final : public PointSimilarity {
 
   size_t size() const override { return dataset_.size(); }
   double Similarity(size_t i, size_t j) const override;
+
+  /// Bit-packed batch kernel (similarity/packed.h); nullptr over budget.
+  std::unique_ptr<BatchSimilarity> MakeBatch() const override;
 
  private:
   const CategoricalDataset& dataset_;

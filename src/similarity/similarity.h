@@ -11,6 +11,9 @@
 #define ROCK_SIMILARITY_SIMILARITY_H_
 
 #include <cstddef>
+#include <memory>
+
+#include "similarity/batch.h"
 
 namespace rock {
 
@@ -28,6 +31,16 @@ class PointSimilarity {
 
   /// Similarity between points i and j; both must be < size().
   virtual double Similarity(size_t i, size_t j) const = 0;
+
+  /// Builds a batched evaluator producing bit-identical values, or nullptr
+  /// when none exists (default, expert-supplied similarities, or a packed
+  /// representation over the memory budget). Each call returns a fresh
+  /// instance, so callers may use it from any thread. The packed neighbor
+  /// engine (graph/neighbor_engine.h) consumes this and falls back to the
+  /// per-pair path on nullptr.
+  virtual std::unique_ptr<BatchSimilarity> MakeBatch() const {
+    return nullptr;
+  }
 };
 
 }  // namespace rock

@@ -197,6 +197,32 @@ TEST_F(CliTest, ErrorsAreReported) {
   EXPECT_EQ(code5, 2);
 }
 
+TEST_F(CliTest, NeighborEngineFlagSelectsAndValidates) {
+  auto [gcode, gout] = Run({"gen", "--dataset=votes",
+                            "--out=" + Path("votes.csv")});
+  ASSERT_EQ(gcode, 0) << gout;
+  std::string purity_line;
+  for (const char* engine : {"packed", "scalar"}) {
+    auto [code, out] = Run({"cluster", "--input=" + Path("votes.csv"),
+                            "--theta=0.73", "--k=2",
+                            std::string("--neighbor-engine=") + engine});
+    ASSERT_EQ(code, 0) << out;
+    const size_t pos = out.find("purity:");
+    ASSERT_NE(pos, std::string::npos) << out;
+    // Engines must agree on the clustering (purity is a function of it).
+    const std::string line = out.substr(pos, out.find('\n', pos) - pos);
+    if (purity_line.empty()) {
+      purity_line = line;
+    } else {
+      EXPECT_EQ(line, purity_line);
+    }
+  }
+  auto [bcode, bout] = Run({"cluster", "--input=" + Path("votes.csv"),
+                            "--neighbor-engine=simd"});
+  EXPECT_EQ(bcode, 2);
+  EXPECT_NE(bout.find("unknown --neighbor-engine"), std::string::npos);
+}
+
 TEST_F(CliTest, GenMushroomScaled) {
   auto [code, out] = Run({"gen", "--dataset=mushroom", "--scale=0.02",
                           "--out=" + Path("mush.csv")});
@@ -259,7 +285,8 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
 
   // Stage list, with values unmasked — stages are stable across machines.
   EXPECT_NE(json.find("\"stages\": [\"links\", \"merge\", \"merge.heap\", "
-                      "\"merge.relink\", \"neighbors\", \"total\"]"),
+                      "\"merge.relink\", \"neighbors\", \"neighbors.pack\", "
+                      "\"total\"]"),
             std::string::npos)
       << json;
   EXPECT_NE(json.find("\"tool\": \"cluster\""), std::string::npos);
@@ -273,7 +300,10 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "stage.links",     "stage.merge",
       "stage.merge.heap",
       "stage.merge.relink",
-      "stage.neighbors", "stage.total",
+      "stage.neighbors", "stage.neighbors.pack",
+      "stage.total",
+      "neighbors.pairs_evaluated",
+      "neighbors.pairs_pruned",
       "count",           "total_seconds",
       "min_seconds",     "max_seconds",
       "diag.invariant_checks",

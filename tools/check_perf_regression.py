@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Gate on the flat/hashed merge-engine speedup in a BENCH_rock.json report.
+"""Gate on an engine-pair speedup ratio in a BENCH_rock.json report.
 
-Usage: check_perf_regression.py CURRENT.json BASELINE.json [--tolerance=0.25]
+Usage: check_perf_regression.py CURRENT.json BASELINE.json
+           [--tolerance=0.25] [--engines=NEW,OLD] [--stage=STAGE]
 
 Both files follow the BENCH_rock.json schema (docs/OBSERVABILITY.md §2b) and
-must come from `bench_fig5_scalability --compare-engines`, which emits one
-entry per (n, theta, engine) cell. For every (n, theta) cell present in both
-reports, the per-cell metric is the ratio
+must come from a --compare-engines bench run, which emits one entry per
+(n, theta, engine) cell. For every (n, theta) cell present in both reports,
+the per-cell metric is the ratio
 
-    speedup = hashed stage.merge seconds / flat stage.merge seconds
+    speedup = OLD-engine STAGE seconds / NEW-engine STAGE seconds
 
 and the gate compares the geometric mean of those ratios: current must not
 fall below baseline * (1 - tolerance). Ratios — not absolute seconds — keep
 the gate independent of the machine the baseline was recorded on; the
 geometric mean keeps one noisy cell from dominating.
+
+Defaults match the merge-engine gate (bench_fig5_scalability):
+--engines=flat,hashed --stage=stage.merge. The neighbor-engine gate
+(bench_neighbors_ablation) uses --engines=packed,scalar
+--stage=stage.neighbors.
 
 Exit status: 0 pass, 1 regression, 2 bad input.
 """
@@ -23,8 +29,8 @@ import math
 import sys
 
 
-def load_cells(path):
-    """Maps (n, theta) -> {engine: stage.merge seconds}."""
+def load_cells(path, engines, stage):
+    """Maps (n, theta) -> {engine: stage seconds}."""
     with open(path) as f:
         report = json.load(f)
     if report.get("version") != 1:
@@ -34,22 +40,22 @@ def load_cells(path):
     for entry in report.get("entries", []):
         params = entry.get("params", {})
         engine = params.get("engine")
-        merge = entry.get("timers", {}).get("stage.merge")
-        if engine not in ("flat", "hashed") or merge is None:
+        seconds = entry.get("timers", {}).get(stage)
+        if engine not in engines or seconds is None:
             continue
         key = (params.get("n"), params.get("theta"))
-        cells.setdefault(key, {})[engine] = merge
+        cells.setdefault(key, {})[engine] = seconds
     return cells
 
 
-def speedups(cells):
-    """Maps (n, theta) -> hashed/flat stage.merge ratio, where both ran."""
+def speedups(cells, new_engine, old_engine):
+    """Maps (n, theta) -> old/new stage-seconds ratio, where both ran."""
     out = {}
     for key, engines in cells.items():
-        flat = engines.get("flat")
-        hashed = engines.get("hashed")
-        if flat and hashed and flat > 0:
-            out[key] = hashed / flat
+        new = engines.get(new_engine)
+        old = engines.get(old_engine)
+        if new and old and new > 0:
+            out[key] = old / new
     return out
 
 
@@ -59,19 +65,32 @@ def geomean(values):
 
 def main(argv):
     tolerance = 0.25
+    new_engine, old_engine = "flat", "hashed"
+    stage = "stage.merge"
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
             tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--engines="):
+            pair = arg.split("=", 1)[1].split(",")
+            if len(pair) != 2:
+                print("perf-smoke: --engines wants NEW,OLD", file=sys.stderr)
+                return 2
+            new_engine, old_engine = pair
+        elif arg.startswith("--stage="):
+            stage = arg.split("=", 1)[1]
         else:
             paths.append(arg)
     if len(paths) != 2:
         print(__doc__, file=sys.stderr)
         return 2
 
+    engines = (new_engine, old_engine)
     try:
-        current = speedups(load_cells(paths[0]))
-        baseline = speedups(load_cells(paths[1]))
+        current = speedups(load_cells(paths[0], engines, stage),
+                           new_engine, old_engine)
+        baseline = speedups(load_cells(paths[1], engines, stage),
+                            new_engine, old_engine)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"perf-smoke: {e}", file=sys.stderr)
         return 2
@@ -82,6 +101,7 @@ def main(argv):
               f"{paths[0]} and {paths[1]}", file=sys.stderr)
         return 2
 
+    print(f"{stage} {old_engine}/{new_engine} speedup")
     print(f"{'cell':<16} {'current':>9} {'baseline':>9}")
     for key in shared:
         n, theta = key

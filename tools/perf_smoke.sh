@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-# tools/perf_smoke.sh — CI's merge-engine perf gate.
+# tools/perf_smoke.sh — CI's engine perf gates.
 #
-# Runs bench_fig5_scalability at a small scale with --compare-engines
-# (every (n, θ) cell under both the flat and the hashed merge engine),
-# collects the BENCH_rock.json perf report, and fails if the flat/hashed
-# stage.merge speedup regressed more than 25% against the checked-in
-# baseline (bench/baselines/BENCH_rock_smoke.json). The gate compares
-# speedup *ratios*, never absolute seconds, so it holds across machines.
+# Two gates, both comparing speedup *ratios* (never absolute seconds, so
+# the gate holds across machines) against checked-in baselines, failing on
+# a >25% regression of the geometric-mean ratio:
+#
+#   1. merge engines — bench_fig5_scalability at a small scale with
+#      --compare-engines (every (n, θ) cell under both the flat and the
+#      hashed merge engine); gates on the flat/hashed stage.merge speedup
+#      vs bench/baselines/BENCH_rock_smoke.json.
+#   2. neighbor engines — bench_neighbors_ablation --compare-engines
+#      (packed bit-plane engine vs the scalar per-pair oracle, graphs
+#      verified identical); gates on the packed/scalar stage.neighbors
+#      speedup vs bench/baselines/BENCH_neighbors_smoke.json.
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 #
-# To refresh the baseline after an intentional perf change:
-#   tools/perf_smoke.sh && cp build/BENCH_rock_smoke.json \
-#       bench/baselines/BENCH_rock_smoke.json
+# To refresh the baselines after an intentional perf change:
+#   tools/perf_smoke.sh && \
+#     cp build/BENCH_rock_smoke.json bench/baselines/BENCH_rock_smoke.json && \
+#     cp build/BENCH_neighbors_smoke.json \
+#         bench/baselines/BENCH_neighbors_smoke.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,8 +29,11 @@ BUILD_DIR="${1:-build}"
 SCALE=0.02  # DB ≈ 2300 tx -> sample sizes 1000 and 2000 only
 BASELINE=bench/baselines/BENCH_rock_smoke.json
 REPORT="$BUILD_DIR/BENCH_rock_smoke.json"
+NBR_BASELINE=bench/baselines/BENCH_neighbors_smoke.json
+NBR_REPORT="$BUILD_DIR/BENCH_neighbors_smoke.json"
 
-cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability
+cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability \
+    bench_neighbors_ablation
 
 echo "=== perf-smoke: bench_fig5_scalability $SCALE --compare-engines ==="
 ROCK_BENCH_JSON="$REPORT" \
@@ -30,3 +41,14 @@ ROCK_BENCH_JSON="$REPORT" \
 
 echo "=== perf-smoke: gate vs $BASELINE ==="
 python3 tools/check_perf_regression.py "$REPORT" "$BASELINE"
+
+# Best-of-3 timing per cell: the neighbor stage is fast at smoke scale, so
+# a single rep is noisy enough to trip a ratio gate on a busy CI box.
+echo "=== perf-smoke: bench_neighbors_ablation --compare-engines ==="
+ROCK_BENCH_JSON="$NBR_REPORT" \
+    "$BUILD_DIR/bench/bench_neighbors_ablation" --compare-engines \
+    --scale=$SCALE --max-n=2000 --reps=3
+
+echo "=== perf-smoke: gate vs $NBR_BASELINE ==="
+python3 tools/check_perf_regression.py "$NBR_REPORT" "$NBR_BASELINE" \
+    --engines=packed,scalar --stage=stage.neighbors
