@@ -390,6 +390,7 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   std::string neighbors = "exact";
   std::string merge_engine = "flat";
   std::string neighbor_engine = "packed";
+  std::string link_engine = "packed";
 
   FlagSet flags;
   flags.AddString("input", &input, "input file");
@@ -433,6 +434,9 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
                   "identical, flat is faster)");
   flags.AddString("neighbor-engine", &neighbor_engine,
                   "packed | scalar neighbor-graph engine (rock; graphs are "
+                  "identical, packed is faster)");
+  flags.AddString("link-engine", &link_engine,
+                  "packed | hashed link-count engine (rock; link rows are "
                   "identical, packed is faster)");
   if (help_only) {
     EmitStr(out, "rock cluster — cluster a data file\n" + flags.Help());
@@ -495,6 +499,14 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
       } else {
         EmitStr(out, "error: unknown --neighbor-engine '" + neighbor_engine +
                          "'\n");
+        return 2;
+      }
+      if (link_engine == "packed") {
+        opt.link_engine = LinkEngineKind::kPacked;
+      } else if (link_engine == "hashed") {
+        opt.link_engine = LinkEngineKind::kHashed;
+      } else {
+        EmitStr(out, "error: unknown --link-engine '" + link_engine + "'\n");
         return 2;
       }
       Result<RockResult> result = Status::Internal("unreachable");
@@ -651,6 +663,7 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   bool resume = false;
   std::string failpoints;
   std::string neighbor_engine = "packed";
+  std::string link_engine = "packed";
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
@@ -675,6 +688,9 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
                 "(0 = all cores; assignments are identical at any count)");
   flags.AddString("neighbor-engine", &neighbor_engine,
                   "packed | scalar neighbor-graph engine (graphs are "
+                  "identical, packed is faster)");
+  flags.AddString("link-engine", &link_engine,
+                  "packed | hashed link-count engine (link rows are "
                   "identical, packed is faster)");
   flags.AddString("assignments", &assignments_path,
                   "write row,cluster CSV here");
@@ -726,6 +742,14 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   } else {
     EmitStr(out,
             "error: unknown --neighbor-engine '" + neighbor_engine + "'\n");
+    return 2;
+  }
+  if (link_engine == "packed") {
+    opt.rock.link_engine = LinkEngineKind::kPacked;
+  } else if (link_engine == "hashed") {
+    opt.rock.link_engine = LinkEngineKind::kHashed;
+  } else {
+    EmitStr(out, "error: unknown --link-engine '" + link_engine + "'\n");
     return 2;
   }
   opt.sample_size = sample_size;

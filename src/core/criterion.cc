@@ -1,10 +1,29 @@
 #include "core/criterion.h"
 
+#include <algorithm>
+
 namespace rock {
 
 uint64_t IntraClusterLinks(const LinkMatrix& links,
                            const std::vector<PointIndex>& members) {
   uint64_t total = 0;
+  if (links.frozen()) {
+    // Binary searches over the sorted CSR rows; keeps a FromCsr-built
+    // matrix from materializing its hash rows just to sum a clustering.
+    // Integer sums, so the value matches the hash path exactly.
+    for (size_t a = 0; a + 1 < members.size(); ++a) {
+      const LinkRowSpan row = links.FlatRow(members[a]);
+      const PointIndex* lo = row.partners;
+      const PointIndex* hi = row.partners + row.size;
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        const PointIndex* it = std::lower_bound(lo, hi, members[b]);
+        if (it != hi && *it == members[b]) {
+          total += row.counts[static_cast<size_t>(it - row.partners)];
+        }
+      }
+    }
+    return total;
+  }
   for (size_t a = 0; a + 1 < members.size(); ++a) {
     const auto& row = links.Row(members[a]);
     for (size_t b = a + 1; b < members.size(); ++b) {

@@ -100,12 +100,8 @@ class FlatMergeEngine {
     result.stats.num_pruned_points = pruned_.size();
 
     Timer link_timer;
-    LinkMatrix links =
-        options_.num_threads == 1
-            ? ComputeLinks(graph_)
-            : ComputeLinksParallel(
-                  graph_, {options_.num_threads, options_.row_chunk});
-    links.Freeze();  // CSR layout for the sequential init scans below
+    LinkMatrix links = ComputeLinkStage(graph_, options_, metrics_);
+    links.Freeze();  // CSR layout for the init scans (packed: already built)
     result.stats.link_seconds = link_timer.ElapsedSeconds();
     if (metrics_ != nullptr) {
       metrics_->RecordSeconds("stage.links", result.stats.link_seconds);

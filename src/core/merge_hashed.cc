@@ -61,11 +61,11 @@ class HashedMergeEngine {
     result.stats.num_pruned_points = pruned_.size();
 
     Timer link_timer;
-    LinkMatrix links =
-        options_.num_threads == 1
-            ? ComputeLinks(graph_)
-            : ComputeLinksParallel(
-                  graph_, {options_.num_threads, options_.row_chunk});
+    LinkMatrix links = ComputeLinkStage(graph_, options_, metrics_);
+    // This engine probes hash rows throughout the merge loop; materialize
+    // them here so a packed-built (CSR-only) matrix charges the conversion
+    // to the link stage instead of to stage.merge.
+    links.MaterializeHashRows();
     result.stats.link_seconds = link_timer.ElapsedSeconds();
     if (metrics_ != nullptr) {
       metrics_->RecordSeconds("stage.links", result.stats.link_seconds);

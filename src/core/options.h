@@ -56,6 +56,21 @@ enum class NeighborEngineKind {
   kScalar,
 };
 
+/// Which engine computes the pairwise link counts (paper §3.2 / Fig. 4).
+/// Frozen CSR link rows are byte-identical between the two at any thread
+/// count; only speed differs.
+enum class LinkEngineKind {
+  /// Bit-plane popcount engine (graph/link_engine.h): neighbor rows packed
+  /// into 64-bit word planes, link(p, q) = popcount(row_p AND row_q) over
+  /// exactly the pairs sharing ≥ 1 neighbor — the default. Falls back to
+  /// the hashed scatter when the plane exceeds the packing budget.
+  kPacked,
+  /// The original Fig. 4 pair-counting scatter (graph/links.cc). Kept
+  /// verbatim as the reference oracle for differential tests and perf
+  /// baselines.
+  kHashed,
+};
+
 /// Observability and self-checking knobs (see docs/OBSERVABILITY.md).
 struct DiagOptions {
   /// Collect per-stage timers and counters into RockResult::metrics /
@@ -116,6 +131,10 @@ struct RockOptions {
   /// Neighbor-graph engine; see NeighborEngineKind. Both engines produce
   /// bit-identical graphs.
   NeighborEngineKind neighbor_engine = NeighborEngineKind::kPacked;
+
+  /// Link-computation engine; see LinkEngineKind. Both engines produce
+  /// byte-identical frozen link rows.
+  LinkEngineKind link_engine = LinkEngineKind::kPacked;
 
   /// Worker threads for the disk labeling phase (§4.6, the only stage that
   /// touches the whole database). The store is split into row shards that

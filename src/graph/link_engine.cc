@@ -1,0 +1,152 @@
+#include "graph/link_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/parallel.h"
+#include "util/thread_pool.h"
+
+namespace rock {
+namespace {
+
+/// Upper-triangular slice of one row: (partner q > p, link count) in
+/// ascending partner order.
+using UpperRow = std::vector<std::pair<PointIndex, LinkCount>>;
+
+/// Budget miss: run the Fig. 4 hashed scatter (the oracle path) and freeze
+/// it, so the caller still gets the frozen-CSR contract.
+LinkMatrix FallbackHashed(const NeighborGraph& graph,
+                          const PackedLinkOptions& options) {
+  diag::AddCounter(options.metrics, "links.fallback_hashed", 1);
+  LinkMatrix links =
+      options.num_threads == 1
+          ? ComputeLinks(graph)
+          : ComputeLinksParallel(graph,
+                                 {options.num_threads, options.row_chunk});
+  links.Freeze();
+  diag::AddCounter(options.metrics, "links.candidate_pairs", 0);
+  diag::AddCounter(options.metrics, "links.pairs_counted",
+                   links.NumNonZeroPairs());
+  return links;
+}
+
+}  // namespace
+
+LinkMatrix ComputeLinksPacked(const NeighborGraph& graph,
+                              const PackedLinkOptions& options) {
+  const size_t n = graph.size();
+  if (n < 2) {
+    LinkMatrix links(n);
+    links.Freeze();
+    diag::AddCounter(options.metrics, "links.candidate_pairs", 0);
+    diag::AddCounter(options.metrics, "links.pairs_counted", 0);
+    return links;
+  }
+  const size_t words = (n + 63) / 64;
+  if (words > options.pack_budget_bytes / sizeof(uint64_t) / n) {
+    return FallbackHashed(graph, options);
+  }
+
+  // Plane: row i holds N(i) as an n-bit set. Rows are the adjacency matrix
+  // rows, so popcount(row_p AND row_q) = |N(p) ∩ N(q)| = link(p, q).
+  std::vector<uint64_t> plane;
+  {
+    diag::ScopedTimer pack_timer(options.metrics, "stage.links.pack");
+    plane.assign(n * words, 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t* row = plane.data() + i * words;
+      for (const PointIndex q : graph.nbrlist[i]) {
+        row[q >> 6] |= uint64_t{1} << (q & 63);
+      }
+    }
+  }
+
+  // Per-row pass over the upper triangle. Candidates q > p are the set bits
+  // of OR_{i ∈ N(p)} row_i restricted to the suffix beyond p — each such q
+  // shares the witness neighbor i with p, so its link count is ≥ 1 and the
+  // popcount sweep is never wasted. Each row's output depends only on the
+  // graph, so any thread schedule produces the same upper rows.
+  const size_t num_threads = ResolveThreads(options.num_threads);
+  std::vector<UpperRow> upper(n);
+  std::vector<uint64_t> found(std::max<size_t>(num_threads, 1), 0);
+  std::atomic<size_t> next{0};
+  const size_t chunk = std::max<size_t>(1, options.row_chunk);
+  ParallelInvoke(num_threads, [&](size_t worker) {
+    std::vector<uint64_t> mask(words, 0);
+    while (true) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const size_t end = std::min(begin + chunk, n);
+      for (size_t p = begin; p < end; ++p) {
+        const auto& nbrs = graph.nbrlist[p];
+        if (nbrs.empty()) continue;
+        const size_t wp = p >> 6;
+        for (const PointIndex i : nbrs) {
+          const uint64_t* row = plane.data() + size_t{i} * words;
+          for (size_t w = wp; w < words; ++w) mask[w] |= row[w];
+        }
+        // Drop bits ≤ p from the first word: candidates must exceed p.
+        // (For p ≡ 63 mod 64 the mask value wraps to 0 and clears the whole
+        // word — unsigned wrap-around, well defined.)
+        mask[wp] &= ~((uint64_t{2} << (p & 63)) - 1);
+        const uint64_t* row_p = plane.data() + p * words;
+        UpperRow& out = upper[p];
+        for (size_t w = wp; w < words; ++w) {
+          uint64_t bits = mask[w];
+          mask[w] = 0;  // leave the scratch mask clean for the next row
+          while (bits != 0) {
+            const auto q = static_cast<PointIndex>(
+                (w << 6) + static_cast<size_t>(std::countr_zero(bits)));
+            bits &= bits - 1;
+            const uint64_t common = IntersectPopcount(
+                row_p, plane.data() + size_t{q} * words, words);
+            out.emplace_back(q, static_cast<LinkCount>(common));
+          }
+        }
+        found[worker] += out.size();
+      }
+    }
+  });
+  plane.clear();
+  plane.shrink_to_fit();
+
+  uint64_t candidates = 0;
+  for (const uint64_t f : found) candidates += f;
+  diag::AddCounter(options.metrics, "links.candidate_pairs", candidates);
+  // Enumeration is exact (every candidate stores a non-zero count), so the
+  // two counters agree on this path; they differ only on the fallback.
+  diag::AddCounter(options.metrics, "links.pairs_counted", candidates);
+
+  // Serial mirror + CSR assembly. Row r receives its mirrored partners
+  // p < r while the outer loop passes p = 0..r−1 (ascending) and then its
+  // own upper partners q > r (ascending), so every row comes out strictly
+  // ascending — the exact layout LinkMatrix::Freeze() produces.
+  std::vector<size_t> sizes(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    sizes[p] += upper[p].size();
+    for (const auto& [q, c] : upper[p]) ++sizes[q];
+  }
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t p = 0; p < n; ++p) offsets[p + 1] = offsets[p] + sizes[p];
+  std::vector<PointIndex> partners(offsets[n]);
+  std::vector<LinkCount> counts(offsets[n]);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t p = 0; p < n; ++p) {
+    for (const auto& [q, c] : upper[p]) {
+      partners[cursor[p]] = q;
+      counts[cursor[p]] = c;
+      ++cursor[p];
+      partners[cursor[q]] = static_cast<PointIndex>(p);
+      counts[cursor[q]] = c;
+      ++cursor[q];
+    }
+  }
+  return LinkMatrix::FromCsr(n, std::move(offsets), std::move(partners),
+                             std::move(counts));
+}
+
+}  // namespace rock

@@ -1,0 +1,70 @@
+// librock — graph/link_engine.h
+//
+// Bit-plane link engine. The paper's Fig. 4 scatter pays one memory update
+// per length-2 neighbor path — O(Σ mᵢ²) scalar increments. This engine
+// instead packs every point's *neighbor row* N(p) into a plane of 64-bit
+// words (one bit per point, the same plane layout as similarity/packed.h)
+// and computes
+//
+//     link(p, q) = |N(p) ∩ N(q)| = popcount(row_p AND row_q)
+//
+// with the runtime-dispatched AVX2 nibble-LUT popcount kernel
+// (similarity/packed.h IntersectPopcount). Sparsity is still exploited:
+// candidates for row p are enumerated as the bitwise OR of its neighbors'
+// rows — exactly the points sharing at least one neighbor with p, i.e.
+// exactly the pairs with link > 0 — so no popcount sweep is ever wasted on
+// a zero pair.
+//
+// Every row's candidate set and counts depend only on the input graph, and
+// the mirror/CSR assembly pass is serial and index-ordered, so the frozen
+// CSR rows are byte-identical to LinkMatrix::Freeze() of the Fig. 4 hashed
+// oracle at any thread count (enforced by tests/link_engine_test.cc).
+//
+// Packing is gated by a memory budget (kDefaultPackedBytes, shared with the
+// neighbor engine): an n-point graph needs n·⌈n/64⌉ plane words, and when
+// that exceeds the budget the engine falls back to the hashed scatter and
+// says so via the links.fallback_hashed counter.
+
+#ifndef ROCK_GRAPH_LINK_ENGINE_H_
+#define ROCK_GRAPH_LINK_ENGINE_H_
+
+#include <cstddef>
+
+#include "diag/metrics.h"
+#include "graph/links.h"
+#include "graph/neighbors.h"
+#include "similarity/packed.h"
+
+namespace rock {
+
+/// Options for the packed link engine.
+struct PackedLinkOptions {
+  /// Worker threads for the per-row popcount pass; 0 = hardware
+  /// concurrency. Results are identical at any count.
+  size_t num_threads = 1;
+
+  /// Rows claimed per scheduling step by the parallel pass.
+  size_t row_chunk = 16;
+
+  /// Cap on total plane bytes (n · ⌈n/64⌉ words). Over budget the engine
+  /// falls back to the hashed Fig. 4 scatter.
+  size_t pack_budget_bytes = kDefaultPackedBytes;
+
+  /// Metrics sink (may be null): links.candidate_pairs (popcount sweeps;
+  /// candidate enumeration is exact, so this equals the stored non-zero
+  /// pairs), links.pairs_counted (stored non-zero pairs),
+  /// links.fallback_hashed (1 when the budget forced the hashed path) and
+  /// the stage.links.pack timer.
+  diag::MetricsRegistry* metrics = nullptr;
+};
+
+/// Computes all pairwise link counts with the bit-plane popcount engine.
+/// Returns the matrix already frozen (CSR rows built directly, sorted
+/// ascending); the hash rows materialize lazily on first Row()/Add().
+/// Byte-identical frozen rows vs ComputeLinks(graph) + Freeze().
+LinkMatrix ComputeLinksPacked(const NeighborGraph& graph,
+                              const PackedLinkOptions& options = {});
+
+}  // namespace rock
+
+#endif  // ROCK_GRAPH_LINK_ENGINE_H_

@@ -4,8 +4,48 @@
 
 namespace rock {
 
+LinkMatrix LinkMatrix::FromCsr(size_t n, std::vector<size_t> offsets,
+                               std::vector<PointIndex> partners,
+                               std::vector<LinkCount> counts) {
+  assert(offsets.size() == n + 1);
+  assert(offsets.empty() || offsets.back() == partners.size());
+  assert(partners.size() == counts.size());
+  LinkMatrix m(n);
+  m.frozen_ = true;
+  m.rows_valid_ = false;
+  m.csr_offsets_ = std::move(offsets);
+  m.csr_partners_ = std::move(partners);
+  m.csr_counts_ = std::move(counts);
+  return m;
+}
+
+void LinkMatrix::EnsureHashRows() const {
+  if (rows_valid_) return;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const size_t begin = csr_offsets_[i];
+    const size_t end = csr_offsets_[i + 1];
+    auto& row = rows_[i];
+    row.reserve(end - begin);
+    for (size_t e = begin; e < end; ++e) {
+      row.emplace(csr_partners_[e], csr_counts_[e]);
+    }
+  }
+  rows_valid_ = true;
+}
+
 LinkCount LinkMatrix::Count(PointIndex i, PointIndex j) const {
   if (i == j) return 0;
+  if (frozen_) {
+    // The CSR arrays are authoritative while frozen; binary search keeps
+    // queries from materializing lazy hash rows.
+    const size_t begin = csr_offsets_[i];
+    const size_t end = csr_offsets_[i + 1];
+    const PointIndex* lo = csr_partners_.data() + begin;
+    const PointIndex* hi = csr_partners_.data() + end;
+    const PointIndex* it = std::lower_bound(lo, hi, j);
+    if (it == hi || *it != j) return 0;
+    return csr_counts_[begin + static_cast<size_t>(it - lo)];
+  }
   const auto& row = rows_[i];
   auto it = row.find(j);
   return it == row.end() ? 0 : it->second;
@@ -16,12 +56,14 @@ void LinkMatrix::Add(PointIndex i, PointIndex j, LinkCount delta) {
   // Without this guard the two symmetric writes below would both hit the
   // same diagonal cell and store 2·delta of garbage.
   if (i == j) return;
+  EnsureHashRows();
   Thaw();
   rows_[i][j] += delta;
   rows_[j][i] += delta;
 }
 
 void LinkMatrix::AddDirected(PointIndex i, PointIndex j, LinkCount delta) {
+  EnsureHashRows();
   Thaw();
   rows_[i][j] += delta;
 }
@@ -60,12 +102,18 @@ void LinkMatrix::Freeze() {
 }
 
 size_t LinkMatrix::NumNonZeroPairs() const {
+  if (frozen_) return csr_partners_.size() / 2;
   size_t total = 0;
   for (const auto& row : rows_) total += row.size();
   return total / 2;
 }
 
 uint64_t LinkMatrix::TotalLinks() const {
+  if (frozen_) {
+    uint64_t total = 0;
+    for (const LinkCount count : csr_counts_) total += count;
+    return total / 2;
+  }
   uint64_t total = 0;
   for (const auto& row : rows_) {
     for (const auto& [_, count] : row) total += count;

@@ -12,6 +12,12 @@
 // partner array, one parallel count array) for the merge engine's
 // sequential row scans. The hash rows stay alive behind the same API and
 // serve as the oracle for the flat layout in tests and invariant checks.
+//
+// The packed link engine (graph/link_engine.h) builds the CSR layout
+// directly via FromCsr(); such matrices start frozen with empty hash rows,
+// which materialize lazily from the CSR arrays on the first call that needs
+// them (Row(), Add(), AddDirected()). Either construction order yields the
+// same observable matrix.
 
 #ifndef ROCK_GRAPH_LINKS_H_
 #define ROCK_GRAPH_LINKS_H_
@@ -44,6 +50,15 @@ class LinkMatrix {
   /// Creates an all-zero n×n link matrix.
   explicit LinkMatrix(size_t n) : rows_(n) {}
 
+  /// Adopts a prebuilt CSR layout (row i spans [offsets[i], offsets[i+1])
+  /// of the partner/count arrays; partners strictly ascending per row, both
+  /// (i, j) and (j, i) present). The matrix starts frozen; hash rows
+  /// materialize lazily. Offsets must have n + 1 entries and the arrays
+  /// equal lengths.
+  static LinkMatrix FromCsr(size_t n, std::vector<size_t> offsets,
+                            std::vector<PointIndex> partners,
+                            std::vector<LinkCount> counts);
+
   /// Number of points n.
   size_t size() const { return rows_.size(); }
 
@@ -62,10 +77,17 @@ class LinkMatrix {
   /// the clustering code. Invalidates a previous Freeze().
   void AddDirected(PointIndex i, PointIndex j, LinkCount delta);
 
-  /// Non-zero entries of row i: partner → count.
+  /// Non-zero entries of row i: partner → count. Materializes the hash
+  /// rows from the CSR arrays on a FromCsr-built matrix.
   const std::unordered_map<PointIndex, LinkCount>& Row(PointIndex i) const {
+    EnsureHashRows();
     return rows_[i];
   }
+
+  /// Forces lazy hash rows into existence on a FromCsr-built matrix
+  /// (no-op otherwise). Row() does this implicitly; callers that want the
+  /// materialization cost charged to a specific stage call it up front.
+  void MaterializeHashRows() const { EnsureHashRows(); }
 
   /// Builds the CSR flat layout (sorted partner/count arrays plus a row
   /// offset array) from the hash rows. Idempotent; O(Σ rowᵢ log rowᵢ).
@@ -94,10 +116,19 @@ class LinkMatrix {
   uint64_t TotalLinks() const;
 
  private:
-  /// Drops the flat arrays when a mutation invalidates them.
+  /// Drops the flat arrays when a mutation invalidates them. Callers
+  /// materialize the hash rows first — they become the only copy.
   void Thaw();
 
-  std::vector<std::unordered_map<PointIndex, LinkCount>> rows_;
+  /// Fills empty hash rows from the CSR arrays (FromCsr construction).
+  /// Invariant: rows_valid_ || frozen_, so the data always exists somewhere.
+  void EnsureHashRows() const;
+
+  // Hash rows; mutable so a logically-const read can materialize them from
+  // the CSR arrays. rows_valid_ is false only between FromCsr() and the
+  // first materialization.
+  mutable std::vector<std::unordered_map<PointIndex, LinkCount>> rows_;
+  mutable bool rows_valid_ = true;
 
   // CSR flat layout, valid only while frozen_: row i spans
   // [csr_offsets_[i], csr_offsets_[i+1]) of the partner/count arrays.

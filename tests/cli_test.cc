@@ -284,9 +284,9 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
   ASSERT_FALSE(json.empty());
 
   // Stage list, with values unmasked — stages are stable across machines.
-  EXPECT_NE(json.find("\"stages\": [\"links\", \"merge\", \"merge.heap\", "
-                      "\"merge.relink\", \"neighbors\", \"neighbors.pack\", "
-                      "\"total\"]"),
+  EXPECT_NE(json.find("\"stages\": [\"links\", \"links.pack\", \"merge\", "
+                      "\"merge.heap\", \"merge.relink\", \"neighbors\", "
+                      "\"neighbors.pack\", \"total\"]"),
             std::string::npos)
       << json;
   EXPECT_NE(json.find("\"tool\": \"cluster\""), std::string::npos);
@@ -297,7 +297,8 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "version",         "tool",
       "stages",          "timers",
       "counters",        "gauges",
-      "stage.links",     "stage.merge",
+      "stage.links",     "stage.links.pack",
+      "stage.merge",
       "stage.merge.heap",
       "stage.merge.relink",
       "stage.neighbors", "stage.neighbors.pack",
@@ -313,6 +314,8 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "prune.isolated_points",
       "links.nonzero_pairs",
       "links.total",
+      "links.candidate_pairs",
+      "links.pairs_counted",
       "heap.global_peak",
       "heap.local_entries_peak",
       "heap.ops",

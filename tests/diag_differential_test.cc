@@ -5,15 +5,21 @@
 // so a disagreement reports which layer diverged.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "common/random.h"
+#include "core/pipeline.h"
 #include "core/rock.h"
+#include "data/disk_store.h"
+#include "data/transaction.h"
 #include "diag/invariants.h"
 #include "graph/links.h"
 #include "graph/neighbors.h"
@@ -21,6 +27,7 @@
 #include "similarity/jaccard.h"
 #include "synth/basket_generator.h"
 #include "test_support.h"
+#include "util/failpoint.h"
 
 namespace rock {
 namespace {
@@ -282,6 +289,191 @@ TEST(MergeEngineEdgeCaseTest, DegenerateGraphsAgree) {
     ExpectRunsIdentical(*hashed, *flat);
     EXPECT_EQ(flat->metrics.CounterOr("diag.invariant_violations"), 0u);
   }
+}
+
+// ------------------------------------------------- link-engine differential --
+
+// The bit-plane link engine must be invisible to everything downstream:
+// with the link rows byte-identical, the merge sequence, clustering, stats
+// and labels of a full run cannot depend on --link-engine. Exercised across
+// both merge engines (flat probes frozen CSR rows, hashed probes the lazily
+// materialized hash rows) so both row representations of the packed output
+// are covered end to end.
+class LinkEngineClusterDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<double, MergeEngineKind>> {};
+
+TEST_P(LinkEngineClusterDifferentialTest, PackedMatchesHashedEndToEnd) {
+  const auto [theta, merge_engine] = GetParam();
+  const uint64_t seed = 20260808;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 2);
+  TransactionJaccard sim(ds);
+
+  RockOptions opt;
+  opt.theta = theta;
+  opt.num_clusters = 3;
+  opt.outlier_stop_multiple = 3.0;
+  opt.min_cluster_support = 4;
+  opt.num_threads = 4;
+  opt.row_chunk = 5;
+  opt.diag.invariant_check_every = 7;
+  opt.merge_engine = merge_engine;
+
+  opt.link_engine = LinkEngineKind::kHashed;
+  auto hashed = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(hashed.ok());
+  opt.link_engine = LinkEngineKind::kPacked;
+  auto packed = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(packed.ok());
+
+  ExpectRunsIdentical(*hashed, *packed);
+  EXPECT_EQ(packed->metrics.CounterOr("diag.invariant_violations"), 0u);
+
+  // Engine-selection accounting: only the packed run packs bit planes, and
+  // its candidate enumeration is exact (every candidate pair is stored).
+  EXPECT_EQ(packed->metrics.CounterOr("links.fallback_hashed"), 0u);
+  EXPECT_EQ(packed->metrics.CounterOr("links.candidate_pairs"),
+            packed->metrics.CounterOr("links.pairs_counted"));
+  ASSERT_NE(packed->metrics.FindTimer("stage.links.pack"), nullptr);
+  EXPECT_EQ(hashed->metrics.FindTimer("stage.links.pack"), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaByMergeEngine, LinkEngineClusterDifferentialTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(MergeEngineKind::kFlat,
+                                         MergeEngineKind::kHashed)),
+    [](const ::testing::TestParamInfo<
+        LinkEngineClusterDifferentialTest::ParamType>& param) {
+      const double theta = std::get<0>(param.param);
+      return "theta" + std::to_string(static_cast<int>(theta * 10)) +
+             (std::get<1>(param.param) == MergeEngineKind::kFlat ? "_flat"
+                                                                 : "_hashed");
+    });
+
+// Full disk pipeline: --link-engine packed vs hashed must deliver identical
+// MergeRecords and final labels, including when a packed run crashes at a
+// checkpoint and is resumed with the *other* engine — the link engine is
+// below the checkpoint's fingerprint, so a cross-engine resume must still
+// reproduce the uninterrupted run bit for bit.
+class LinkEnginePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::Clear();
+    const auto dir = std::filesystem::temp_directory_path();
+    const std::string pid = std::to_string(::getpid());
+    store_path_ = (dir / ("rock_linkdiff_store_" + pid + ".bin")).string();
+    ckpt_path_ = (dir / ("rock_linkdiff_ckpt_" + pid + ".bin")).string();
+
+    // Three well-separated transaction groups (disjoint item ranges) so the
+    // sample clusters cleanly and labeling is deterministic.
+    Rng rng(0x1b1b);
+    TransactionDataset data;
+    for (size_t i = 0; i < 120; ++i) {
+      const uint32_t group = static_cast<uint32_t>(i % 3);
+      std::vector<ItemId> items;
+      const size_t k = 4 + static_cast<size_t>(rng.UniformUint64(4));
+      for (size_t j = 0; j < k; ++j) {
+        items.push_back(group * 100 +
+                        static_cast<ItemId>(rng.UniformUint64(20)));
+      }
+      data.AddTransaction(Transaction(std::move(items)));
+      data.labels().Append("g" + std::to_string(group));
+    }
+    ASSERT_TRUE(WriteDatasetToStore(data, store_path_).ok());
+  }
+
+  void TearDown() override {
+    fail::Clear();
+    std::remove(store_path_.c_str());
+    std::remove(ckpt_path_.c_str());
+    std::remove((ckpt_path_ + ".tmp").c_str());
+  }
+
+  PipelineOptions Options(LinkEngineKind engine) const {
+    PipelineOptions opt;
+    opt.rock.theta = 0.5;
+    opt.rock.num_clusters = 3;
+    opt.rock.link_engine = engine;
+    opt.sample_size = 60;
+    opt.seed = 2026;
+    opt.labeling.seed = 11;
+    return opt;
+  }
+
+  static void ExpectPipelinesIdentical(const PipelineResult& a,
+                                       const PipelineResult& b) {
+    EXPECT_EQ(a.sample_rows, b.sample_rows);
+    EXPECT_EQ(a.sample_result.clustering.assignment,
+              b.sample_result.clustering.assignment);
+    EXPECT_EQ(a.sample_result.clustering.clusters,
+              b.sample_result.clustering.clusters);
+    ASSERT_EQ(a.sample_result.merges.size(), b.sample_result.merges.size());
+    for (size_t m = 0; m < a.sample_result.merges.size(); ++m) {
+      const MergeRecord& x = a.sample_result.merges[m];
+      const MergeRecord& y = b.sample_result.merges[m];
+      ASSERT_EQ(x.left, y.left) << "merge " << m;
+      ASSERT_EQ(x.right, y.right) << "merge " << m;
+      ASSERT_EQ(x.merged, y.merged) << "merge " << m;
+      ASSERT_EQ(x.new_size, y.new_size) << "merge " << m;
+      ASSERT_DOUBLE_EQ(x.goodness, y.goodness) << "merge " << m;
+    }
+    EXPECT_EQ(a.labeling.assignments, b.labeling.assignments);
+    EXPECT_EQ(a.labeling.num_outliers, b.labeling.num_outliers);
+  }
+
+  std::string store_path_;
+  std::string ckpt_path_;
+};
+
+TEST_F(LinkEnginePipelineTest, PackedAndHashedPipelinesAreIdentical) {
+  auto packed = RunRockPipeline(store_path_, Options(LinkEngineKind::kPacked));
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  auto hashed = RunRockPipeline(store_path_, Options(LinkEngineKind::kHashed));
+  ASSERT_TRUE(hashed.ok()) << hashed.status().ToString();
+  ExpectPipelinesIdentical(*packed, *hashed);
+}
+
+TEST_F(LinkEnginePipelineTest, CrossEngineResumeMatchesUninterruptedRun) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  auto baseline =
+      RunRockPipeline(store_path_, Options(LinkEngineKind::kHashed));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Crash a packed-engine run at its second checkpoint write...
+  auto crashed_opt = Options(LinkEngineKind::kPacked);
+  crashed_opt.checkpoint_path = ckpt_path_;
+  crashed_opt.rock.failpoints = "pipeline.checkpoint=fire_on_hit_2:crash";
+  auto crashed = RunRockPipeline(store_path_, crashed_opt);
+  ASSERT_FALSE(crashed.ok()) << "the injected crash must abort the run";
+  ASSERT_TRUE(fail::IsInjectedCrash(crashed.status()))
+      << crashed.status().ToString();
+
+  // ...then "restart the process" and resume with the hashed engine.
+  fail::Clear();
+  auto resumed_opt = Options(LinkEngineKind::kHashed);
+  resumed_opt.checkpoint_path = ckpt_path_;
+  resumed_opt.resume = true;
+  auto resumed = RunRockPipeline(store_path_, resumed_opt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ExpectPipelinesIdentical(*resumed, *baseline);
+
+  // And the mirror image: hashed crash, packed resume.
+  auto crashed2_opt = Options(LinkEngineKind::kHashed);
+  crashed2_opt.checkpoint_path = ckpt_path_;
+  crashed2_opt.rock.failpoints = "pipeline.checkpoint=fire_on_hit_2:crash";
+  auto crashed2 = RunRockPipeline(store_path_, crashed2_opt);
+  ASSERT_FALSE(crashed2.ok());
+  ASSERT_TRUE(fail::IsInjectedCrash(crashed2.status()));
+  fail::Clear();
+  auto resumed2_opt = Options(LinkEngineKind::kPacked);
+  resumed2_opt.checkpoint_path = ckpt_path_;
+  resumed2_opt.resume = true;
+  auto resumed2 = RunRockPipeline(store_path_, resumed2_opt);
+  ASSERT_TRUE(resumed2.ok()) << resumed2.status().ToString();
+  EXPECT_TRUE(resumed2->resumed);
+  ExpectPipelinesIdentical(*resumed2, *baseline);
 }
 
 // ------------------------------------------------------------- edge cases --

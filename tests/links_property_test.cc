@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "diag/invariants.h"
+#include "graph/link_engine.h"
 #include "graph/links.h"
 #include "graph/neighbors.h"
 #include "similarity/jaccard.h"
@@ -216,6 +217,121 @@ TEST(LinkMatrixCsrTest, FuzzFlatRowsMatchHashRows) {
     }
   }
 }
+
+// -------------------------------------------- engine-agnostic invariants --
+
+// Both link engines — hashed scatter + Freeze() and the bit-plane packed
+// path — must satisfy the same structural laws. Parameterized so each law
+// runs verbatim against each engine's frozen output.
+struct EngineCase {
+  const char* name;
+  LinkMatrix (*build)(const NeighborGraph&);
+};
+
+LinkMatrix BuildHashed(const NeighborGraph& g) {
+  LinkMatrix links = ComputeLinks(g);
+  links.Freeze();
+  return links;
+}
+
+LinkMatrix BuildPacked(const NeighborGraph& g) {
+  PackedLinkOptions opt;
+  opt.num_threads = 4;
+  opt.row_chunk = 2;
+  return ComputeLinksPacked(g, opt);
+}
+
+class LinkEngineInvariantTest : public ::testing::TestWithParam<EngineCase> {};
+
+// Frozen rows are symmetric: entry (p, q, c) implies entry (q, p, c).
+TEST_P(LinkEngineInvariantTest, FrozenRowsAreSymmetric) {
+  const uint64_t seed = 311;
+  ROCK_TRACE_SEED(seed);
+  for (double theta : {0.3, 0.6}) {
+    SCOPED_TRACE(::testing::Message() << "theta = " << theta);
+    const NeighborGraph g = RandomGraph(seed, theta);
+    const LinkMatrix links = GetParam().build(g);
+    ASSERT_TRUE(links.frozen());
+    for (size_t i = 0; i < links.size(); ++i) {
+      const auto p = static_cast<PointIndex>(i);
+      const LinkRowSpan row = links.FlatRow(p);
+      for (size_t e = 0; e < row.size; ++e) {
+        ASSERT_EQ(links.Count(row.partners[e], p), row.counts[e])
+            << "mirror of (" << i << ", " << row.partners[e] << ")";
+      }
+    }
+    diag::InvariantReport report;
+    diag::CheckLinkMatrixSymmetry(links, &report);
+    EXPECT_TRUE(report.ok()) << report.violations().front().detail;
+  }
+}
+
+// links.self diagonal guard (PR 2 regression): no engine may emit an entry
+// on the diagonal, and the diag oracle still trips if one is forced in.
+TEST_P(LinkEngineInvariantTest, DiagonalStaysEmpty) {
+  const uint64_t seed = 313;
+  ROCK_TRACE_SEED(seed);
+  const NeighborGraph g = RandomGraph(seed, 0.4);
+  const LinkMatrix links = GetParam().build(g);
+  for (size_t i = 0; i < links.size(); ++i) {
+    const auto p = static_cast<PointIndex>(i);
+    EXPECT_EQ(links.Count(p, p), 0u);
+    const LinkRowSpan row = links.FlatRow(p);
+    for (size_t e = 0; e < row.size; ++e) {
+      ASSERT_NE(row.partners[e], p) << "self-link stored in row " << i;
+    }
+  }
+}
+
+// Conservation law: every point with degree m_i credits exactly C(m_i, 2)
+// links (one per unordered pair of its neighbors), so the total over all
+// pairs must equal Σ_i C(m_i, 2) — for any engine, any graph.
+TEST_P(LinkEngineInvariantTest, TotalLinksEqualSumOfDegreeChoose2) {
+  const uint64_t seed = 317;
+  ROCK_TRACE_SEED(seed);
+  for (double theta : {0.0, 0.3, 0.6, 1.0}) {
+    SCOPED_TRACE(::testing::Message() << "theta = " << theta);
+    const NeighborGraph g = RandomGraph(seed, theta);
+    const LinkMatrix links = GetParam().build(g);
+    uint64_t want = 0;
+    for (size_t i = 0; i < g.size(); ++i) {
+      const uint64_t m = g.Degree(i);
+      want += m * (m - (m > 0 ? 1 : 0)) / 2;
+    }
+    EXPECT_EQ(links.TotalLinks(), want);
+  }
+}
+
+// Freeze() must be a no-op on an already-frozen matrix from either engine —
+// in particular on the packed engine's FromCsr-constructed output, which
+// never had hash rows to rebuild from.
+TEST_P(LinkEngineInvariantTest, FreezeIsIdempotentOnEngineOutput) {
+  const uint64_t seed = 331;
+  ROCK_TRACE_SEED(seed);
+  const NeighborGraph g = RandomGraph(seed, 0.5);
+  LinkMatrix links = GetParam().build(g);
+  ASSERT_TRUE(links.frozen());
+  const LinkMatrix reference = GetParam().build(g);
+  links.Freeze();  // must not disturb the CSR arrays
+  ASSERT_TRUE(links.frozen());
+  for (size_t i = 0; i < links.size(); ++i) {
+    const auto p = static_cast<PointIndex>(i);
+    const LinkRowSpan got = links.FlatRow(p);
+    const LinkRowSpan want = reference.FlatRow(p);
+    ASSERT_EQ(got.size, want.size) << "row " << i;
+    for (size_t e = 0; e < got.size; ++e) {
+      ASSERT_EQ(got.partners[e], want.partners[e]) << "row " << i;
+      ASSERT_EQ(got.counts[e], want.counts[e]) << "row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, LinkEngineInvariantTest,
+                         ::testing::Values(EngineCase{"hashed", &BuildHashed},
+                                           EngineCase{"packed", &BuildPacked}),
+                         [](const ::testing::TestParamInfo<EngineCase>& p) {
+                           return std::string(p.param.name);
+                         });
 
 // ------------------------------------------------------------------- fuzz --
 

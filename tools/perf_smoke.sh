@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # tools/perf_smoke.sh — CI's engine perf gates.
 #
-# Two gates, both comparing speedup *ratios* (never absolute seconds, so
+# Three gates, all comparing speedup *ratios* (never absolute seconds, so
 # the gate holds across machines) against checked-in baselines, failing on
 # a >25% regression of the geometric-mean ratio:
 #
@@ -13,6 +13,10 @@
 #      (packed bit-plane engine vs the scalar per-pair oracle, graphs
 #      verified identical); gates on the packed/scalar stage.neighbors
 #      speedup vs bench/baselines/BENCH_neighbors_smoke.json.
+#   3. link engines — bench_links_ablation --compare-engines (bit-plane
+#      popcount engine vs the Fig. 4 hashed-scatter oracle, frozen CSR
+#      rows verified byte-identical); gates on the packed/hashed
+#      stage.links speedup vs bench/baselines/BENCH_links_smoke.json.
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 #
@@ -20,7 +24,8 @@
 #   tools/perf_smoke.sh && \
 #     cp build/BENCH_rock_smoke.json bench/baselines/BENCH_rock_smoke.json && \
 #     cp build/BENCH_neighbors_smoke.json \
-#         bench/baselines/BENCH_neighbors_smoke.json
+#         bench/baselines/BENCH_neighbors_smoke.json && \
+#     cp build/BENCH_links_smoke.json bench/baselines/BENCH_links_smoke.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,9 +36,11 @@ BASELINE=bench/baselines/BENCH_rock_smoke.json
 REPORT="$BUILD_DIR/BENCH_rock_smoke.json"
 NBR_BASELINE=bench/baselines/BENCH_neighbors_smoke.json
 NBR_REPORT="$BUILD_DIR/BENCH_neighbors_smoke.json"
+LNK_BASELINE=bench/baselines/BENCH_links_smoke.json
+LNK_REPORT="$BUILD_DIR/BENCH_links_smoke.json"
 
 cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability \
-    bench_neighbors_ablation
+    bench_neighbors_ablation bench_links_ablation
 
 echo "=== perf-smoke: bench_fig5_scalability $SCALE --compare-engines ==="
 ROCK_BENCH_JSON="$REPORT" \
@@ -52,3 +59,14 @@ ROCK_BENCH_JSON="$NBR_REPORT" \
 echo "=== perf-smoke: gate vs $NBR_BASELINE ==="
 python3 tools/check_perf_regression.py "$NBR_REPORT" "$NBR_BASELINE" \
     --engines=packed,scalar --stage=stage.neighbors
+
+# Same best-of-3 discipline: the packed link stage finishes in single-digit
+# milliseconds at smoke scale.
+echo "=== perf-smoke: bench_links_ablation --compare-engines ==="
+ROCK_BENCH_JSON="$LNK_REPORT" \
+    "$BUILD_DIR/bench/bench_links_ablation" --compare-engines \
+    --scale=$SCALE --max-n=2000 --reps=3
+
+echo "=== perf-smoke: gate vs $LNK_BASELINE ==="
+python3 tools/check_perf_regression.py "$LNK_REPORT" "$LNK_BASELINE" \
+    --engines=packed,hashed --stage=stage.links
