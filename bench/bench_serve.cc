@@ -1,0 +1,214 @@
+// bench_serve — loopback QPS of the label server vs a direct single-thread
+// Assign loop, on the Figure-5 synthetic database.
+//
+// The build half samples and clusters the store exactly as `rock build`
+// does (sample_size 5000 at scale 1, θ = 0.73, k = 10 — the Fig. 5 model),
+// then every store row is pushed through both engines:
+//
+//   direct — one thread calling TransactionLabeler::Assign in a loop; the
+//            serve path can never beat physics, so this is the oracle the
+//            server's overhead is measured against.
+//   serve  — LabelServer loopback: Submit every row, drain the futures
+//            (worker pool + coalesced batches + promise round-trips).
+//
+// Both engines must produce bit-identical assignments (checked every run);
+// the serve_test suite carries the fine-grained differential.
+//
+// Usage: bench_serve [scale] [--min-qps=N] [--reps=K] [--threads=T]
+//   scale      — multiplies the generated database size (default 0.1)
+//   --min-qps  — fail (exit 1) if the serve engine's best rep sustains
+//                fewer queries/second; 0 = report only (default)
+//   --reps     — best-of-K timing per engine (default 3)
+//   --threads  — serve worker threads (default 0 = all cores)
+//
+// Writes the BENCH_rock.json perf report ($ROCK_BENCH_JSON); CI's fourth
+// perf-smoke gate compares the direct/serve stage.label_query ratio
+// against bench/baselines/BENCH_serve_smoke.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/labeling.h"
+#include "core/pipeline.h"
+#include "data/disk_store.h"
+#include "serve/model_handle.h"
+#include "serve/server.h"
+#include "synth/basket_generator.h"
+
+namespace {
+
+struct EngineRun {
+  double seconds = 0.0;  ///< best rep
+  double qps = 0.0;
+  std::vector<rock::ClusterIndex> assignments;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rock;
+  bench::Banner("serve loopback QPS — label server vs direct Assign");
+
+  double scale = 0.1;
+  double min_qps = 0.0;
+  int reps = 3;
+  size_t threads = 0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--min-qps=", 10) == 0) {
+      min_qps = std::atof(argv[a] + 10);
+    } else if (std::strncmp(argv[a], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[a] + 7);
+    } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoll(argv[a] + 10));
+    } else {
+      scale = std::atof(argv[a]);
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  BasketGeneratorOptions gen;
+  for (auto& s : gen.cluster_sizes) {
+    s = static_cast<size_t>(static_cast<double>(s) * scale);
+  }
+  gen.num_outliers =
+      static_cast<size_t>(static_cast<double>(gen.num_outliers) * scale);
+  auto ds = GenerateBasketData(gen);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string store_path = "bench_serve_store.bin";
+  if (Status s = WriteDatasetToStore(*ds, store_path); !s.ok()) {
+    std::fprintf(stderr, "store write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The Fig. 5 model: sample 5000, θ = 0.73, k = 10 (clamped at tiny
+  // smoke scales where the database is smaller than the sample).
+  ModelBuildOptions build;
+  build.pipeline.rock.theta = 0.73;
+  build.pipeline.rock.num_clusters = 10;
+  build.pipeline.rock.outlier_stop_multiple = 3.0;
+  build.pipeline.rock.min_cluster_support = 5;
+  build.pipeline.sample_size = 5000;
+  auto built = BuildModel(store_path, build);
+  if (!built.ok()) {
+    std::fprintf(stderr, "BuildModel failed: %s\n",
+                 built.status().ToString().c_str());
+    std::remove(store_path.c_str());
+    return 1;
+  }
+  const size_t sample_n = built->sample_rows.size();
+  std::printf("database: %zu transactions; model: sample=%zu clusters=%zu "
+              "(build %.2fs)\n",
+              ds->size(), sample_n, built->bundle.labeling_sets.size(),
+              built->cluster_seconds + built->build_seconds);
+  std::remove(store_path.c_str());
+
+  auto handle = ModelHandle::FromBundle(std::move(built->bundle));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "FromBundle failed: %s\n",
+                 handle.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t rows = ds->size();
+  EngineRun direct;
+  EngineRun serve;
+
+  // Engine "direct": the single-thread oracle.
+  {
+    TransactionLabeler::Scratch scratch;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<ClusterIndex> assignments(rows, kUnassigned);
+      Timer timer;
+      for (size_t i = 0; i < rows; ++i) {
+        assignments[i] =
+            handle->labeler().Assign(ds->transaction(i), &scratch, nullptr);
+      }
+      const double secs = timer.ElapsedSeconds();
+      if (rep == 0 || secs < direct.seconds) {
+        direct.seconds = secs;
+        direct.assignments = std::move(assignments);
+      }
+    }
+    direct.qps = static_cast<double>(rows) / direct.seconds;
+  }
+
+  // Engine "serve": the full loopback — admission, batching, futures.
+  for (int rep = 0; rep < reps; ++rep) {
+    ServeOptions options;
+    options.num_threads = threads;
+    options.max_batch = 64;
+    options.max_queue = rows + 1;  // admit the whole store
+    LabelServer server(&*handle, options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::vector<std::future<ClusterIndex>> futures;
+    futures.reserve(rows);
+    Timer timer;
+    for (size_t i = 0; i < rows; ++i) {
+      auto f = server.Submit(ds->transaction(i));
+      if (!f.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     f.status().ToString().c_str());
+        return 1;
+      }
+      futures.push_back(std::move(*f));
+    }
+    std::vector<ClusterIndex> assignments(rows, kUnassigned);
+    for (size_t i = 0; i < rows; ++i) assignments[i] = futures[i].get();
+    const double secs = timer.ElapsedSeconds();
+    server.Stop();
+    if (rep == 0 || secs < serve.seconds) {
+      serve.seconds = secs;
+      serve.assignments = std::move(assignments);
+    }
+  }
+  serve.qps = static_cast<double>(rows) / serve.seconds;
+
+  if (serve.assignments != direct.assignments) {
+    std::fprintf(stderr,
+                 "FATAL: served assignments differ from the direct loop\n");
+    return 1;
+  }
+
+  bench::Section("loopback results (best of reps)");
+  std::printf("%-8s %12s %14s\n", "engine", "seconds", "qps");
+  std::printf("%-8s %12.4f %14.0f\n", "direct", direct.seconds, direct.qps);
+  std::printf("%-8s %12.4f %14.0f\n", "serve", serve.seconds, serve.qps);
+  std::printf("serve/direct overhead: %.2fx\n",
+              direct.seconds > 0.0 ? serve.seconds / direct.seconds : 0.0);
+
+  bench::PerfJsonWriter perf("bench_serve");
+  char theta_str[16];
+  std::snprintf(theta_str, sizeof(theta_str), "%.2f", 0.73);
+  for (const auto* run : {&direct, &serve}) {
+    const bool is_serve = run == &serve;
+    perf.BeginEntry(std::string("n=") + std::to_string(sample_n) +
+                    " θ=0.73 " + (is_serve ? "serve" : "direct"));
+    perf.Param("n", std::to_string(sample_n));
+    perf.Param("theta", theta_str);
+    perf.Param("engine", is_serve ? "serve" : "direct");
+    perf.Timer("stage.label_query", run->seconds);
+    perf.Counter("serve.qps", static_cast<uint64_t>(run->qps));
+  }
+  perf.Write();
+
+  if (min_qps > 0.0 && serve.qps < min_qps) {
+    std::fprintf(stderr, "FAIL: serve sustained %.0f qps < required %.0f\n",
+                 serve.qps, min_qps);
+    return 1;
+  }
+  return 0;
+}

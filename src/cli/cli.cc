@@ -1,7 +1,9 @@
 #include "cli/cli.h"
 
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <map>
 #include <sstream>
 
@@ -23,6 +25,8 @@
 #include "eval/contingency.h"
 #include "eval/metrics.h"
 #include "eval/profiles.h"
+#include "serve/model_handle.h"
+#include "serve/server.h"
 #include "similarity/jaccard.h"
 #include "similarity/minhash.h"
 #include "synth/basket_generator.h"
@@ -643,11 +647,10 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   return 0;
 }
 
-int CmdPipeline(const std::vector<std::string>& args, std::string* out,
-                bool help_only) {
-  std::string store;
-  std::string assignments_path;
-  std::string metrics_json_path;
+// Sampling/clustering flags shared by `rock pipeline` and `rock build`.
+// One definition keeps the two halves' defaults identical — the serve ≡
+// pipeline differential only holds when both build the exact same model.
+struct PipelineFlagValues {
   double theta = 0.5;
   size_t k = 10;
   size_t sample_size = 2000;
@@ -659,11 +662,89 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   size_t row_chunk = 16;
   size_t label_threads = 1;
   int64_t seed = 42;
-  std::string checkpoint_path;
-  bool resume = false;
   std::string failpoints;
   std::string neighbor_engine = "packed";
   std::string link_engine = "packed";
+};
+
+void RegisterPipelineFlags(FlagSet& flags, PipelineFlagValues* v) {
+  flags.AddString("failpoints", &v->failpoints,
+                  "deterministic fault-injection schedule, e.g. "
+                  "'store.read=fire_on_hit_10:error' "
+                  "(docs/ROBUSTNESS.md; debug builds only)");
+  flags.AddSize("threads", &v->threads,
+                "worker threads for the neighbor/link phases "
+                "(0 = all cores; results are identical at any count)");
+  flags.AddSize("row-chunk", &v->row_chunk,
+                "rows claimed per parallel scheduling step "
+                "(with --threads > 1)");
+  flags.AddSize("label-threads", &v->label_threads,
+                "worker threads for the disk labeling phase "
+                "(0 = all cores; assignments are identical at any count)");
+  flags.AddString("neighbor-engine", &v->neighbor_engine,
+                  "packed | scalar neighbor-graph engine (graphs are "
+                  "identical, packed is faster)");
+  flags.AddString("link-engine", &v->link_engine,
+                  "packed | hashed link-count engine (link rows are "
+                  "identical, packed is faster)");
+  flags.AddSize("check-invariants", &v->check_invariants,
+                "validate merge bookkeeping every Nth merge (0 = off)");
+  flags.AddDouble("theta", &v->theta, "neighbor threshold θ");
+  flags.AddSize("k", &v->k, "desired number of clusters");
+  flags.AddSize("sample-size", &v->sample_size, "random sample size");
+  flags.AddDouble("labeling-fraction", &v->labeling_fraction,
+                  "fraction of each cluster used for labeling");
+  flags.AddDouble("stop-multiple", &v->stop_multiple,
+                  "outlier weeding pause multiple (0 = off)");
+  flags.AddSize("min-support", &v->min_support,
+                "weeding minimum cluster size");
+  flags.AddInt("seed", &v->seed, "sampling seed");
+}
+
+/// Transfers parsed flag values into PipelineOptions. Returns 0, or exit
+/// code 2 after rendering an error for an unknown engine name.
+int ApplyPipelineFlags(const PipelineFlagValues& v, PipelineOptions* opt,
+                       std::string* out) {
+  opt->rock.theta = v.theta;
+  opt->rock.num_clusters = v.k;
+  opt->rock.outlier_stop_multiple = v.stop_multiple;
+  opt->rock.min_cluster_support = v.min_support;
+  opt->rock.diag.invariant_check_every = v.check_invariants;
+  opt->rock.num_threads = v.threads;
+  opt->rock.row_chunk = v.row_chunk;
+  opt->rock.label_threads = v.label_threads;
+  if (v.neighbor_engine == "packed") {
+    opt->rock.neighbor_engine = NeighborEngineKind::kPacked;
+  } else if (v.neighbor_engine == "scalar") {
+    opt->rock.neighbor_engine = NeighborEngineKind::kScalar;
+  } else {
+    EmitStr(out,
+            "error: unknown --neighbor-engine '" + v.neighbor_engine + "'\n");
+    return 2;
+  }
+  if (v.link_engine == "packed") {
+    opt->rock.link_engine = LinkEngineKind::kPacked;
+  } else if (v.link_engine == "hashed") {
+    opt->rock.link_engine = LinkEngineKind::kHashed;
+  } else {
+    EmitStr(out, "error: unknown --link-engine '" + v.link_engine + "'\n");
+    return 2;
+  }
+  opt->sample_size = v.sample_size;
+  opt->labeling.fraction = v.labeling_fraction;
+  opt->seed = static_cast<uint64_t>(v.seed);
+  opt->rock.failpoints = v.failpoints;
+  return 0;
+}
+
+int CmdPipeline(const std::vector<std::string>& args, std::string* out,
+                bool help_only) {
+  std::string store;
+  std::string assignments_path;
+  std::string metrics_json_path;
+  std::string checkpoint_path;
+  bool resume = false;
+  PipelineFlagValues v;
 
   FlagSet flags;
   flags.AddString("store", &store, "transaction store file (see `rock gen`)");
@@ -673,40 +754,11 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   flags.AddBool("resume", &resume,
                 "resume from --checkpoint if it matches this run (a "
                 "missing or corrupt checkpoint restarts cleanly)");
-  flags.AddString("failpoints", &failpoints,
-                  "deterministic fault-injection schedule, e.g. "
-                  "'store.read=fire_on_hit_10:error' "
-                  "(docs/ROBUSTNESS.md; debug builds only)");
-  flags.AddSize("threads", &threads,
-                "worker threads for the neighbor/link phases "
-                "(0 = all cores; results are identical at any count)");
-  flags.AddSize("row-chunk", &row_chunk,
-                "rows claimed per parallel scheduling step "
-                "(with --threads > 1)");
-  flags.AddSize("label-threads", &label_threads,
-                "worker threads for the disk labeling phase "
-                "(0 = all cores; assignments are identical at any count)");
-  flags.AddString("neighbor-engine", &neighbor_engine,
-                  "packed | scalar neighbor-graph engine (graphs are "
-                  "identical, packed is faster)");
-  flags.AddString("link-engine", &link_engine,
-                  "packed | hashed link-count engine (link rows are "
-                  "identical, packed is faster)");
   flags.AddString("assignments", &assignments_path,
                   "write row,cluster CSV here");
   flags.AddString("metrics-json", &metrics_json_path,
                   "write the per-stage metrics report (JSON) here");
-  flags.AddSize("check-invariants", &check_invariants,
-                "validate merge bookkeeping every Nth merge (0 = off)");
-  flags.AddDouble("theta", &theta, "neighbor threshold θ");
-  flags.AddSize("k", &k, "desired number of clusters");
-  flags.AddSize("sample-size", &sample_size, "random sample size");
-  flags.AddDouble("labeling-fraction", &labeling_fraction,
-                  "fraction of each cluster used for labeling");
-  flags.AddDouble("stop-multiple", &stop_multiple,
-                  "outlier weeding pause multiple (0 = off)");
-  flags.AddSize("min-support", &min_support, "weeding minimum cluster size");
-  flags.AddInt("seed", &seed, "sampling seed");
+  RegisterPipelineFlags(flags, &v);
   if (help_only) {
     EmitStr(out,
             "rock pipeline — disk-backed sample/cluster/label\n" +
@@ -727,35 +779,9 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   }
 
   PipelineOptions opt;
-  opt.rock.theta = theta;
-  opt.rock.num_clusters = k;
-  opt.rock.outlier_stop_multiple = stop_multiple;
-  opt.rock.min_cluster_support = min_support;
-  opt.rock.diag.invariant_check_every = check_invariants;
-  opt.rock.num_threads = threads;
-  opt.rock.row_chunk = row_chunk;
-  opt.rock.label_threads = label_threads;
-  if (neighbor_engine == "packed") {
-    opt.rock.neighbor_engine = NeighborEngineKind::kPacked;
-  } else if (neighbor_engine == "scalar") {
-    opt.rock.neighbor_engine = NeighborEngineKind::kScalar;
-  } else {
-    EmitStr(out,
-            "error: unknown --neighbor-engine '" + neighbor_engine + "'\n");
-    return 2;
+  if (int code = ApplyPipelineFlags(v, &opt, out); code != 0) {
+    return code;
   }
-  if (link_engine == "packed") {
-    opt.rock.link_engine = LinkEngineKind::kPacked;
-  } else if (link_engine == "hashed") {
-    opt.rock.link_engine = LinkEngineKind::kHashed;
-  } else {
-    EmitStr(out, "error: unknown --link-engine '" + link_engine + "'\n");
-    return 2;
-  }
-  opt.sample_size = sample_size;
-  opt.labeling.fraction = labeling_fraction;
-  opt.seed = static_cast<uint64_t>(seed);
-  opt.rock.failpoints = failpoints;
   opt.checkpoint_path = checkpoint_path;
   opt.resume = resume;
   auto result = RunRockPipeline(store, opt);
@@ -827,6 +853,285 @@ int CmdPipeline(const std::vector<std::string>& args, std::string* out,
   return 0;
 }
 
+
+int CmdBuild(const std::vector<std::string>& args, std::string* out,
+             bool help_only) {
+  std::string store;
+  std::string model_path;
+  std::string metrics_json_path;
+  PipelineFlagValues v;
+
+  FlagSet flags;
+  flags.AddString("store", &store, "transaction store file (see `rock gen`)");
+  flags.AddString("model", &model_path,
+                  "write the model bundle here (versioned + CRC'd; "
+                  "see docs/DESIGN.md)");
+  flags.AddString("metrics-json", &metrics_json_path,
+                  "write the per-stage metrics report (JSON) here");
+  RegisterPipelineFlags(flags, &v);
+  if (help_only) {
+    EmitStr(out,
+            "rock build — sample + cluster a store into a servable model "
+            "bundle\n" +
+                flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (store.empty()) {
+    EmitStr(out, "error: --store is required\n");
+    return 2;
+  }
+  if (model_path.empty()) {
+    EmitStr(out, "error: --model is required\n");
+    return 2;
+  }
+
+  ModelBuildOptions opt;
+  if (int code = ApplyPipelineFlags(v, &opt.pipeline, out); code != 0) {
+    return code;
+  }
+  opt.model_path = model_path;
+  auto result = BuildModel(store, opt);
+  if (!result.ok()) {
+    EmitStr(out, "error: " + result.status().ToString() + "\n");
+    return 1;
+  }
+  size_t labeling_points = 0;
+  for (const auto& set : result->bundle.labeling_sets) {
+    labeling_points += set.size();
+  }
+  Emit(out,
+       "build: sample=%zu clusters=%zu labeling-points=%zu "
+       "(sample %.2fs, cluster %.2fs, build %.2fs)\n",
+       result->sample_rows.size(), result->bundle.labeling_sets.size(),
+       labeling_points, result->sample_seconds, result->cluster_seconds,
+       result->build_seconds);
+  Emit(out, "model written to %s\n", model_path.c_str());
+  if (!metrics_json_path.empty()) {
+    if (Status s =
+            WriteMetricsJson(metrics_json_path, result->metrics, "build");
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "metrics written to %s\n", metrics_json_path.c_str());
+  }
+  return 0;
+}
+
+int CmdServe(const std::vector<std::string>& args, std::string* out,
+             bool help_only, std::istream* stream_in,
+             std::ostream* stream_out) {
+  std::string model_path;
+  std::string metrics_json_path;
+  size_t threads = 1;
+  size_t max_batch = 64;
+  size_t max_queue = 4096;
+
+  FlagSet flags;
+  flags.AddString("model", &model_path, "model bundle (see `rock build`)");
+  flags.AddSize("threads", &threads,
+                "labeling worker threads (0 = all cores)");
+  flags.AddSize("max-batch", &max_batch,
+                "most queries a worker coalesces per wake-up");
+  flags.AddSize("max-queue", &max_queue,
+                "admission bound: queries queued beyond this are rejected");
+  flags.AddString("metrics-json", &metrics_json_path,
+                  "write the serve.* metrics report (JSON) here on exit");
+  if (help_only) {
+    EmitStr(out,
+            "rock serve — answer cluster-assignment queries over "
+            "stdin/stdout\n"
+            "one whitespace-separated item query per line; one decimal "
+            "cluster index per answer (-1 = outlier); blank and '#' lines "
+            "are skipped\n" +
+                flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (model_path.empty()) {
+    EmitStr(out, "error: --model is required\n");
+    return 2;
+  }
+  if (stream_in == nullptr || stream_out == nullptr) {
+    EmitStr(out, "error: serve needs an input/output stream\n");
+    return 2;
+  }
+
+  auto model = ModelHandle::Load(model_path);
+  if (!model.ok()) {
+    EmitStr(out, "error: " + model.status().ToString() + "\n");
+    return 1;
+  }
+
+  diag::MetricsRegistry registry;
+  ServeOptions serve_options;
+  serve_options.num_threads = threads;
+  serve_options.max_batch = max_batch;
+  serve_options.max_queue = max_queue;
+  serve_options.metrics = &registry;
+  if (Status s = ServeLines(*model, serve_options, *stream_in, *stream_out);
+      !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n");
+    return 1;
+  }
+  // Protocol answers went to the stream; keep *out clean so piping
+  // `rock serve < queries > answers` yields answers only.
+  if (!metrics_json_path.empty()) {
+    if (Status s =
+            WriteMetricsJson(metrics_json_path, registry.Snapshot(), "serve");
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args, std::string* out,
+             bool help_only) {
+  std::string model_path;
+  std::string from_store;
+  std::string assignments_path;
+  size_t threads = 1;
+  size_t max_batch = 64;
+  size_t max_queue = 4096;
+
+  FlagSet flags;
+  flags.AddString("model", &model_path, "model bundle (see `rock build`)");
+  flags.AddString("from-store", &from_store,
+                  "label every row of this store through the server and "
+                  "write --assignments");
+  flags.AddString("assignments", &assignments_path,
+                  "write row,cluster CSV here (with --from-store; same "
+                  "format as `rock pipeline --assignments`)");
+  flags.AddSize("threads", &threads,
+                "labeling worker threads (0 = all cores)");
+  flags.AddSize("max-batch", &max_batch,
+                "most queries a worker coalesces per wake-up");
+  flags.AddSize("max-queue", &max_queue, "admission bound");
+  if (help_only) {
+    EmitStr(out,
+            "rock query — one-shot cluster assignment from a model\n"
+            "usage: rock query --model=M item1 item2 …   (one query)\n"
+            "       rock query --model=M --from-store=S --assignments=F\n" +
+                flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (model_path.empty()) {
+    EmitStr(out, "error: --model is required\n");
+    return 2;
+  }
+
+  auto model = ModelHandle::Load(model_path);
+  if (!model.ok()) {
+    EmitStr(out, "error: " + model.status().ToString() + "\n");
+    return 1;
+  }
+
+  if (from_store.empty()) {
+    // One-shot: the positional tokens are one query.
+    if (flags.positional().empty()) {
+      EmitStr(out, "error: give item tokens, or --from-store\n");
+      return 2;
+    }
+    std::string line;
+    for (const std::string& token : flags.positional()) {
+      if (!line.empty()) line += ' ';
+      line += token;
+    }
+    auto tx = model->ParseQuery(line);
+    if (!tx.ok()) {
+      EmitStr(out, "error: " + tx.status().ToString() + "\n");
+      return 1;
+    }
+    const ClusterIndex cluster = model->labeler().Assign(*tx);
+    Emit(out, "%d\n", cluster);
+    return 0;
+  }
+
+  if (assignments_path.empty()) {
+    EmitStr(out, "error: --from-store requires --assignments\n");
+    return 2;
+  }
+
+  // Stream every store row through the server, preserving row order via
+  // the future window — the CSV must be byte-identical to what
+  // `rock pipeline --assignments` writes for the same store and model
+  // parameters (the serve ≡ pipeline differential in tools/tier1.sh).
+  auto reader = TransactionStoreReader::Open(from_store);
+  if (!reader.ok()) {
+    EmitStr(out, "error: " + reader.status().ToString() + "\n");
+    return 1;
+  }
+
+  ServeOptions serve_options;
+  serve_options.num_threads = threads;
+  serve_options.max_batch = max_batch;
+  serve_options.max_queue = max_queue;
+  LabelServer server(&*model, serve_options);
+  if (Status s = server.Start(); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n");
+    return 1;
+  }
+
+  std::vector<ClusterIndex> assignments;
+  assignments.reserve(static_cast<size_t>(reader->count()));
+  std::deque<std::future<ClusterIndex>> window;
+  const size_t high_water = std::max<size_t>(1, serve_options.max_queue);
+  while (reader->Next()) {
+    while (true) {
+      auto future = server.Submit(reader->transaction());
+      if (future.ok()) {
+        window.push_back(std::move(*future));
+        break;
+      }
+      if (window.empty()) {
+        EmitStr(out, "error: " + future.status().ToString() + "\n");
+        return 1;
+      }
+      assignments.push_back(window.front().get());
+      window.pop_front();
+    }
+    while (window.size() > high_water) {
+      assignments.push_back(window.front().get());
+      window.pop_front();
+    }
+  }
+  if (!reader->status().ok()) {
+    EmitStr(out, "error: " + reader->status().ToString() + "\n");
+    return 1;
+  }
+  while (!window.empty()) {
+    assignments.push_back(window.front().get());
+    window.pop_front();
+  }
+  server.Stop();
+
+  if (Status s = WriteAssignments(assignments_path, assignments); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n");
+    return 1;
+  }
+  const LabelServer::Stats stats = server.stats();
+  Emit(out,
+       "query: %zu rows served in %zu batches (fill %.1f), "
+       "%llu outliers, %.0f qps\n",
+       assignments.size(), static_cast<size_t>(stats.batches),
+       stats.batch_fill, static_cast<unsigned long long>(stats.outliers),
+       stats.qps);
+  Emit(out, "assignments written to %s\n", assignments_path.c_str());
+  return 0;
+}
 
 int CmdSweep(const std::vector<std::string>& args, std::string* out,
              bool help_only) {
@@ -909,6 +1214,9 @@ const char kUsage[] =
     "  gen       generate a synthetic data set (basket/votes/mushroom/funds)\n"
     "  cluster   cluster a csv / basket / store file (rock or baselines)\n"
     "  pipeline  disk pipeline: sample -> cluster -> label a store file\n"
+    "  build     sample + cluster a store into a servable model bundle\n"
+    "  serve     answer cluster queries over stdin/stdout from a model\n"
+    "  query     one-shot cluster assignment (or label a whole store)\n"
     "  sweep     run ROCK across a theta grid and tabulate the outcomes\n"
     "  help      show this message\n"
     "\n"
@@ -916,7 +1224,8 @@ const char kUsage[] =
 
 }  // namespace
 
-int RunCli(const std::vector<std::string>& args, std::string* out) {
+int RunCli(const std::vector<std::string>& args, std::string* out,
+           std::istream* stream_in, std::ostream* stream_out) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     EmitStr(out, kUsage);
     return args.empty() ? 2 : 0;
@@ -935,11 +1244,24 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
   if (command == "pipeline") {
     return CmdPipeline(rest, out, wants_help);
   }
+  if (command == "build") {
+    return CmdBuild(rest, out, wants_help);
+  }
+  if (command == "serve") {
+    return CmdServe(rest, out, wants_help, stream_in, stream_out);
+  }
+  if (command == "query") {
+    return CmdQuery(rest, out, wants_help);
+  }
   if (command == "sweep") {
     return CmdSweep(rest, out, wants_help);
   }
   EmitStr(out, "error: unknown command '" + command + "'\n\n" + kUsage);
   return 2;
+}
+
+int RunCli(const std::vector<std::string>& args, std::string* out) {
+  return RunCli(args, out, nullptr, nullptr);
 }
 
 }  // namespace rock

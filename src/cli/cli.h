@@ -8,11 +8,15 @@
 //   rock gen       --dataset=basket|votes|mushroom|funds --out=FILE …
 //   rock cluster   --input=FILE --format=csv|basket [--algo=…] …
 //   rock pipeline  --store=FILE --sample-size=N …
+//   rock build     --store=FILE --model=FILE …
+//   rock serve     --model=FILE [--threads=N --max-batch=B --max-queue=Q]
+//   rock query     --model=FILE item… | --from-store=F --assignments=OUT
 //   rock help [subcommand]
 
 #ifndef ROCK_CLI_CLI_H_
 #define ROCK_CLI_CLI_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,6 +25,13 @@ namespace rock {
 /// Runs one CLI invocation. `args` excludes the program name. All console
 /// output (stdout-style) is appended to *out; errors are also rendered
 /// there. Returns the process exit code (0 = success).
+///
+/// `stream_in`/`stream_out` carry the `rock serve` line protocol (queries
+/// in, answers out) so protocol traffic never mixes with *out. Commands
+/// that need them fail with exit code 2 when they are null. The two-arg
+/// overload passes null streams — fine for every other command.
+int RunCli(const std::vector<std::string>& args, std::string* out,
+           std::istream* stream_in, std::ostream* stream_out);
 int RunCli(const std::vector<std::string>& args, std::string* out);
 
 }  // namespace rock

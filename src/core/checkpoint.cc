@@ -1,9 +1,8 @@
 #include "core/checkpoint.h"
 
 #include <cstdio>
-#include <cstring>
-#include <memory>
 
+#include "util/bytes.h"
 #include "util/checksum.h"
 #include "util/failpoint.h"
 
@@ -22,42 +21,7 @@ constexpr size_t kHeaderSize =
 constexpr uint64_t kMaxCheckpointRows = 1ull << 40;
 constexpr uint64_t kMaxCheckpointItems = 1u << 24;
 
-/// Appends POD fields to an in-memory payload buffer.
-struct ByteWriter {
-  std::vector<uint8_t> buf;
-
-  void Write(const void* data, size_t n) {
-    const uint8_t* p = static_cast<const uint8_t*>(data);
-    buf.insert(buf.end(), p, p + n);
-  }
-  template <typename T>
-  void Pod(const T& v) {
-    Write(&v, sizeof(v));
-  }
-};
-
-/// Bounds-checked reader over the payload buffer. Every overrun is the
-/// same Corruption — a truncated or tampered payload.
-struct ByteReader {
-  const uint8_t* data;
-  size_t size;
-  size_t pos = 0;
-
-  Status Read(void* out, size_t n) {
-    if (n > size - pos) {
-      return Status::Corruption("truncated checkpoint payload");
-    }
-    std::memcpy(out, data + pos, n);
-    pos += n;
-    return Status::OK();
-  }
-  template <typename T>
-  Status Pod(T* out) {
-    return Read(out, sizeof(*out));
-  }
-  /// Remaining bytes — used to sanity-check counts before allocating.
-  size_t Remaining() const { return size - pos; }
-};
+constexpr char kReaderContext[] = "checkpoint payload";
 
 void WriteFingerprint(ByteWriter& w, const CheckpointFingerprint& fp) {
   w.Pod(fp.store_count);
@@ -187,7 +151,7 @@ std::vector<uint8_t> SerializePayload(const PipelineCheckpoint& cp) {
 }
 
 Status ParsePayload(const uint8_t* data, size_t size, PipelineCheckpoint* cp) {
-  ByteReader r{data, size};
+  ByteReader r{data, size, 0, kReaderContext};
   ROCK_RETURN_IF_ERROR(ReadFingerprint(r, &cp->fingerprint));
 
   uint64_t count = 0;
@@ -330,22 +294,6 @@ Status ParsePayload(const uint8_t* data, size_t size, PipelineCheckpoint* cp) {
   return Status::OK();
 }
 
-Status WriteFileBytes(const std::string& path, const uint8_t* data,
-                      size_t n) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (file == nullptr) {
-    return Status::IOError("cannot create '" + path + "'");
-  }
-  if (n > 0 && std::fwrite(data, 1, n, file.get()) != n) {
-    return Status::IOError("short write to '" + path + "'");
-  }
-  if (std::fflush(file.get()) != 0) {
-    return Status::IOError("flush failure on '" + path + "'");
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
 Status SaveCheckpoint(const PipelineCheckpoint& checkpoint,
@@ -390,32 +338,14 @@ Status SaveCheckpoint(const PipelineCheckpoint& checkpoint,
 
 Result<PipelineCheckpoint> LoadCheckpoint(const std::string& path) {
   ROCK_RETURN_IF_ERROR(fail::ConsultRead("checkpoint.load"));
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (file == nullptr) {
-    return Status::IOError("cannot open '" + path + "'");
-  }
-  std::FILE* f = file.get();
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failure on '" + path + "'");
-  }
-  const long end = std::ftell(f);
-  if (end < 0) {
-    return Status::IOError("tell failure on '" + path + "'");
-  }
-  if (std::fseek(f, 0, SEEK_SET) != 0) {
-    return Status::IOError("seek failure on '" + path + "'");
-  }
-  std::vector<uint8_t> bytes(static_cast<size_t>(end));
-  if (!bytes.empty() &&
-      std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-    return Status::IOError("read failure on '" + path + "'");
-  }
+  Result<std::vector<uint8_t>> bytes_or = ReadFileBytes(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t> bytes = std::move(bytes_or).value();
 
   if (bytes.size() < kHeaderSize) {
     return Status::Corruption("checkpoint file '" + path + "' is truncated");
   }
-  ByteReader header{bytes.data(), kHeaderSize};
+  ByteReader header{bytes.data(), kHeaderSize, 0, kReaderContext};
   uint64_t magic = 0;
   uint32_t version = 0;
   uint64_t payload_size = 0;

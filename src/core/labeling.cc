@@ -53,6 +53,24 @@ Result<TransactionLabeler> TransactionLabeler::Build(
   return labeler;
 }
 
+Result<TransactionLabeler> TransactionLabeler::FromParts(
+    double theta, double f_exponent,
+    std::vector<std::vector<Transaction>> sets) {
+  // Same plausibility gate as Load(): NaN-safe range checks.
+  if (!(theta >= 0.0 && theta <= 1.0) || !(f_exponent >= 0.0)) {
+    return Status::InvalidArgument("implausible labeler parameters");
+  }
+  TransactionLabeler labeler(theta, f_exponent);
+  labeler.sets_ = std::move(sets);
+  labeler.normalizers_.resize(labeler.sets_.size());
+  for (size_t c = 0; c < labeler.sets_.size(); ++c) {
+    labeler.normalizers_[c] = std::pow(
+        static_cast<double>(labeler.sets_[c].size()) + 1.0, f_exponent);
+  }
+  labeler.BuildIndex();
+  return labeler;
+}
+
 void TransactionLabeler::BuildIndex() {
   item_to_points_.clear();
   point_cluster_.clear();

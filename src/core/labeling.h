@@ -123,6 +123,25 @@ class TransactionLabeler {
   /// same dictionary as the store being labeled (as with Build()).
   static Result<TransactionLabeler> Load(const std::string& path);
 
+  /// Reassembles a labeler from already-validated parts: θ, the
+  /// normalization exponent f(θ), and the labeling sets L_i. Recomputes the
+  /// normalizers and the inverted index, so a labeler round-tripped through
+  /// any serialization (labeler file, model bundle) assigns bit-identically
+  /// to the original. Rejects non-finite or out-of-range parameters the
+  /// same way Load() does.
+  static Result<TransactionLabeler> FromParts(
+      double theta, double f_exponent,
+      std::vector<std::vector<Transaction>> sets);
+
+  /// Neighbor threshold θ the labeler was built with.
+  double theta() const { return theta_; }
+  /// Normalization exponent f(θ).
+  double f_exponent() const { return f_exponent_; }
+  /// Labeling set L_i (for serialization; treat as read-only).
+  const std::vector<Transaction>& labeling_set(size_t i) const {
+    return sets_[i];
+  }
+
  private:
   TransactionLabeler(double theta, double exponent)
       : theta_(theta), f_exponent_(exponent) {}

@@ -1,0 +1,231 @@
+#include "core/model_bundle.h"
+
+#include <cstdio>
+
+#include "util/bytes.h"
+#include "util/checksum.h"
+#include "util/failpoint.h"
+
+namespace rock {
+
+namespace {
+
+constexpr uint64_t kModelMagic = 0x524f434b4d4f444cULL;  // "ROCKMODL"
+constexpr uint32_t kModelVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kModelMagic) + sizeof(kModelVersion) +
+                               sizeof(uint64_t) + sizeof(uint32_t);
+
+// Caps on serialized counts: anything beyond these is a corrupt length
+// field, not data, and must not turn into an allocation.
+constexpr uint64_t kMaxModelClusters = 1u << 24;
+constexpr uint64_t kMaxModelSetSize = 1u << 28;
+constexpr uint64_t kMaxModelItems = 1u << 24;
+constexpr uint64_t kMaxModelDictEntries = 1u << 24;
+constexpr uint64_t kMaxModelNameLength = 1u << 16;
+
+constexpr char kReaderContext[] = "model-bundle payload";
+
+std::vector<uint8_t> SerializePayload(const ModelBundle& b) {
+  ByteWriter w;
+  const CheckpointFingerprint& fp = b.fingerprint;
+  w.Pod(fp.store_count);
+  w.Pod(fp.theta);
+  w.Pod(fp.num_clusters);
+  w.Pod(fp.min_neighbors);
+  w.Pod(fp.outlier_stop_multiple);
+  w.Pod(fp.min_cluster_support);
+  w.Pod(fp.sample_size);
+  w.Pod(fp.sample_seed);
+  w.Pod(fp.labeling_fraction);
+  w.Pod(fp.min_labeling_points);
+  w.Pod(fp.labeling_seed);
+
+  w.Pod(b.theta);
+  w.Pod(b.f_exponent);
+
+  w.Pod(static_cast<uint64_t>(b.labeling_sets.size()));
+  for (const auto& set : b.labeling_sets) {
+    w.Pod(static_cast<uint64_t>(set.size()));
+    for (const Transaction& tx : set) {
+      w.Pod(static_cast<uint32_t>(tx.size()));
+      if (!tx.empty()) {
+        w.Write(tx.items().data(), tx.size() * sizeof(ItemId));
+      }
+    }
+  }
+
+  w.Pod(static_cast<uint64_t>(b.dictionary.size()));
+  for (const std::string& name : b.dictionary) {
+    w.Pod(static_cast<uint32_t>(name.size()));
+    if (!name.empty()) {
+      w.Write(name.data(), name.size());
+    }
+  }
+  return std::move(w.buf);
+}
+
+Status ParsePayload(const uint8_t* data, size_t size, ModelBundle* b) {
+  ByteReader r{data, size, 0, kReaderContext};
+  CheckpointFingerprint& fp = b->fingerprint;
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.store_count));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.theta));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.num_clusters));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.min_neighbors));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.outlier_stop_multiple));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.min_cluster_support));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.sample_size));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.sample_seed));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.labeling_fraction));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.min_labeling_points));
+  ROCK_RETURN_IF_ERROR(r.Pod(&fp.labeling_seed));
+
+  ROCK_RETURN_IF_ERROR(r.Pod(&b->theta));
+  ROCK_RETURN_IF_ERROR(r.Pod(&b->f_exponent));
+  // NaN-safe plausibility gate, as in TransactionLabeler::Load.
+  if (!(b->theta >= 0.0 && b->theta <= 1.0) || !(b->f_exponent >= 0.0)) {
+    return Status::Corruption("implausible model parameters");
+  }
+
+  uint64_t num_clusters = 0;
+  ROCK_RETURN_IF_ERROR(r.Pod(&num_clusters));
+  if (num_clusters > kMaxModelClusters || num_clusters > r.Remaining()) {
+    return Status::Corruption("implausible model cluster count");
+  }
+  b->labeling_sets.clear();
+  b->labeling_sets.resize(static_cast<size_t>(num_clusters));
+  for (auto& set : b->labeling_sets) {
+    uint64_t set_size = 0;
+    ROCK_RETURN_IF_ERROR(r.Pod(&set_size));
+    if (set_size > kMaxModelSetSize || set_size > r.Remaining()) {
+      return Status::Corruption("implausible model labeling-set size");
+    }
+    set.reserve(static_cast<size_t>(set_size));
+    for (uint64_t t = 0; t < set_size; ++t) {
+      uint32_t n = 0;
+      ROCK_RETURN_IF_ERROR(r.Pod(&n));
+      if (n > kMaxModelItems ||
+          static_cast<size_t>(n) * sizeof(ItemId) > r.Remaining()) {
+        return Status::Corruption("implausible model transaction length");
+      }
+      std::vector<ItemId> items(n);
+      if (n > 0) {
+        ROCK_RETURN_IF_ERROR(
+            r.Read(items.data(), static_cast<size_t>(n) * sizeof(ItemId)));
+      }
+      set.emplace_back(std::move(items));
+    }
+  }
+
+  uint64_t dict_size = 0;
+  ROCK_RETURN_IF_ERROR(r.Pod(&dict_size));
+  if (dict_size > kMaxModelDictEntries || dict_size > r.Remaining()) {
+    return Status::Corruption("implausible model dictionary size");
+  }
+  b->dictionary.clear();
+  b->dictionary.resize(static_cast<size_t>(dict_size));
+  for (std::string& name : b->dictionary) {
+    uint32_t len = 0;
+    ROCK_RETURN_IF_ERROR(r.Pod(&len));
+    if (len > kMaxModelNameLength || len > r.Remaining()) {
+      return Status::Corruption("implausible model dictionary entry");
+    }
+    name.resize(len);
+    if (len > 0) {
+      ROCK_RETURN_IF_ERROR(r.Read(name.data(), len));
+    }
+  }
+
+  if (r.Remaining() != 0) {
+    return Status::Corruption("trailing bytes after model-bundle payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveModelBundle(const ModelBundle& bundle, const std::string& path) {
+  // Symmetric with the load-side plausibility gate: a bundle we would
+  // refuse to load must never reach disk in the first place.
+  if (!(bundle.theta >= 0.0 && bundle.theta <= 1.0) ||
+      !(bundle.f_exponent >= 0.0)) {
+    return Status::InvalidArgument("implausible model parameters");
+  }
+  const std::vector<uint8_t> payload = SerializePayload(bundle);
+
+  ByteWriter file;
+  file.buf.reserve(kHeaderSize + payload.size());
+  file.Pod(kModelMagic);
+  file.Pod(kModelVersion);
+  file.Pod(static_cast<uint64_t>(payload.size()));
+  file.Pod(Crc32(payload.data(), payload.size()));
+  file.Write(payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  switch (fail::Consult("model.save")) {
+    case fail::Action::kNone:
+      break;
+    case fail::Action::kTornWrite:
+      // A filesystem without atomic rename tearing the bundle: half the
+      // bytes land at the *final* path.
+      ROCK_RETURN_IF_ERROR(
+          WriteFileBytes(path, file.buf.data(), file.buf.size() / 2));
+      return fail::InjectedError("model.save");
+    case fail::Action::kCrash:
+      // Death between writing the tmp file and renaming it.
+      ROCK_RETURN_IF_ERROR(
+          WriteFileBytes(tmp, file.buf.data(), file.buf.size()));
+      return fail::InjectedCrash("model.save");
+    case fail::Action::kError:
+    case fail::Action::kShortRead:
+      return fail::InjectedError("model.save");
+  }
+
+  ROCK_RETURN_IF_ERROR(WriteFileBytes(tmp, file.buf.data(), file.buf.size()));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<ModelBundle> LoadModelBundle(const std::string& path) {
+  ROCK_RETURN_IF_ERROR(fail::ConsultRead("model.load"));
+  Result<std::vector<uint8_t>> bytes_or = ReadFileBytes(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t> bytes = std::move(bytes_or).value();
+
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("model bundle '" + path + "' is truncated");
+  }
+  ByteReader header{bytes.data(), kHeaderSize, 0, kReaderContext};
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t expected_crc = 0;
+  ROCK_RETURN_IF_ERROR(header.Pod(&magic));
+  if (magic != kModelMagic) {
+    return Status::Corruption("'" + path + "' is not a model bundle");
+  }
+  ROCK_RETURN_IF_ERROR(header.Pod(&version));
+  if (version != kModelVersion) {
+    return Status::Corruption("unsupported model-bundle version " +
+                              std::to_string(version));
+  }
+  ROCK_RETURN_IF_ERROR(header.Pod(&payload_size));
+  ROCK_RETURN_IF_ERROR(header.Pod(&expected_crc));
+  if (payload_size != bytes.size() - kHeaderSize) {
+    return Status::Corruption("model bundle '" + path +
+                              "' payload size mismatch (torn write)");
+  }
+  const uint8_t* payload = bytes.data() + kHeaderSize;
+  if (Crc32(payload, static_cast<size_t>(payload_size)) != expected_crc) {
+    return Status::Corruption("model bundle '" + path +
+                              "' checksum mismatch (bit rot or torn write)");
+  }
+
+  ModelBundle bundle;
+  ROCK_RETURN_IF_ERROR(
+      ParsePayload(payload, static_cast<size_t>(payload_size), &bundle));
+  return bundle;
+}
+
+}  // namespace rock

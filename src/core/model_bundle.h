@@ -1,0 +1,76 @@
+// librock — core/model_bundle.h
+//
+// The serve-side artifact of the build/serve split (docs/DESIGN.md §9):
+// everything a label server needs to answer "which cluster is this
+// transaction?" without re-clustering — the labeling sets L_i, θ, the
+// normalization exponent f(θ), the item dictionary, and the fingerprint of
+// the run that produced them. `rock build` writes one; `rock serve` /
+// `rock query` load it once and answer queries via the §4.6 ScanCount
+// labeler.
+//
+// File format (little-endian), same header discipline as the pipeline
+// checkpoint and the stores:
+//   [u64 magic "ROCKMODL"][u32 version][u64 payload_size][u32 crc32]
+//   payload_size × u8 payload
+// `crc32` covers the payload. The payload is:
+//   fingerprint (the 11 CheckpointFingerprint fields, checkpoint order)
+//   f64 theta, f64 f_exponent
+//   u64 num_clusters; per cluster: u64 set_size;
+//       per transaction: u32 n, n × u32 item ids
+//   u64 dict_size; per entry: u32 len, len × u8 name bytes
+// An empty dictionary is legal — stores persist only item ids, so bundles
+// built straight from a store answer queries in id-mode (queries are
+// numeric item ids, not names).
+//
+// Writes are atomic-by-rename ("<path>.tmp" then rename) and consult the
+// "model.save" failpoint site with the same torn_write / crash shapes as
+// "pipeline.checkpoint"; loads consult "model.load". Wrong magic/version,
+// truncation, trailing bytes, checksum mismatches and implausible counts
+// are all Corruption — a damaged bundle is refused, never served.
+
+#ifndef ROCK_CORE_MODEL_BUNDLE_H_
+#define ROCK_CORE_MODEL_BUNDLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "data/transaction.h"
+
+namespace rock {
+
+/// A persisted clustered model: the output of BuildModel, the input of the
+/// serve layer.
+struct ModelBundle {
+  /// Identity of the build run (store count, θ, k, seeds, sampling setup).
+  /// Lets a server refuse a bundle built against a different store than
+  /// the one it is asked to cross-check against.
+  CheckpointFingerprint fingerprint;
+
+  /// Neighbor threshold θ and normalization exponent f(θ) the labeling
+  /// sets were built with.
+  double theta = 0.0;
+  double f_exponent = 0.0;
+
+  /// Labeling sets L_i, one per cluster (paper §4.6).
+  std::vector<std::vector<Transaction>> labeling_sets;
+
+  /// Item id → name, from the dataset dictionary when the model was built
+  /// from an in-memory dataset. Empty when built from a bare store (stores
+  /// persist ids only) — queries are then numeric ids.
+  std::vector<std::string> dictionary;
+};
+
+/// Atomically writes `bundle` to `path` (tmp + rename). Consults the
+/// "model.save" failpoint site.
+Status SaveModelBundle(const ModelBundle& bundle, const std::string& path);
+
+/// Reads and validates a bundle. Missing file → IOError; wrong
+/// magic/version, truncation, trailing bytes, checksum mismatch, or any
+/// implausible payload field → Corruption. Consults "model.load".
+Result<ModelBundle> LoadModelBundle(const std::string& path);
+
+}  // namespace rock
+
+#endif  // ROCK_CORE_MODEL_BUNDLE_H_

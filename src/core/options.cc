@@ -20,7 +20,9 @@ Status RockOptions::Validate() const {
   if (!(fv >= 0.0)) {
     return Status::InvalidArgument("f(theta) must be non-negative");
   }
-  if (outlier_stop_multiple < 0.0) {
+  // Negated-comparison form so a NaN (which fails every ordered compare)
+  // is rejected here rather than slipping past both range checks.
+  if (!(outlier_stop_multiple >= 0.0)) {
     return Status::InvalidArgument("outlier_stop_multiple must be >= 0");
   }
   if (outlier_stop_multiple > 0.0 && outlier_stop_multiple < 1.0) {

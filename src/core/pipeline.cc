@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include <cerrno>
+
 #include "common/timer.h"
 #include "core/checkpoint.h"
 #include "core/sampling.h"
@@ -36,6 +38,91 @@ CheckpointFingerprint MakeFingerprint(uint64_t store_count,
   return fp;
 }
 
+/// Store row count, retried — the open consults the "store.open" site.
+/// It clamps the sample and keys the checkpoint/model fingerprint.
+Result<uint64_t> CountStoreRows(const std::string& store_path,
+                                const RetryPolicy& retry,
+                                RetrySleeper sleeper,
+                                RetryStats* retry_stats) {
+  uint64_t store_count = 0;
+  ROCK_RETURN_IF_ERROR(RetryTransient(
+      retry,
+      [&]() -> Status {
+        auto reader = TransactionStoreReader::Open(store_path);
+        ROCK_RETURN_IF_ERROR(reader.status());
+        store_count = reader->count();
+        return Status::OK();
+      },
+      retry_stats, sleeper));
+  return store_count;
+}
+
+/// The sample phase shared by RunRockPipeline and BuildModel: one streaming
+/// reservoir pass followed by clustering the sample. Both halves must draw
+/// and cluster through this exact code path — a served model diverging by
+/// even one RNG call would break the serve ≡ pipeline bit-identity the
+/// differential tests enforce.
+struct SampledClustering {
+  TransactionDataset sample;          ///< picked transactions as a dataset
+  std::vector<Transaction> picked;    ///< the same transactions, store order
+  std::vector<uint64_t> rows;         ///< store row of each picked tx
+  RockResult rock;                    ///< clustering of the sample
+  double sample_seconds = 0.0;
+  double cluster_seconds = 0.0;
+};
+
+Result<SampledClustering> SampleAndCluster(const std::string& store_path,
+                                           const PipelineOptions& options,
+                                           uint64_t effective_sample,
+                                           RetryStats* retry_stats) {
+  SampledClustering out;
+  // Pass 1: streaming reservoir sample of the store. Retried as a unit —
+  // the RNG and reservoir reset every attempt, so a retry after a
+  // transient mid-stream error draws exactly the sample an undisturbed
+  // pass would.
+  Timer sample_timer;
+  ROCK_RETURN_IF_ERROR(RetryTransient(
+      options.retry,
+      [&]() -> Status {
+        out.picked.clear();
+        out.rows.clear();
+        Rng rng(options.seed);
+        auto reader = TransactionStoreReader::Open(store_path);
+        ROCK_RETURN_IF_ERROR(reader.status());
+        ReservoirSampler<Transaction> sampler(
+            static_cast<size_t>(effective_sample), &rng);
+        while (reader->Next()) sampler.Offer(reader->transaction());
+        ROCK_RETURN_IF_ERROR(reader->status());
+        // Keep sample rows in store order so results are stable and
+        // reportable.
+        std::vector<size_t> order(sampler.sample().size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return sampler.sample_indices()[a] < sampler.sample_indices()[b];
+        });
+        out.picked.reserve(order.size());
+        out.rows.reserve(order.size());
+        for (size_t idx : order) {
+          out.picked.push_back(sampler.sample()[idx]);
+          out.rows.push_back(sampler.sample_indices()[idx]);
+        }
+        return Status::OK();
+      },
+      retry_stats, options.retry_sleeper));
+  for (const Transaction& tx : out.picked) out.sample.AddTransaction(tx);
+  out.sample_seconds = sample_timer.ElapsedSeconds();
+
+  // Cluster the sample.
+  Timer cluster_timer;
+  TransactionJaccard sim(out.sample);
+  RockClusterer clusterer(options.rock);
+  auto rock_result = clusterer.Cluster(sim);
+  ROCK_RETURN_IF_ERROR(rock_result.status());
+  out.rock = std::move(*rock_result);
+  out.cluster_seconds = cluster_timer.ElapsedSeconds();
+  return out;
+}
+
 }  // namespace
 
 Result<PipelineResult> RunRockPipeline(const std::string& store_path,
@@ -60,18 +147,10 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
   PipelineResult out;
   RetryStats retry_stats;  // sampling + checkpoint I/O (labeling has its own)
 
-  // Row count first: it clamps the sample and keys the checkpoint
-  // fingerprint. Retried — the open consults the "store.open" site.
-  uint64_t store_count = 0;
-  ROCK_RETURN_IF_ERROR(RetryTransient(
-      options.retry,
-      [&]() -> Status {
-        auto reader = TransactionStoreReader::Open(store_path);
-        ROCK_RETURN_IF_ERROR(reader.status());
-        store_count = reader->count();
-        return Status::OK();
-      },
-      &retry_stats, options.retry_sleeper));
+  Result<uint64_t> count_or = CountStoreRows(
+      store_path, options.retry, options.retry_sleeper, &retry_stats);
+  if (!count_or.ok()) return count_or.status();
+  const uint64_t store_count = *count_or;
   if (store_count == 0) {
     return Status::InvalidArgument(
         "cannot run the pipeline on an empty store");
@@ -126,57 +205,18 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
     out.sample_result.merges = cp.merges;
     out.sample_result.stats = cp.stats;
   } else {
-    // Pass 1: streaming reservoir sample of the store. Retried as a unit —
-    // the RNG and reservoir reset every attempt, so a retry after a
-    // transient mid-stream error draws exactly the sample an undisturbed
-    // pass would.
-    Timer sample_timer;
-    std::vector<Transaction> picked;
-    std::vector<uint64_t> rows;
-    ROCK_RETURN_IF_ERROR(RetryTransient(
-        options.retry,
-        [&]() -> Status {
-          picked.clear();
-          rows.clear();
-          Rng rng(options.seed);
-          auto reader = TransactionStoreReader::Open(store_path);
-          ROCK_RETURN_IF_ERROR(reader.status());
-          ReservoirSampler<Transaction> sampler(
-              static_cast<size_t>(effective_sample), &rng);
-          while (reader->Next()) sampler.Offer(reader->transaction());
-          ROCK_RETURN_IF_ERROR(reader->status());
-          // Keep sample rows in store order so results are stable and
-          // reportable.
-          std::vector<size_t> order(sampler.sample().size());
-          std::iota(order.begin(), order.end(), size_t{0});
-          std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-            return sampler.sample_indices()[a] < sampler.sample_indices()[b];
-          });
-          picked.reserve(order.size());
-          rows.reserve(order.size());
-          for (size_t idx : order) {
-            picked.push_back(sampler.sample()[idx]);
-            rows.push_back(sampler.sample_indices()[idx]);
-          }
-          return Status::OK();
-        },
-        &retry_stats, options.retry_sleeper));
-    for (const Transaction& tx : picked) sample.AddTransaction(tx);
-    out.sample_rows = std::move(rows);
-    out.sample_seconds = sample_timer.ElapsedSeconds();
-
-    // Cluster the sample.
-    Timer cluster_timer;
-    TransactionJaccard sim(sample);
-    RockClusterer clusterer(options.rock);
-    auto rock_result = clusterer.Cluster(sim);
-    ROCK_RETURN_IF_ERROR(rock_result.status());
-    out.sample_result = std::move(*rock_result);
-    out.cluster_seconds = cluster_timer.ElapsedSeconds();
+    Result<SampledClustering> sc =
+        SampleAndCluster(store_path, options, effective_sample, &retry_stats);
+    if (!sc.ok()) return sc.status();
+    sample = std::move(sc->sample);
+    out.sample_rows = std::move(sc->rows);
+    out.sample_seconds = sc->sample_seconds;
+    out.sample_result = std::move(sc->rock);
+    out.cluster_seconds = sc->cluster_seconds;
 
     cp.fingerprint = fingerprint;
     cp.sample_rows = out.sample_rows;
-    cp.sample = std::move(picked);
+    cp.sample = std::move(sc->picked);
     cp.clustering = out.sample_result.clustering;
     cp.merges = out.sample_result.merges;
     cp.stats = out.sample_result.stats;
@@ -263,9 +303,35 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
   out.shards_skipped = out.labeling.shards_skipped;
   out.label_seconds = label_timer.ElapsedSeconds();
 
-  // The run completed; the checkpoint has nothing left to resume.
+  // The run completed; the checkpoint has nothing left to resume. The
+  // removal goes through the "checkpoint.remove" failpoint site and the
+  // transient-retry schedule like every other checkpoint I/O. A removal
+  // that still fails after retries must NOT fail the run — the output is
+  // already complete — but it is counted (checkpoint.remove_failed), and
+  // the stale checkpoint it leaves behind is harmless: its fingerprint
+  // matches and every shard is marked done, so a later --resume restores
+  // the identical result instead of recomputing. Only an injected crash
+  // (simulated process death) propagates.
+  bool checkpoint_removed = false;
   if (checkpointing) {
-    std::remove(options.checkpoint_path.c_str());
+    const Status removed = RetryTransient(
+        options.retry,
+        [&]() -> Status {
+          ROCK_RETURN_IF_ERROR(fail::ConsultRead("checkpoint.remove"));
+          if (std::remove(options.checkpoint_path.c_str()) != 0 &&
+              errno != ENOENT) {
+            return Status::IOError("cannot remove checkpoint '" +
+                                   options.checkpoint_path + "'");
+          }
+          return Status::OK();
+        },
+        &retry_stats, options.retry_sleeper);
+    if (fail::IsInjectedCrash(removed)) return removed;
+    checkpoint_removed = removed.ok();
+    diag::AddCounter(m,
+                     checkpoint_removed ? "checkpoint.removed"
+                                        : "checkpoint.remove_failed",
+                     1);
   }
 
   if (collect) {
@@ -286,6 +352,97 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
     registry.SetGauge(
         "retry.backoff_ms",
         retry_stats.backoff_ms + out.labeling.retry_stats.backoff_ms);
+    for (const auto& [site, fired] : fail::FiredSnapshot()) {
+      registry.AddCounter("fault.fired." + site, fired);
+    }
+    out.metrics = registry.Snapshot();
+    out.metrics.Merge(out.sample_result.metrics);
+  }
+  return out;
+}
+
+Result<ModelBuildResult> BuildModel(const std::string& store_path,
+                                    const ModelBuildOptions& options) {
+  const PipelineOptions& p = options.pipeline;
+  ROCK_RETURN_IF_ERROR(p.rock.Validate());
+  if (p.sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be > 0");
+  }
+  if (!p.rock.failpoints.empty()) {
+    ROCK_RETURN_IF_ERROR(fail::Configure(p.rock.failpoints));
+  }
+
+  diag::MetricsRegistry registry;
+  const bool collect = p.rock.diag.collect_metrics;
+  diag::MetricsRegistry* m = collect ? &registry : nullptr;
+
+  ModelBuildResult out;
+  RetryStats retry_stats;
+
+  Result<uint64_t> count_or =
+      CountStoreRows(store_path, p.retry, p.retry_sleeper, &retry_stats);
+  if (!count_or.ok()) return count_or.status();
+  const uint64_t store_count = *count_or;
+  if (store_count == 0) {
+    return Status::InvalidArgument("cannot build a model on an empty store");
+  }
+  const uint64_t effective_sample =
+      std::min<uint64_t>(p.sample_size, store_count);
+  if (effective_sample < p.sample_size) {
+    diag::AddCounter(m, "sample.clamped", 1);
+  }
+
+  Result<SampledClustering> sc =
+      SampleAndCluster(store_path, p, effective_sample, &retry_stats);
+  if (!sc.ok()) return sc.status();
+  out.sample_rows = std::move(sc->rows);
+  out.sample_seconds = sc->sample_seconds;
+  out.cluster_seconds = sc->cluster_seconds;
+
+  // Build the §4.6 labeler the same way the batch pipeline does, then
+  // freeze its parts into the bundle. The serve layer reassembles it via
+  // TransactionLabeler::FromParts, which recomputes the normalizers and
+  // index identically — so serve answers match batch labels bit for bit.
+  Timer build_timer;
+  auto labeler = TransactionLabeler::Build(
+      sc->sample, sc->rock.clustering, p.rock, p.labeling);
+  ROCK_RETURN_IF_ERROR(labeler.status());
+  out.sample_result = std::move(sc->rock);
+
+  out.bundle.fingerprint =
+      MakeFingerprint(store_count, effective_sample, p);
+  out.bundle.theta = labeler->theta();
+  out.bundle.f_exponent = labeler->f_exponent();
+  out.bundle.labeling_sets.reserve(labeler->num_clusters());
+  for (size_t c = 0; c < labeler->num_clusters(); ++c) {
+    out.bundle.labeling_sets.push_back(labeler->labeling_set(c));
+  }
+  if (options.dictionary != nullptr) {
+    out.bundle.dictionary.reserve(options.dictionary->size());
+    for (size_t i = 0; i < options.dictionary->size(); ++i) {
+      out.bundle.dictionary.push_back(
+          options.dictionary->Name(static_cast<ItemId>(i)));
+    }
+  }
+
+  if (!options.model_path.empty()) {
+    ROCK_RETURN_IF_ERROR(RetryTransient(
+        p.retry,
+        [&] { return SaveModelBundle(out.bundle, options.model_path); },
+        &retry_stats, p.retry_sleeper));
+    diag::AddCounter(m, "model.saved", 1);
+  }
+  out.build_seconds = build_timer.ElapsedSeconds();
+
+  if (collect) {
+    registry.RecordSeconds("stage.sample", out.sample_seconds);
+    registry.RecordSeconds("stage.build", out.build_seconds);
+    registry.AddCounter("sample.rows", out.sample_rows.size());
+    registry.AddCounter("model.clusters", out.bundle.labeling_sets.size());
+    registry.AddCounter("retry.attempts", retry_stats.attempts);
+    registry.AddCounter("retry.retries", retry_stats.retries);
+    registry.AddCounter("retry.exhausted", retry_stats.exhausted);
+    registry.SetGauge("retry.backoff_ms", retry_stats.backoff_ms);
     for (const auto& [site, fired] : fail::FiredSnapshot()) {
       registry.AddCounter("fault.fired." + site, fired);
     }

@@ -4,6 +4,19 @@
 // draw random sample → cluster sample with links → label data on disk.
 // This is the entry point the scalability (Fig. 5) and labeling-quality
 // (Table 6) experiments drive.
+//
+// The pipeline is split into two halves sharing one sample+cluster phase:
+//
+//   BuildModel      — sample → cluster → build the §4.6 labeler, and
+//                     persist it as a versioned+CRC'd model bundle
+//                     (core/model_bundle.h) for the serve layer.
+//   RunRockPipeline — the batch path: the same sample+cluster phase
+//                     followed by the sharded labeling scan over the whole
+//                     store, with crash-safe checkpoint/resume.
+//
+// Both halves draw the sample and cluster it through the same code path,
+// so a served model's per-row assignments are bit-identical to what the
+// batch pipeline writes for the same store and options.
 
 #ifndef ROCK_CORE_PIPELINE_H_
 #define ROCK_CORE_PIPELINE_H_
@@ -12,7 +25,9 @@
 
 #include "common/status.h"
 #include "core/labeling.h"
+#include "core/model_bundle.h"
 #include "core/rock.h"
+#include "data/dictionary.h"
 #include "util/retry.h"
 
 namespace rock {
@@ -79,6 +94,46 @@ struct PipelineResult {
 /// with output bit-identical to an uninterrupted run.
 Result<PipelineResult> RunRockPipeline(const std::string& store_path,
                                        const PipelineOptions& options);
+
+/// Options for the build half of the pipeline.
+struct ModelBuildOptions {
+  /// Sampling, clustering and labeling-set parameters. The checkpoint and
+  /// resume fields are ignored — model builds are short (no whole-store
+  /// scan) and restart from scratch.
+  PipelineOptions pipeline;
+  /// When non-empty, the bundle is persisted here (atomic tmp+rename,
+  /// retried under pipeline.retry). A failed save fails the build.
+  std::string model_path;
+  /// Item names for the bundle, when the caller still has the dataset the
+  /// store was written from. nullptr → id-mode bundle (stores persist only
+  /// item ids), and serve queries are numeric ids.
+  const Dictionary* dictionary = nullptr;
+};
+
+/// Result of BuildModel.
+struct ModelBuildResult {
+  /// The model: labeling sets, θ, f(θ), dictionary, run fingerprint.
+  ModelBundle bundle;
+  /// Clustering of the in-memory sample (diagnostics; the bundle already
+  /// holds everything the serve layer needs).
+  RockResult sample_result;
+  /// Store row positions of the sampled transactions (sorted).
+  std::vector<uint64_t> sample_rows;
+  double sample_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  /// Labeler construction + bundle save.
+  double build_seconds = 0.0;
+  /// stage.sample / stage.build timers, sample counters and the clusterer's
+  /// report, as in PipelineResult::metrics.
+  diag::RunMetrics metrics;
+};
+
+/// The build half of the pipeline: sample → cluster → build labeling sets,
+/// without the whole-store labeling scan. Same sample+cluster phase as
+/// RunRockPipeline — a server answering from the returned bundle assigns
+/// every store row the exact cluster the batch pipeline would.
+Result<ModelBuildResult> BuildModel(const std::string& store_path,
+                                    const ModelBuildOptions& options);
 
 }  // namespace rock
 

@@ -1,0 +1,78 @@
+#include "serve/model_handle.h"
+
+#include <charconv>
+#include <utility>
+
+namespace rock {
+
+Result<ModelHandle> ModelHandle::Load(const std::string& path) {
+  Result<ModelBundle> bundle = LoadModelBundle(path);
+  if (!bundle.ok()) return bundle.status();
+  return FromBundle(std::move(*bundle));
+}
+
+Result<ModelHandle> ModelHandle::FromBundle(ModelBundle bundle) {
+  Result<TransactionLabeler> labeler = TransactionLabeler::FromParts(
+      bundle.theta, bundle.f_exponent, std::move(bundle.labeling_sets));
+  if (!labeler.ok()) return labeler.status();
+
+  ModelHandle handle(std::move(*labeler), bundle.fingerprint);
+  handle.name_to_id_.reserve(bundle.dictionary.size());
+  for (size_t i = 0; i < bundle.dictionary.size(); ++i) {
+    handle.name_to_id_.emplace(std::move(bundle.dictionary[i]),
+                               static_cast<ItemId>(i));
+  }
+  handle.unknown_base_ = static_cast<ItemId>(bundle.dictionary.size());
+  return handle;
+}
+
+Result<Transaction> ModelHandle::ParseQuery(std::string_view line) const {
+  std::vector<ItemId> items;
+  // Per-query ids for names outside the dictionary: the same unknown token
+  // dedupes within a query, and every unknown id is >= unknown_base_, so it
+  // can never intersect a labeling-set item.
+  std::unordered_map<std::string_view, ItemId> unknowns;
+
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') {
+      ++end;
+    }
+    if (end == pos) break;
+    const std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+
+    if (has_dictionary()) {
+      auto it = name_to_id_.find(std::string(token));
+      if (it != name_to_id_.end()) {
+        items.push_back(it->second);
+      } else {
+        const auto [slot, inserted] = unknowns.emplace(
+            token, unknown_base_ + static_cast<ItemId>(unknowns.size()));
+        items.push_back(slot->second);
+        (void)inserted;
+      }
+    } else {
+      uint32_t id = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), id);
+      if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return Status::InvalidArgument(
+            "query token '" + std::string(token) +
+            "' is not an item id (this model has no dictionary)");
+      }
+      items.push_back(id);
+    }
+  }
+
+  if (items.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  return Transaction(std::move(items));
+}
+
+}  // namespace rock

@@ -1,0 +1,208 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diag/metrics.h"
+#include "util/thread_pool.h"
+
+namespace rock {
+
+LabelServer::LabelServer(const ModelHandle* model,
+                         const ServeOptions& options)
+    : model_(model), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+}
+
+LabelServer::~LabelServer() { Stop(); }
+
+Status LabelServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  const size_t threads = ResolveThreads(options_.num_threads);
+  runner_ = std::thread([this, threads] {
+    ParallelInvoke(threads, [this](size_t worker) { WorkerLoop(worker); });
+  });
+  return Status::OK();
+}
+
+Result<std::future<ClusterIndex>> LabelServer::Submit(Transaction tx) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("label server is shutting down");
+  }
+  if (queue_.size() >= options_.max_queue) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("label server queue is full");
+  }
+  queue_.push_back(Request{std::move(tx), {}});
+  std::future<ClusterIndex> future = queue_.back().promise.get_future();
+  const uint64_t depth = queue_.size();
+  uint64_t prev = peak_depth_.load(std::memory_order_relaxed);
+  while (depth > prev && !peak_depth_.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+void LabelServer::WorkerLoop(size_t /*worker*/) {
+  // Per-worker scratch keeps Assign allocation-free after warm-up
+  // (core/labeling.h); the popped block lives outside the lock.
+  TransactionLabeler::Scratch scratch;
+  std::vector<Request> block;
+  block.reserve(options_.max_batch);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        block.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_items_.fetch_add(block.size(), std::memory_order_relaxed);
+    for (Request& request : block) {
+      const ClusterIndex cluster =
+          model_->labeler().Assign(request.tx, &scratch, nullptr);
+      if (cluster == kUnassigned) {
+        outliers_.fetch_add(1, std::memory_order_relaxed);
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      request.promise.set_value(cluster);
+    }
+    block.clear();
+  }
+}
+
+void LabelServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  const bool joined_now = runner_.joinable();
+  if (joined_now) {
+    runner_.join();
+    seconds_ = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_time_)
+                   .count();
+  }
+  // Submissions made but never started are dropped with their promises —
+  // the futures surface std::future_error(broken_promise). A started
+  // server drains everything before its workers exit, so no admitted
+  // request is ever dropped.
+  if (!started_) queue_.clear();
+
+  if (options_.metrics != nullptr && !metrics_exported_) {
+    metrics_exported_ = true;
+    ExportMetrics(options_.metrics);
+  }
+}
+
+LabelServer::Stats LabelServer::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.outliers = outliers_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_depth_.load(std::memory_order_relaxed);
+  s.seconds = seconds_;
+  if (s.seconds > 0.0) {
+    s.qps = static_cast<double>(s.requests) / s.seconds;
+  }
+  if (s.batches > 0) {
+    s.batch_fill =
+        static_cast<double>(batch_items_.load(std::memory_order_relaxed)) /
+        static_cast<double>(s.batches);
+  }
+  return s;
+}
+
+void LabelServer::ExportMetrics(diag::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const Stats s = stats();
+  registry->AddCounter("serve.requests", s.requests);
+  registry->AddCounter("serve.batches", s.batches);
+  registry->AddCounter("serve.rejected", s.rejected);
+  registry->AddCounter("serve.outliers", s.outliers);
+  registry->SetGauge("serve.qps", s.qps);
+  registry->SetGauge("serve.batch_fill", s.batch_fill);
+  registry->SetGauge("serve.queue_depth",
+                     static_cast<double>(s.peak_queue_depth));
+  registry->RecordSeconds("serve.uptime", s.seconds);
+}
+
+Status ServeLines(const ModelHandle& model, const ServeOptions& options,
+                  std::istream& in, std::ostream& out) {
+  LabelServer server(&model, options);
+  ROCK_RETURN_IF_ERROR(server.Start());
+
+  // Answers must come back in submission order; futures preserve it. A
+  // malformed line produces an immediate "ERR:" slot that flushes in
+  // sequence with the real answers. Flushing the oldest pending answer
+  // whenever the admission bound pushes back keeps memory bounded on
+  // arbitrarily long input streams.
+  struct Pending {
+    std::future<ClusterIndex> future;
+    bool is_error = false;
+    std::string error;
+  };
+  std::deque<Pending> pending;
+  const auto flush_front = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    if (p.is_error) {
+      out << "ERR: " << p.error << '\n';
+    } else {
+      out << p.future.get() << '\n';
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blanks and '#' comments without emitting an answer line.
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    Result<Transaction> tx = model.ParseQuery(line);
+    if (!tx.ok()) {
+      pending.push_back(Pending{{}, true, tx.status().message()});
+    } else {
+      const Transaction query = std::move(*tx);
+      while (true) {
+        Result<std::future<ClusterIndex>> future = server.Submit(query);
+        if (future.ok()) {
+          pending.push_back(Pending{std::move(*future), false, {}});
+          break;
+        }
+        // Queue full: drain the oldest answer and retry. With nothing
+        // left to drain the rejection is fatal (server shutting down).
+        if (pending.empty()) return future.status();
+        flush_front();
+      }
+    }
+    const size_t window = std::max<size_t>(1, options.max_queue);
+    while (pending.size() > window) flush_front();
+  }
+  while (!pending.empty()) flush_front();
+  server.Stop();
+  return Status::OK();
+}
+
+}  // namespace rock

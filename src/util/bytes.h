@@ -1,0 +1,111 @@
+// librock — util/bytes.h
+//
+// Little byte-buffer plumbing shared by every versioned+CRC'd on-disk
+// format (pipeline checkpoints, model bundles): an appending POD writer,
+// a bounds-checked POD reader, and whole-file read/write helpers. These
+// used to live in core/checkpoint.cc's anonymous namespace; they moved
+// here when the model bundle needed the same discipline.
+//
+// ByteReader treats every overrun as the same Corruption — a truncated or
+// tampered payload — tagged with the caller-supplied `context` so the
+// error names which format was being parsed.
+
+#ifndef ROCK_UTIL_BYTES_H_
+#define ROCK_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rock {
+
+/// Appends POD fields to an in-memory payload buffer.
+struct ByteWriter {
+  std::vector<uint8_t> buf;
+
+  void Write(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf.insert(buf.end(), p, p + n);
+  }
+  template <typename T>
+  void Pod(const T& v) {
+    Write(&v, sizeof(v));
+  }
+};
+
+/// Bounds-checked reader over a payload buffer. Every overrun is the same
+/// Corruption — a truncated or tampered payload.
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  const char* context = "payload";  ///< names the format in errors
+
+  Status Read(void* out, size_t n) {
+    if (n > size - pos) {
+      return Status::Corruption(std::string("truncated ") + context);
+    }
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return Status::OK();
+  }
+  template <typename T>
+  Status Pod(T* out) {
+    return Read(out, sizeof(*out));
+  }
+  /// Remaining bytes — used to sanity-check counts before allocating.
+  size_t Remaining() const { return size - pos; }
+};
+
+/// Writes `n` bytes to `path`, failing on short writes or flush errors.
+/// Callers wanting atomicity write to "<path>.tmp" and rename.
+inline Status WriteFileBytes(const std::string& path, const uint8_t* data,
+                             size_t n) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  if (n > 0 && std::fwrite(data, 1, n, file.get()) != n) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::IOError("flush failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+/// Reads the whole of `path` into memory. Missing file → IOError.
+inline Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::FILE* f = file.get();
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failure on '" + path + "'");
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    return Status::IOError("tell failure on '" + path + "'");
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failure on '" + path + "'");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    return Status::IOError("read failure on '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace rock
+
+#endif  // ROCK_UTIL_BYTES_H_

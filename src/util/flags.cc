@@ -1,7 +1,9 @@
 #include "util/flags.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
@@ -13,6 +15,10 @@ bool ParseDouble(const std::string& s, double* out) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || *end != '\0') return false;
+  // strtod happily parses "nan" and "inf"; no rock flag means anything
+  // non-finite, and a NaN slips through every `x < bound` range check
+  // downstream, so reject it at the parser.
+  if (!std::isfinite(v)) return false;
   *out = v;
   return true;
 }
@@ -41,7 +47,16 @@ bool ParseBool(const std::string& s, bool* out) {
 
 }  // namespace
 
-void FlagSet::Register(Flag flag) { flags_.push_back(std::move(flag)); }
+void FlagSet::Register(Flag flag) {
+  // A duplicate registration is a programming error in the command setup:
+  // Find() returns the first match, so the second registration would be
+  // silently dead (its default still shown in --help). Fail loudly instead.
+  if (Has(flag.name)) {
+    std::fprintf(stderr, "FlagSet: duplicate flag --%s\n", flag.name.c_str());
+    std::abort();
+  }
+  flags_.push_back(std::move(flag));
+}
 
 void FlagSet::AddString(const std::string& name, std::string* dest,
                         const std::string& help) {

@@ -81,7 +81,8 @@ TEST_F(CliTest, HelpAndUnknownCommand) {
 }
 
 TEST_F(CliTest, SubcommandHelp) {
-  for (const char* cmd : {"gen", "cluster", "pipeline"}) {
+  for (const char* cmd :
+       {"gen", "cluster", "pipeline", "build", "serve", "query", "sweep"}) {
     auto [code, out] = Run({cmd, "--help"});
     EXPECT_EQ(code, 0) << cmd;
     EXPECT_NE(out.find("--"), std::string::npos) << cmd;
@@ -135,6 +136,83 @@ TEST_F(CliTest, GenBasketThenPipeline) {
   ASSERT_EQ(pcode, 0) << pout;
   EXPECT_NE(pout.find("pipeline: sample=400"), std::string::npos);
   EXPECT_TRUE(std::filesystem::exists(Path("pipe.csv")));
+}
+
+TEST_F(CliTest, BuildServeQueryRoundTrip) {
+  auto [gcode, gout] = Run({"gen", "--dataset=basket", "--scale=0.02",
+                            "--out=" + Path("baskets.store")});
+  ASSERT_EQ(gcode, 0) << gout;
+
+  // The batch answer: pipeline assignments for every store row.
+  auto [pcode, pout] =
+      Run({"pipeline", "--store=" + Path("baskets.store"),
+           "--sample-size=400", "--theta=0.5", "--k=10",
+           "--assignments=" + Path("batch.csv")});
+  ASSERT_EQ(pcode, 0) << pout;
+
+  // Build a model with the same clustering parameters…
+  auto [bcode, bout] =
+      Run({"build", "--store=" + Path("baskets.store"), "--sample-size=400",
+           "--theta=0.5", "--k=10", "--model=" + Path("model.rock")});
+  ASSERT_EQ(bcode, 0) << bout;
+  EXPECT_NE(bout.find("build: sample=400"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(Path("model.rock")));
+
+  // …then serve the whole store through the query path: the CSV must be
+  // byte-identical to the batch pipeline's.
+  auto [qcode, qout] =
+      Run({"query", "--model=" + Path("model.rock"),
+           "--from-store=" + Path("baskets.store"), "--threads=2",
+           "--assignments=" + Path("served.csv")});
+  ASSERT_EQ(qcode, 0) << qout;
+  EXPECT_EQ(Slurp(Path("served.csv")), Slurp(Path("batch.csv")));
+
+  // One-shot query: any answer is fine, but it must be a bare integer.
+  auto [ocode, oout] =
+      Run({"query", "--model=" + Path("model.rock"), "3", "5", "9"});
+  ASSERT_EQ(ocode, 0) << oout;
+  EXPECT_FALSE(oout.empty());
+  EXPECT_NE(oout.find_first_of("-0123456789"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeSpeaksTheLineProtocol) {
+  auto [gcode, gout] = Run({"gen", "--dataset=basket", "--scale=0.02",
+                            "--out=" + Path("baskets.store")});
+  ASSERT_EQ(gcode, 0) << gout;
+  auto [bcode, bout] =
+      Run({"build", "--store=" + Path("baskets.store"), "--sample-size=400",
+           "--theta=0.5", "--k=10", "--model=" + Path("model.rock")});
+  ASSERT_EQ(bcode, 0) << bout;
+
+  std::istringstream queries(
+      "# comment\n"
+      "3 5 9\n"
+      "bogus\n");
+  std::ostringstream answers;
+  std::string out;
+  const int code = RunCli({"serve", "--model=" + Path("model.rock"),
+                           "--threads=2",
+                           "--metrics-json=" + Path("serve.json")},
+                          &out, &queries, &answers);
+  ASSERT_EQ(code, 0) << out;
+  // Protocol answers go to the stream — and only there.
+  EXPECT_EQ(out, "");
+  std::istringstream lines(answers.str());
+  std::string line;
+  std::vector<std::string> got;
+  while (std::getline(lines, line)) got.push_back(line);
+  ASSERT_EQ(got.size(), 2u) << answers.str();
+  EXPECT_NE(got[0].find_first_of("-0123456789"), std::string::npos);
+  EXPECT_EQ(got[1].substr(0, 4), "ERR:");
+
+  const std::string metrics = Slurp(Path("serve.json"));
+  EXPECT_NE(metrics.find("serve.requests"), std::string::npos);
+  EXPECT_NE(metrics.find("serve.qps"), std::string::npos);
+
+  // Without streams, serve is a flag error.
+  auto [scode, sout] = Run({"serve", "--model=" + Path("model.rock")});
+  EXPECT_EQ(scode, 2);
+  EXPECT_NE(sout.find("stream"), std::string::npos);
 }
 
 TEST_F(CliTest, ClusterStoreInputDirectly) {

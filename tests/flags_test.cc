@@ -122,5 +122,89 @@ TEST(FlagsTest, HasChecksRegistration) {
   EXPECT_FALSE(f.Has("bogus"));
 }
 
+// Regression: strtod parses "nan"/"inf", and a NaN theta sails through
+// every downstream `x >= lo && x <= hi` range check. The parser must
+// refuse non-finite doubles outright.
+TEST(FlagsTest, NonFiniteDoublesRejected) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  for (const char* bad : {"nan", "NaN", "-nan", "inf", "INF", "-inf",
+                          "infinity", "1e999"}) {
+    b.ratio = 0.5;
+    EXPECT_TRUE(f.Parse({std::string("--ratio=") + bad}).IsInvalidArgument())
+        << bad;
+    EXPECT_DOUBLE_EQ(b.ratio, 0.5) << bad << " clobbered the destination";
+  }
+  // Ordinary extremes still parse.
+  ASSERT_TRUE(f.Parse({"--ratio=-1e300"}).ok());
+  EXPECT_DOUBLE_EQ(b.ratio, -1e300);
+}
+
+TEST(FlagsDeathTest, DuplicateRegistrationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string a;
+  std::string b;
+  EXPECT_DEATH(
+      {
+        FlagSet f;
+        f.AddString("store", &a, "first");
+        f.AddString("store", &b, "second");
+      },
+      "duplicate flag --store");
+}
+
+TEST(FlagsTest, EmptyValueAfterEqualsIsAccepted) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  // "--name=" explicitly sets the string flag to empty...
+  ASSERT_TRUE(f.Parse({"--name="}).ok());
+  EXPECT_EQ(b.name, "");
+  // ...but an empty token is not a number or a bool.
+  EXPECT_TRUE(f.Parse({"--ratio="}).IsInvalidArgument());
+  EXPECT_TRUE(f.Parse({"--count="}).IsInvalidArgument());
+  EXPECT_TRUE(f.Parse({"--verbose="}).IsInvalidArgument());
+}
+
+TEST(FlagsTest, NoNegationOnNonBoolIsUnknownFlag) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  // --no-name: "name" exists but is not a bool, and no flag is literally
+  // called "no-name" — that is an unknown flag, not a silent no-op.
+  EXPECT_TRUE(f.Parse({"--no-name"}).IsInvalidArgument());
+  EXPECT_TRUE(f.Parse({"--no-ratio=0.5"}).IsInvalidArgument());
+  // A flag whose registered name starts with "no-" still parses normally.
+  bool cache = true;
+  f.AddBool("no-cache", &cache, "registered with the prefix");
+  ASSERT_TRUE(f.Parse({"--no-cache=false"}).ok());
+  EXPECT_FALSE(cache);
+}
+
+TEST(FlagsTest, BareBoolDoesNotConsumeNextToken) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  // A bool flag never eats the following token as its value; the stray
+  // token lands in positional() instead.
+  ASSERT_TRUE(f.Parse({"--verbose", "input.csv"}).ok());
+  EXPECT_TRUE(b.verbose);
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"input.csv"}));
+}
+
+TEST(FlagsTest, IntegerOverflowRejected) {
+  Bound b;
+  FlagSet f = b.MakeFlags();
+  // One past INT64_MAX / a 21-digit size: from_chars reports out-of-range
+  // and the parse must fail rather than wrap.
+  EXPECT_TRUE(f.Parse({"--count=9223372036854775808"}).IsInvalidArgument());
+  EXPECT_TRUE(
+      f.Parse({"--size=184467440737095516160"}).IsInvalidArgument());
+  EXPECT_EQ(b.count, -3);
+  EXPECT_EQ(b.size, 7u);
+  // The exact extremes still parse.
+  ASSERT_TRUE(f.Parse({"--count=9223372036854775807"}).ok());
+  EXPECT_EQ(b.count, INT64_MAX);
+  ASSERT_TRUE(f.Parse({"--count=-9223372036854775808"}).ok());
+  EXPECT_EQ(b.count, INT64_MIN);
+}
+
 }  // namespace
 }  // namespace rock

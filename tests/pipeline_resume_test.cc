@@ -547,6 +547,72 @@ TEST_F(PipelineResumeTest, CompletedCheckpointedRunLeavesNoFileBehind) {
   EXPECT_FALSE(fs::exists(ckpt_path_ + ".tmp"));
   // Initial save + one save per shard (2 threads → 8 shards).
   EXPECT_EQ(r->metrics.CounterOr("checkpoint.writes"), 9u);
+  EXPECT_EQ(r->metrics.CounterOr("checkpoint.removed"), 1u);
+  EXPECT_EQ(r->metrics.CounterOr("checkpoint.remove_failed"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint removal (bugfix): the completed-run cleanup used to be a bare
+// unchecked std::remove. It now runs under the retry loop behind its own
+// failpoint, and a cleanup that fails for good must not fail the run — the
+// output is already complete and the stale checkpoint is resume-safe.
+
+TEST_F(PipelineResumeTest, TransientRemoveBlipIsRetriedTransparently) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  std::atomic<int> sleeps{0};
+  auto opt = BaseOptions(0.5, 1);
+  opt.checkpoint_path = ckpt_path_;
+  opt.rock.failpoints = "checkpoint.remove=fire_on_hit_1:error";
+  opt.retry_sleeper = [&](double) { sleeps.fetch_add(1); };
+  auto r = RunRockPipeline(store_path_, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(sleeps.load(), 1);
+  EXPECT_EQ(r->metrics.CounterOr("fault.fired.checkpoint.remove"), 1u);
+  EXPECT_EQ(r->metrics.CounterOr("checkpoint.removed"), 1u);
+  EXPECT_FALSE(fs::exists(ckpt_path_));
+}
+
+TEST_F(PipelineResumeTest, FailedRemoveLeavesResumableCheckpointBehind) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  auto baseline = RunRockPipeline(store_path_, BaseOptions(0.5, 1));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Every removal attempt fails: the retry budget exhausts, yet the run
+  // must still succeed with identical output — only the cleanup failed.
+  auto opt = BaseOptions(0.5, 1);
+  opt.checkpoint_path = ckpt_path_;
+  opt.rock.failpoints = "checkpoint.remove=fire_every_1:error";
+  opt.retry_sleeper = [](double) {};
+  auto r = RunRockPipeline(store_path_, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->metrics.CounterOr("checkpoint.remove_failed"), 1u);
+  EXPECT_EQ(r->metrics.CounterOr("checkpoint.removed"), 0u);
+  EXPECT_GE(r->metrics.CounterOr("retry.exhausted"), 1u);
+  ExpectSameOutputs(*r, *baseline);
+  ASSERT_TRUE(fs::exists(ckpt_path_)) << "removal failed, file must survive";
+
+  // The stale checkpoint is a *finished* run with a matching fingerprint:
+  // resuming from it must skip every shard and reproduce the same bytes.
+  fail::Clear();
+  auto resumed_opt = BaseOptions(0.5, 1);
+  resumed_opt.checkpoint_path = ckpt_path_;
+  resumed_opt.resume = true;
+  auto resumed = RunRockPipeline(store_path_, resumed_opt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ExpectSameOutputs(*resumed, *baseline);
+  EXPECT_FALSE(fs::exists(ckpt_path_))
+      << "the healthy re-run must clean up the stale checkpoint";
+}
+
+TEST_F(PipelineResumeTest, CrashDuringRemoveStillAborts) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  auto opt = BaseOptions(0.5, 1);
+  opt.checkpoint_path = ckpt_path_;
+  opt.rock.failpoints = "checkpoint.remove=fire_on_hit_1:crash";
+  auto r = RunRockPipeline(store_path_, opt);
+  ASSERT_FALSE(r.ok()) << "an injected crash must abort, not be retried";
+  EXPECT_TRUE(fail::IsInjectedCrash(r.status())) << r.status().ToString();
 }
 
 }  // namespace

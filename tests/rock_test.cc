@@ -47,6 +47,22 @@ TEST(RockOptionsTest, RejectsBadParameters) {
   EXPECT_TRUE(opt.Validate().IsInvalidArgument());
 }
 
+// Regression: NaN fails every ordered comparison, so `x < 0.0`-style
+// checks waved a NaN straight through Validate. Every double field must
+// reject it.
+TEST(RockOptionsTest, RejectsNaNParameters) {
+  const double nan = std::nan("");
+  RockOptions opt;
+  opt.theta = nan;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = RockOptions{};
+  opt.outlier_stop_multiple = nan;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = RockOptions{};
+  opt.f = [](double) { return std::nan(""); };
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
 TEST(MarketBasketFTest, PaperBoundaryValues) {
   // §3.3: f(1) = 0 (only identical neighbors, expected links n_i) and
   // f(0) = 1 (everyone neighbors, expected links n_i³).

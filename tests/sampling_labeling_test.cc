@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <map>
 #include <numeric>
@@ -171,6 +172,11 @@ TEST(LabelingTest, RejectsBadInputs) {
   LabelingFixture fx;
   LabelingOptions opt;
   opt.fraction = 0.0;
+  EXPECT_TRUE(TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt)
+                  .status()
+                  .IsInvalidArgument());
+  // A NaN fraction must fail the (0, 1] check, not slip through it.
+  opt.fraction = std::nan("");
   EXPECT_TRUE(TransactionLabeler::Build(fx.sample, fx.clustering, fx.rock, opt)
                   .status()
                   .IsInvalidArgument());

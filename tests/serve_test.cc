@@ -1,0 +1,498 @@
+// tests/serve_test.cc — the build/serve split (clustering-as-a-service).
+//
+// Covers the model-bundle format (round-trip + every corruption shape must
+// refuse to load), the ModelHandle query parser in id- and name-mode, the
+// LabelServer's batching/admission/metrics behavior, the ServeLines line
+// protocol, and the differential at the heart of the PR: a served answer
+// must be bit-identical to what `rock pipeline` assigns the same row, for
+// every worker count and batch size.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model_bundle.h"
+#include "core/options.h"
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "data/disk_store.h"
+#include "data/transaction.h"
+#include "diag/metrics.h"
+#include "serve/model_handle.h"
+#include "serve/server.h"
+#include "test_support.h"
+#include "util/failpoint.h"
+
+namespace rock {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kStoreRows = 120;
+
+std::string TempPath(const std::string& stem) {
+  return (fs::temp_directory_path() /
+          (stem + "_" + std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+/// Three well-separated transaction groups, as in pipeline_resume_test: the
+/// sample clusters cleanly so labeling is deterministic across the grid.
+TransactionDataset MakeGroupedDataset(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  TransactionDataset data;
+  for (size_t i = 0; i < rows; ++i) {
+    const uint32_t group = static_cast<uint32_t>(i % 3);
+    std::vector<ItemId> items;
+    const size_t k = 4 + static_cast<size_t>(rng.UniformUint64(4));
+    for (size_t j = 0; j < k; ++j) {
+      items.push_back(group * 100 +
+                      static_cast<ItemId>(rng.UniformUint64(20)));
+    }
+    data.AddTransaction(Transaction(std::move(items)));
+    data.labels().Append("g" + std::to_string(group));
+  }
+  return data;
+}
+
+/// A tiny hand-built id-mode bundle: cluster 0 lives on items 1..4,
+/// cluster 1 on items 100..102. theta = 0.5 keeps the arithmetic obvious.
+ModelBundle TinyBundle() {
+  ModelBundle bundle;
+  bundle.theta = 0.5;
+  bundle.f_exponent = MarketBasketF(0.5);
+  bundle.labeling_sets = {
+      {Transaction({1, 2, 3}), Transaction({2, 3, 4})},
+      {Transaction({100, 101}), Transaction({101, 102})},
+  };
+  bundle.fingerprint.store_count = 42;
+  bundle.fingerprint.theta = bundle.theta;
+  return bundle;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::Clear();
+    store_path_ = TempPath("rock_serve_store");
+    model_path_ = TempPath("rock_serve_model");
+    ASSERT_TRUE(
+        WriteDatasetToStore(MakeGroupedDataset(kStoreRows, 0x5e47), store_path_)
+            .ok());
+  }
+
+  void TearDown() override {
+    fail::Clear();
+    std::remove(store_path_.c_str());
+    std::remove(model_path_.c_str());
+    std::remove((model_path_ + ".tmp").c_str());
+  }
+
+  PipelineOptions BaseOptions(double theta) const {
+    PipelineOptions opt;
+    opt.rock.theta = theta;
+    opt.rock.num_clusters = 3;
+    opt.sample_size = 60;
+    opt.seed = 2026;
+    opt.labeling.seed = 11;
+    return opt;
+  }
+
+  std::string store_path_;
+  std::string model_path_;
+};
+
+// ---------------------------------------------------------------------------
+// Model-bundle format.
+
+TEST_F(ServeTest, BundleRoundTripsEveryField) {
+  ModelBundle bundle = TinyBundle();
+  bundle.dictionary = {"milk", "bread", "beer"};
+  ASSERT_TRUE(SaveModelBundle(bundle, model_path_).ok());
+
+  auto loaded = LoadModelBundle(model_path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->fingerprint == bundle.fingerprint);
+  EXPECT_DOUBLE_EQ(loaded->theta, bundle.theta);
+  EXPECT_DOUBLE_EQ(loaded->f_exponent, bundle.f_exponent);
+  ASSERT_EQ(loaded->labeling_sets.size(), bundle.labeling_sets.size());
+  for (size_t c = 0; c < bundle.labeling_sets.size(); ++c) {
+    ASSERT_EQ(loaded->labeling_sets[c].size(), bundle.labeling_sets[c].size());
+    for (size_t i = 0; i < bundle.labeling_sets[c].size(); ++i) {
+      EXPECT_EQ(loaded->labeling_sets[c][i].items(),
+                bundle.labeling_sets[c][i].items())
+          << "cluster " << c << " point " << i;
+    }
+  }
+  EXPECT_EQ(loaded->dictionary, bundle.dictionary);
+}
+
+TEST_F(ServeTest, LoadBundleRejectsEveryCorruptionShape) {
+  ASSERT_TRUE(SaveModelBundle(TinyBundle(), model_path_).ok());
+
+  std::FILE* f = std::fopen(model_path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<unsigned char> bytes;
+  unsigned char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  ASSERT_GT(bytes.size(), 24u);
+
+  auto write_bytes = [&](const std::vector<unsigned char>& b) {
+    std::FILE* out = std::fopen(model_path_.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (!b.empty()) {
+      ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), out), b.size());
+    }
+    std::fclose(out);
+  };
+
+  ROCK_SEEDED_RNG(rng, 0x5e47ULL);
+  // Random truncations and single-bit flips over the whole file.
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    std::vector<unsigned char> mutated = bytes;
+    if (trial % 2 == 0) {
+      mutated.resize(static_cast<size_t>(rng.UniformUint64(bytes.size())));
+    } else {
+      const size_t i = static_cast<size_t>(rng.UniformUint64(bytes.size()));
+      mutated[i] =
+          static_cast<unsigned char>(mutated[i] ^ (1u << rng.UniformUint64(8)));
+    }
+    write_bytes(mutated);
+    auto r = LoadModelBundle(model_path_);
+    ASSERT_FALSE(r.ok()) << "corrupt bundle loaded silently";
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  }
+
+  // Trailing garbage (payload size mismatch — the torn-write shape).
+  std::vector<unsigned char> longer = bytes;
+  longer.push_back(0xab);
+  write_bytes(longer);
+  EXPECT_TRUE(LoadModelBundle(model_path_).status().IsCorruption());
+
+  // Wrong magic: a checkpoint file is not a model.
+  std::vector<unsigned char> wrong_magic = bytes;
+  wrong_magic[0] = static_cast<unsigned char>(wrong_magic[0] ^ 0xff);
+  write_bytes(wrong_magic);
+  EXPECT_TRUE(LoadModelBundle(model_path_).status().IsCorruption());
+
+  // Version bump.
+  std::vector<unsigned char> bumped = bytes;
+  bumped[8] = static_cast<unsigned char>(bumped[8] + 1);
+  write_bytes(bumped);
+  EXPECT_TRUE(LoadModelBundle(model_path_).status().IsCorruption());
+
+  // Missing file.
+  std::remove(model_path_.c_str());
+  EXPECT_TRUE(LoadModelBundle(model_path_).status().IsIOError());
+}
+
+TEST_F(ServeTest, ImplausibleParametersRefuseToServe) {
+  ModelBundle bundle = TinyBundle();
+  bundle.theta = 1.5;  // parses fine, but no valid model has this
+  EXPECT_TRUE(SaveModelBundle(bundle, model_path_).IsInvalidArgument());
+  EXPECT_TRUE(ModelHandle::FromBundle(bundle).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// ModelHandle query parsing.
+
+TEST_F(ServeTest, IdModeParsesNumericTokens) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_FALSE(handle->has_dictionary());
+
+  auto tx = handle->ParseQuery("3 1  2\t3");
+  ASSERT_TRUE(tx.ok()) << tx.status().ToString();
+  EXPECT_EQ(tx->items(), (std::vector<ItemId>{1, 2, 3}));  // sorted, deduped
+
+  EXPECT_TRUE(handle->ParseQuery("1 beer").status().IsInvalidArgument());
+  EXPECT_TRUE(handle->ParseQuery("-3").status().IsInvalidArgument());
+  EXPECT_TRUE(handle->ParseQuery("").status().IsInvalidArgument());
+  EXPECT_TRUE(handle->ParseQuery("   \t ").status().IsInvalidArgument());
+}
+
+TEST_F(ServeTest, NameModeMapsTokensThroughDictionary) {
+  ModelBundle bundle = TinyBundle();
+  // Items 0..2 get names; the labeling sets above use other ids, but the
+  // parser only needs the dictionary.
+  bundle.dictionary = {"milk", "bread", "beer"};
+  auto handle = ModelHandle::FromBundle(std::move(bundle));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE(handle->has_dictionary());
+
+  auto tx = handle->ParseQuery("beer milk");
+  ASSERT_TRUE(tx.ok());
+  EXPECT_EQ(tx->items(), (std::vector<ItemId>{0, 2}));
+
+  // Unknown names map past the dictionary (never colliding with known
+  // items), and the same unknown token dedupes within one query.
+  auto unknown = handle->ParseQuery("milk caviar caviar truffle");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->items(), (std::vector<ItemId>{0, 3, 4}));
+}
+
+TEST_F(ServeTest, AssignMatchesHandAssignment) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->num_clusters(), 2u);
+  EXPECT_EQ(handle->labeler().Assign(Transaction({1, 2, 3})), 0);
+  EXPECT_EQ(handle->labeler().Assign(Transaction({100, 101})), 1);
+  EXPECT_EQ(handle->labeler().Assign(Transaction({500, 501})), kUnassigned);
+}
+
+// ---------------------------------------------------------------------------
+// LabelServer.
+
+TEST_F(ServeTest, ServerAnswersQueriesAndExportsMetrics) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok());
+
+  diag::MetricsRegistry registry;
+  ServeOptions options;
+  options.num_threads = 2;
+  options.max_batch = 4;
+  options.metrics = &registry;
+  LabelServer server(&*handle, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::future<ClusterIndex>> futures;
+  for (int i = 0; i < 30; ++i) {
+    auto f = server.Submit(Transaction({1, 2, 3}));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(*f));
+  }
+  auto outlier = server.Submit(Transaction({500}));
+  ASSERT_TRUE(outlier.ok());
+  for (auto& f : futures) EXPECT_EQ(f.get(), 0);
+  EXPECT_EQ(outlier->get(), kUnassigned);
+  server.Stop();
+
+  const LabelServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 31u);
+  EXPECT_EQ(stats.outliers, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GT(stats.batch_fill, 0.0);
+  EXPECT_LE(stats.batch_fill, 4.0);
+
+  const diag::RunMetrics metrics = registry.Snapshot();
+  EXPECT_EQ(metrics.CounterOr("serve.requests"), 31u);
+  EXPECT_EQ(metrics.CounterOr("serve.outliers"), 1u);
+  EXPECT_EQ(metrics.CounterOr("serve.rejected"), 0u);
+  EXPECT_GE(metrics.CounterOr("serve.batches"), 1u);
+}
+
+TEST_F(ServeTest, AdmissionBoundRejectsWhenQueueIsFull) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok());
+
+  ServeOptions options;
+  options.max_queue = 4;
+  LabelServer server(&*handle, options);
+
+  // Before Start nothing drains, so the queue fills deterministically.
+  std::vector<std::future<ClusterIndex>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    auto f = server.Submit(Transaction({1, 2, 3}));
+    ASSERT_TRUE(f.ok()) << "submission " << i;
+    admitted.push_back(std::move(*f));
+  }
+  auto rejected = server.Submit(Transaction({1, 2, 3}));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsFailedPrecondition());
+
+  // The admitted four still get answers once the workers start.
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& f : admitted) EXPECT_EQ(f.get(), 0);
+  server.Stop();
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().requests, 4u);
+  EXPECT_EQ(server.stats().peak_queue_depth, 4u);
+
+  // After Stop every submission is refused.
+  EXPECT_TRUE(server.Submit(Transaction({1}))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// ServeLines protocol.
+
+TEST_F(ServeTest, ServeLinesAnswersInOrderWithErrorsAndComments) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok());
+
+  std::istringstream in(
+      "# a comment line\n"
+      "1 2 3\n"
+      "\n"
+      "   \n"
+      "100 101\n"
+      "not-an-id\n"
+      "500 501\n"
+      "2 3 4\n");
+  std::ostringstream out;
+  ServeOptions options;
+  options.num_threads = 2;
+  options.max_batch = 2;
+  ASSERT_TRUE(ServeLines(*handle, options, in, out).ok());
+
+  // One answer per non-blank, non-comment line, in submission order; the
+  // malformed line yields an ERR slot in sequence.
+  std::istringstream answers(out.str());
+  std::string line;
+  std::vector<std::string> got;
+  while (std::getline(answers, line)) got.push_back(line);
+  ASSERT_EQ(got.size(), 5u) << out.str();
+  EXPECT_EQ(got[0], "0");
+  EXPECT_EQ(got[1], "1");
+  EXPECT_EQ(got[2].substr(0, 4), "ERR:");
+  EXPECT_EQ(got[3], "-1");
+  EXPECT_EQ(got[4], "0");
+}
+
+TEST_F(ServeTest, ServeLinesStaysBoundedOnLongStreams) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok());
+
+  // Far more lines than max_queue: the window flush must keep the protocol
+  // loop from deadlocking against its own admission bound.
+  std::string input;
+  for (int i = 0; i < 500; ++i) input += "1 2 3\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServeOptions options;
+  options.max_queue = 8;
+  options.max_batch = 4;
+  ASSERT_TRUE(ServeLines(*handle, options, in, out).ok());
+
+  std::istringstream answers(out.str());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(answers, line)) {
+    EXPECT_EQ(line, "0");
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// BuildModel and the serve ≡ pipeline differential.
+
+TEST_F(ServeTest, BuildModelPersistsALoadableBundle) {
+  ModelBuildOptions build;
+  build.pipeline = BaseOptions(0.5);
+  build.model_path = model_path_;
+  auto built = BuildModel(store_path_, build);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built->sample_rows.size(), 60u);
+  EXPECT_GE(built->bundle.labeling_sets.size(), 3u);
+  EXPECT_EQ(built->metrics.CounterOr("model.saved"), 1u);
+  EXPECT_EQ(built->metrics.CounterOr("sample.rows"), 60u);
+
+  auto handle = ModelHandle::Load(model_path_);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE(handle->fingerprint() == built->bundle.fingerprint);
+  EXPECT_EQ(handle->num_clusters(), built->bundle.labeling_sets.size());
+}
+
+TEST_F(ServeTest, BuildModelRefusesAnEmptyStore) {
+  const std::string empty = TempPath("rock_serve_empty");
+  ASSERT_TRUE(WriteDatasetToStore(TransactionDataset{}, empty).ok());
+  ModelBuildOptions build;
+  build.pipeline = BaseOptions(0.5);
+  auto r = BuildModel(empty, build);
+  std::remove(empty.c_str());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+}
+
+TEST_F(ServeTest, ServedAnswersMatchPipelineBitForBit) {
+  for (double theta : {0.4, 0.5}) {
+    SCOPED_TRACE(::testing::Message() << "theta=" << theta);
+    auto pipeline = RunRockPipeline(store_path_, BaseOptions(theta));
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+    ModelBuildOptions build;
+    build.pipeline = BaseOptions(theta);
+    build.model_path = model_path_;
+    auto built = BuildModel(store_path_, build);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+    // The build half must reproduce the pipeline's sample and clustering
+    // exactly — same rows, same merges.
+    EXPECT_EQ(built->sample_rows, pipeline->sample_rows);
+    EXPECT_EQ(built->sample_result.clustering.assignment,
+              pipeline->sample_result.clustering.assignment);
+
+    auto handle = ModelHandle::Load(model_path_);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (size_t max_batch : {size_t{1}, size_t{7}, size_t{64}}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "threads=" << threads << " max_batch=" << max_batch);
+        ServeOptions options;
+        options.num_threads = threads;
+        options.max_batch = max_batch;
+        LabelServer server(&*handle, options);
+        ASSERT_TRUE(server.Start().ok());
+
+        auto reader = TransactionStoreReader::Open(store_path_);
+        ASSERT_TRUE(reader.ok());
+        std::vector<std::future<ClusterIndex>> futures;
+        while (reader->Next()) {
+          auto f = server.Submit(reader->transaction());
+          ASSERT_TRUE(f.ok()) << f.status().ToString();
+          futures.push_back(std::move(*f));
+        }
+        ASSERT_TRUE(reader->status().ok());
+        ASSERT_EQ(futures.size(), pipeline->labeling.assignments.size());
+        for (size_t row = 0; row < futures.size(); ++row) {
+          EXPECT_EQ(futures[row].get(), pipeline->labeling.assignments[row])
+              << "row " << row;
+        }
+        server.Stop();
+      }
+    }
+  }
+}
+
+TEST_F(ServeTest, ModelSaveFaultsSurfaceAndRetry) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+
+  // A transient torn write retries transparently…
+  ModelBuildOptions build;
+  build.pipeline = BaseOptions(0.5);
+  build.pipeline.rock.failpoints = "model.save=fire_on_hit_1:torn_write";
+  build.pipeline.retry_sleeper = [](double) {};
+  build.model_path = model_path_;
+  auto built = BuildModel(store_path_, build);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_GE(built->metrics.CounterOr("retry.retries"), 1u);
+  EXPECT_EQ(built->metrics.CounterOr("fault.fired.model.save"), 1u);
+  EXPECT_TRUE(ModelHandle::Load(model_path_).ok());
+
+  // …while a persistent failure fails the build (a model that never hit
+  // disk must not report success).
+  fail::Clear();
+  build.pipeline.rock.failpoints = "model.save=fire_every_1:torn_write";
+  auto failed = BuildModel(store_path_, build);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError()) << failed.status().ToString();
+}
+
+}  // namespace
+}  // namespace rock

@@ -17,6 +17,10 @@
 #      popcount engine vs the Fig. 4 hashed-scatter oracle, frozen CSR
 #      rows verified byte-identical); gates on the packed/hashed
 #      stage.links speedup vs bench/baselines/BENCH_links_smoke.json.
+#   4. serve loopback — bench_serve (label server vs direct Assign loop,
+#      assignments verified identical); gates on the direct/serve
+#      stage.label_query ratio vs bench/baselines/BENCH_serve_smoke.json,
+#      plus an absolute ≥ 10k QPS floor on the served answers.
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 #
@@ -25,7 +29,8 @@
 #     cp build/BENCH_rock_smoke.json bench/baselines/BENCH_rock_smoke.json && \
 #     cp build/BENCH_neighbors_smoke.json \
 #         bench/baselines/BENCH_neighbors_smoke.json && \
-#     cp build/BENCH_links_smoke.json bench/baselines/BENCH_links_smoke.json
+#     cp build/BENCH_links_smoke.json bench/baselines/BENCH_links_smoke.json && \
+#     cp build/BENCH_serve_smoke.json bench/baselines/BENCH_serve_smoke.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,9 +43,11 @@ NBR_BASELINE=bench/baselines/BENCH_neighbors_smoke.json
 NBR_REPORT="$BUILD_DIR/BENCH_neighbors_smoke.json"
 LNK_BASELINE=bench/baselines/BENCH_links_smoke.json
 LNK_REPORT="$BUILD_DIR/BENCH_links_smoke.json"
+SRV_BASELINE=bench/baselines/BENCH_serve_smoke.json
+SRV_REPORT="$BUILD_DIR/BENCH_serve_smoke.json"
 
 cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability \
-    bench_neighbors_ablation bench_links_ablation
+    bench_neighbors_ablation bench_links_ablation bench_serve
 
 echo "=== perf-smoke: bench_fig5_scalability $SCALE --compare-engines ==="
 ROCK_BENCH_JSON="$REPORT" \
@@ -70,3 +77,13 @@ ROCK_BENCH_JSON="$LNK_REPORT" \
 echo "=== perf-smoke: gate vs $LNK_BASELINE ==="
 python3 tools/check_perf_regression.py "$LNK_REPORT" "$LNK_BASELINE" \
     --engines=packed,hashed --stage=stage.links
+
+# Serve loopback: best-of-3 like the other sub-second stages, with an
+# absolute QPS floor on top of the machine-independent ratio gate.
+echo "=== perf-smoke: bench_serve --min-qps=10000 ==="
+(cd "$BUILD_DIR" && ROCK_BENCH_JSON=BENCH_serve_smoke.json \
+    ./bench/bench_serve "$SCALE" --min-qps=10000 --reps=3)
+
+echo "=== perf-smoke: gate vs $SRV_BASELINE ==="
+python3 tools/check_perf_regression.py "$SRV_REPORT" "$SRV_BASELINE" \
+    --engines=serve,direct --stage=stage.label_query

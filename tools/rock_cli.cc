@@ -2,6 +2,7 @@
 // src/cli/cli.cc so the test suite can exercise it in-process.
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,9 @@ int main(int argc, char** argv) {
                  s.ToString().c_str());
     return 2;
   }
-  const int code = rock::RunCli(args, &output);
+  // stdin/stdout carry the `rock serve` line protocol; summary text still
+  // arrives through `output` so piped protocol streams stay clean.
+  const int code = rock::RunCli(args, &output, &std::cin, &std::cout);
   std::fputs(output.c_str(), stdout);
   return code;
 }

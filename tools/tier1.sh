@@ -2,7 +2,9 @@
 # tools/tier1.sh — the repo's tier-1 verification gate.
 #
 #   1. standard build + full ctest suite (ROADMAP.md "Tier-1 verify");
-#   2. ThreadSanitizer build of the threaded/diag subset (ctest -L sanitize),
+#   2. serve smoke: gen → pipeline → build → query/serve, diffing the
+#      served assignments byte-for-byte against the batch pipeline's;
+#   3. ThreadSanitizer build of the threaded/diag subset (ctest -L sanitize),
 #      so data races in the parallel graph phases fail the gate.
 #
 # Usage: tools/tier1.sh [--skip-tsan]
@@ -14,6 +16,28 @@ echo "=== tier-1: standard build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== tier-1: serve smoke (serve ≡ pipeline differential) ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+ROCK=build/tools/rock
+[[ -x "$ROCK" ]] || ROCK=build/rock
+"$ROCK" gen --dataset=basket --scale=0.02 --out="$SMOKE_DIR/baskets.store"
+"$ROCK" pipeline --store="$SMOKE_DIR/baskets.store" --sample-size=400 \
+    --theta=0.5 --k=10 --assignments="$SMOKE_DIR/batch.csv"
+"$ROCK" build --store="$SMOKE_DIR/baskets.store" --sample-size=400 \
+    --theta=0.5 --k=10 --model="$SMOKE_DIR/model.rock"
+"$ROCK" query --model="$SMOKE_DIR/model.rock" \
+    --from-store="$SMOKE_DIR/baskets.store" --threads=4 \
+    --assignments="$SMOKE_DIR/served.csv"
+cmp "$SMOKE_DIR/batch.csv" "$SMOKE_DIR/served.csv" \
+    || { echo "serve smoke: served assignments differ from pipeline"; exit 1; }
+printf '3 5 9\n# comment\n17\n' | \
+    "$ROCK" serve --model="$SMOKE_DIR/model.rock" --threads=2 \
+    > "$SMOKE_DIR/answers.txt"
+[[ "$(wc -l < "$SMOKE_DIR/answers.txt")" == "2" ]] \
+    || { echo "serve smoke: line protocol answered wrong line count"; exit 1; }
+echo "serve smoke: OK"
 
 if [[ "${1:-}" == "--skip-tsan" ]]; then
   echo "=== tier-1: TSan stage skipped (--skip-tsan) ==="
