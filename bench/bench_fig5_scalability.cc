@@ -7,10 +7,13 @@
 // θ is faster because each transaction has fewer neighbors, making link
 // computation cheaper.
 //
-// Usage: bench_fig5_scalability [scale] [--compare-engines]
+// Usage: bench_fig5_scalability [scale] [--compare-engines] [--threads=N]
 //   scale             — multiplies the generated database size (default 1.0)
 //   --compare-engines — run every cell under both merge engines (flat and
 //                       hashed) and report the stage.merge speedup
+//   --threads=N       — worker threads for the graph phases (neighbor +
+//                       link engines); the merge loop stays serial. Used
+//                       by EXPERIMENTS.md's multi-core stage table.
 //
 // Every run appends to the machine-readable perf trajectory
 // (BENCH_rock.json, or $ROCK_BENCH_JSON; schema in docs/OBSERVABILITY.md).
@@ -44,9 +47,12 @@ int main(int argc, char** argv) {
 
   double scale = 1.0;
   bool compare_engines = false;
+  size_t threads = 1;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--compare-engines") == 0) {
       compare_engines = true;
+    } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoll(argv[a] + 10));
     } else {
       scale = std::atof(argv[a]);
     }
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
         opt.outlier_stop_multiple = 3.0;
         opt.min_cluster_support = 5;
         opt.merge_engine = engine;
+        opt.graph_threads = threads;
         Timer timer;
         auto result = RockClusterer(opt).Cluster(sim);
         if (!result.ok()) {
@@ -122,6 +129,7 @@ int main(int argc, char** argv) {
         std::snprintf(theta_str, sizeof(theta_str), "%.1f", theta);
         perf.Param("theta", theta_str);
         perf.Param("engine", EngineName(engine));
+        perf.Param("threads", std::to_string(threads));
         perf.AddRunMetrics(result->metrics);
         breakdowns.emplace_back(label, std::move(result->metrics));
       }

@@ -390,7 +390,11 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   bool profiles = false;
   int64_t seed = 42;
   size_t threads = 1;
+  size_t graph_threads = kGraphThreadsInherit;
   size_t row_chunk = 16;
+  size_t lsh_bands = 0;
+  size_t lsh_rows = 0;
+  size_t lsh_seed = 0x5eed;
   std::string neighbors = "exact";
   std::string merge_engine = "flat";
   std::string neighbor_engine = "packed";
@@ -427,9 +431,18 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   flags.AddInt("seed", &seed, "seed (kmeans)");
   flags.AddSize("threads", &threads,
                 "worker threads for neighbors/links (0 = all cores, rock)");
+  flags.AddSize("graph-threads", &graph_threads,
+                "worker threads for just the neighbor/link phases "
+                "(default: follow --threads; 0 = all cores, rock)");
   flags.AddSize("row-chunk", &row_chunk,
                 "rows claimed per parallel scheduling step (rock, "
                 "with --threads > 1)");
+  flags.AddSize("lsh-bands", &lsh_bands,
+                "LSH bands for --neighbor-engine=lsh|auto "
+                "(0 = auto-tune from θ, rock)");
+  flags.AddSize("lsh-rows", &lsh_rows,
+                "LSH rows per band (0 = auto-tune from θ, rock)");
+  flags.AddSize("lsh-seed", &lsh_seed, "LSH hash-family seed (rock)");
   flags.AddString("neighbors", &neighbors,
                   "exact | lsh (MinHash-accelerated; basket/store inputs, "
                   "rock only)");
@@ -437,8 +450,9 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
                   "flat | hashed merge-engine layout (rock; results are "
                   "identical, flat is faster)");
   flags.AddString("neighbor-engine", &neighbor_engine,
-                  "packed | scalar neighbor-graph engine (rock; graphs are "
-                  "identical, packed is faster)");
+                  "packed | scalar | lsh | auto neighbor-graph engine "
+                  "(rock; packed/scalar are exact and identical, lsh is "
+                  "precision-1 approximate, auto picks per dataset)");
   flags.AddString("link-engine", &link_engine,
                   "packed | hashed link-count engine (rock; link rows are "
                   "identical, packed is faster)");
@@ -486,7 +500,11 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
       opt.outlier_stop_multiple = stop_multiple;
       opt.min_cluster_support = min_support;
       opt.num_threads = threads;
+      opt.graph_threads = graph_threads;
       opt.row_chunk = row_chunk;
+      opt.lsh_bands = lsh_bands;
+      opt.lsh_rows = lsh_rows;
+      opt.lsh_seed = lsh_seed;
       opt.diag.invariant_check_every = check_invariants;
       if (merge_engine == "flat") {
         opt.merge_engine = MergeEngineKind::kFlat;
@@ -500,6 +518,10 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
         opt.neighbor_engine = NeighborEngineKind::kPacked;
       } else if (neighbor_engine == "scalar") {
         opt.neighbor_engine = NeighborEngineKind::kScalar;
+      } else if (neighbor_engine == "lsh") {
+        opt.neighbor_engine = NeighborEngineKind::kLsh;
+      } else if (neighbor_engine == "auto") {
+        opt.neighbor_engine = NeighborEngineKind::kAuto;
       } else {
         EmitStr(out, "error: unknown --neighbor-engine '" + neighbor_engine +
                          "'\n");
@@ -659,8 +681,12 @@ struct PipelineFlagValues {
   size_t min_support = 5;
   size_t check_invariants = 0;
   size_t threads = 1;
+  size_t graph_threads = kGraphThreadsInherit;
   size_t row_chunk = 16;
   size_t label_threads = 1;
+  size_t lsh_bands = 0;
+  size_t lsh_rows = 0;
+  size_t lsh_seed = 0x5eed;
   int64_t seed = 42;
   std::string failpoints;
   std::string neighbor_engine = "packed";
@@ -675,15 +701,25 @@ void RegisterPipelineFlags(FlagSet& flags, PipelineFlagValues* v) {
   flags.AddSize("threads", &v->threads,
                 "worker threads for the neighbor/link phases "
                 "(0 = all cores; results are identical at any count)");
+  flags.AddSize("graph-threads", &v->graph_threads,
+                "worker threads for just the neighbor/link phases "
+                "(default: follow --threads; 0 = all cores)");
   flags.AddSize("row-chunk", &v->row_chunk,
                 "rows claimed per parallel scheduling step "
                 "(with --threads > 1)");
   flags.AddSize("label-threads", &v->label_threads,
                 "worker threads for the disk labeling phase "
                 "(0 = all cores; assignments are identical at any count)");
+  flags.AddSize("lsh-bands", &v->lsh_bands,
+                "LSH bands for --neighbor-engine=lsh|auto "
+                "(0 = auto-tune from θ)");
+  flags.AddSize("lsh-rows", &v->lsh_rows,
+                "LSH rows per band (0 = auto-tune from θ)");
+  flags.AddSize("lsh-seed", &v->lsh_seed, "LSH hash-family seed");
   flags.AddString("neighbor-engine", &v->neighbor_engine,
-                  "packed | scalar neighbor-graph engine (graphs are "
-                  "identical, packed is faster)");
+                  "packed | scalar | lsh | auto neighbor-graph engine "
+                  "(packed/scalar are exact and identical, lsh is "
+                  "precision-1 approximate, auto picks per dataset)");
   flags.AddString("link-engine", &v->link_engine,
                   "packed | hashed link-count engine (link rows are "
                   "identical, packed is faster)");
@@ -711,12 +747,20 @@ int ApplyPipelineFlags(const PipelineFlagValues& v, PipelineOptions* opt,
   opt->rock.min_cluster_support = v.min_support;
   opt->rock.diag.invariant_check_every = v.check_invariants;
   opt->rock.num_threads = v.threads;
+  opt->rock.graph_threads = v.graph_threads;
   opt->rock.row_chunk = v.row_chunk;
   opt->rock.label_threads = v.label_threads;
+  opt->rock.lsh_bands = v.lsh_bands;
+  opt->rock.lsh_rows = v.lsh_rows;
+  opt->rock.lsh_seed = v.lsh_seed;
   if (v.neighbor_engine == "packed") {
     opt->rock.neighbor_engine = NeighborEngineKind::kPacked;
   } else if (v.neighbor_engine == "scalar") {
     opt->rock.neighbor_engine = NeighborEngineKind::kScalar;
+  } else if (v.neighbor_engine == "lsh") {
+    opt->rock.neighbor_engine = NeighborEngineKind::kLsh;
+  } else if (v.neighbor_engine == "auto") {
+    opt->rock.neighbor_engine = NeighborEngineKind::kAuto;
   } else {
     EmitStr(out,
             "error: unknown --neighbor-engine '" + v.neighbor_engine + "'\n");

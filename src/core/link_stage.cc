@@ -11,17 +11,18 @@ namespace rock::internal {
 LinkMatrix ComputeLinkStage(const NeighborGraph& graph,
                             const RockOptions& options,
                             diag::MetricsRegistry* metrics) {
+  const size_t graph_threads = options.EffectiveGraphThreads();
   if (options.link_engine == LinkEngineKind::kPacked) {
     PackedLinkOptions packed;
-    packed.num_threads = options.num_threads;
+    packed.num_threads = graph_threads;
     packed.row_chunk = options.row_chunk;
     packed.metrics = metrics;
     return ComputeLinksPacked(graph, packed);
   }
-  return options.num_threads == 1
+  return graph_threads == 1
              ? ComputeLinks(graph)
              : ComputeLinksParallel(graph,
-                                    {options.num_threads, options.row_chunk});
+                                    {graph_threads, options.row_chunk});
 }
 
 }  // namespace rock::internal

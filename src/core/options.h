@@ -18,6 +18,9 @@
 
 namespace rock {
 
+/// Sentinel for RockOptions::graph_threads: inherit num_threads.
+inline constexpr size_t kGraphThreadsInherit = static_cast<size_t>(-1);
+
 /// The paper's market-basket estimate f(θ) = (1 − θ) / (1 + θ): each point
 /// of a cluster C_i has ≈ n_i^{f(θ)} neighbors inside C_i. Satisfies the
 /// paper's sanity checks f(1) = 0 (only identical points are neighbors) and
@@ -44,16 +47,27 @@ enum class MergeEngineKind {
   kHashed,
 };
 
-/// Which engine builds the θ-thresholded neighbor graph. Output graphs are
-/// bit-identical between the two at any thread count; only speed differs.
+/// Which engine builds the θ-thresholded neighbor graph. kPacked and
+/// kScalar produce bit-identical graphs at any thread count; kLsh trades
+/// a controlled amount of recall for sub-quadratic candidate generation
+/// (precision stays 1 — every reported edge is exactly θ-verified), and
+/// kAuto only makes that trade when the cost model predicts a clear win.
 enum class NeighborEngineKind {
   /// Bit-packed popcount kernel + θ length-bound / inverted-index pruning
-  /// (graph/neighbor_engine.h) — the default. Falls back to the scalar
-  /// path for similarities without a batch kernel.
+  /// (graph/neighbor_engine.h) — the default, always exact. Falls back to
+  /// the scalar path for similarities without a batch kernel.
   kPacked,
   /// The original per-pair virtual-call sweep (graph/neighbors.h). Kept as
   /// the reference oracle for differential tests and perf baselines.
   kScalar,
+  /// MinHash LSH banding candidates + exact θ-verification (the packed
+  /// engine's kLsh strategy). Deterministic for a fixed lsh_seed at any
+  /// thread count; recall follows 1 − (1 − θ^r)^b for the banding in use.
+  kLsh,
+  /// The packed engine's cost model, additionally allowed to pick the LSH
+  /// pass when its estimated op count beats every exact pass by a wide
+  /// margin (graph/neighbor_engine.h kLshAutoFactor).
+  kAuto,
 };
 
 /// Which engine computes the pairwise link counts (paper §3.2 / Fig. 4).
@@ -124,6 +138,24 @@ struct RockOptions {
   /// num_threads == 1.
   size_t row_chunk = 16;
 
+  /// Worker threads for just the neighbor-graph + link phases, overriding
+  /// num_threads there when set (kGraphThreadsInherit = follow
+  /// num_threads; 0 = hardware concurrency). Lets a pipeline keep the
+  /// serial default elsewhere while the two graph phases fan out.
+  size_t graph_threads = kGraphThreadsInherit;
+
+  /// LSH banding for neighbor_engine kLsh / kAuto: bands b and rows per
+  /// band r (signature length b·r, candidate recall 1 − (1 − θ^r)^b).
+  /// Both 0 (the default) auto-tunes them from θ for ≥ 99.95% recall at
+  /// similarity exactly θ under a bounded signature length
+  /// (TuneLshOptions in similarity/minhash.h). Ignored by exact engines.
+  size_t lsh_bands = 0;
+  size_t lsh_rows = 0;
+
+  /// Seed for the LSH hash family. Graphs from kLsh are deterministic
+  /// functions of (data, banding, this seed) at any thread count.
+  uint64_t lsh_seed = 0x5eed;
+
   /// Merge-engine data layout; see MergeEngineKind. Both engines produce
   /// bit-identical results.
   MergeEngineKind merge_engine = MergeEngineKind::kFlat;
@@ -151,6 +183,13 @@ struct RockOptions {
   /// builds compiled with -DROCK_FAILPOINTS=OFF a non-empty schedule is
   /// rejected with FailedPrecondition instead of being silently ignored.
   std::string failpoints;
+
+  /// Thread count the graph phases actually run with: graph_threads
+  /// unless it is kGraphThreadsInherit, in which case num_threads.
+  size_t EffectiveGraphThreads() const {
+    return graph_threads == kGraphThreadsInherit ? num_threads
+                                                 : graph_threads;
+  }
 
   /// Checks parameter sanity.
   Status Validate() const;

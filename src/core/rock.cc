@@ -13,18 +13,30 @@ Result<RockResult> RockClusterer::Cluster(const PointSimilarity& sim) const {
   diag::MetricsRegistry nbr_metrics;
   Timer nbr_timer;
   Result<NeighborGraph> graph = NeighborGraph{};
+  const size_t graph_threads = options_.EffectiveGraphThreads();
   switch (options_.neighbor_engine) {
     case NeighborEngineKind::kScalar:
-      graph = options_.num_threads == 1
+      graph = graph_threads == 1
                   ? ComputeNeighbors(sim, options_.theta)
                   : ComputeNeighborsParallel(
                         sim, options_.theta,
-                        {options_.num_threads, options_.row_chunk});
+                        {graph_threads, options_.row_chunk});
       break;
-    case NeighborEngineKind::kPacked: {
+    case NeighborEngineKind::kPacked:
+    case NeighborEngineKind::kLsh:
+    case NeighborEngineKind::kAuto: {
       PackedNeighborOptions nopts;
-      nopts.num_threads = options_.num_threads;
+      nopts.num_threads = graph_threads;
       nopts.row_chunk = options_.row_chunk;
+      if (options_.neighbor_engine == NeighborEngineKind::kLsh) {
+        nopts.strategy = PackedStrategy::kLsh;
+      } else if (options_.neighbor_engine == NeighborEngineKind::kAuto) {
+        nopts.allow_lsh = true;
+      }
+      nopts.lsh = options_.lsh_bands == 0
+                      ? TuneLshOptions(options_.theta, options_.lsh_seed)
+                      : LshOptions{options_.lsh_bands, options_.lsh_rows,
+                                   options_.lsh_seed};
       nopts.metrics = options_.diag.collect_metrics ? &nbr_metrics : nullptr;
       graph = ComputeNeighborsPacked(sim, options_.theta, nopts);
       break;

@@ -34,6 +34,97 @@ LinkMatrix FallbackHashed(const NeighborGraph& graph,
   return links;
 }
 
+/// Serial mirror + CSR assembly shared by both counting passes. Row r
+/// receives its mirrored partners p < r while the outer loop passes
+/// p = 0..r−1 (ascending) and then its own upper partners q > r
+/// (ascending), so every row comes out strictly ascending — the exact
+/// layout LinkMatrix::Freeze() produces.
+LinkMatrix AssembleFromUpper(size_t n, const std::vector<UpperRow>& upper) {
+  std::vector<size_t> sizes(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    sizes[p] += upper[p].size();
+    for (const auto& [q, c] : upper[p]) ++sizes[q];
+  }
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t p = 0; p < n; ++p) offsets[p + 1] = offsets[p] + sizes[p];
+  std::vector<PointIndex> partners(offsets[n]);
+  std::vector<LinkCount> counts(offsets[n]);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t p = 0; p < n; ++p) {
+    for (const auto& [q, c] : upper[p]) {
+      partners[cursor[p]] = q;
+      counts[cursor[p]] = c;
+      ++cursor[p];
+      partners[cursor[q]] = static_cast<PointIndex>(p);
+      counts[cursor[q]] = c;
+      ++cursor[q];
+    }
+  }
+  return LinkMatrix::FromCsr(n, std::move(offsets), std::move(partners),
+                             std::move(counts));
+}
+
+/// Dense ScanCount pass: for each row p, every neighbor i's adjacency
+/// suffix beyond p is scattered into a per-worker count array — count[q]
+/// ends at |N(p) ∩ N(q)| because each shared neighbor contributes exactly
+/// one increment — while a ⌈n/64⌉-word bitmap records first touches. The
+/// bitmap sweep then emits the row's partners in ascending order and
+/// resets both scratch structures. Row outputs depend only on the graph,
+/// so any schedule produces the same upper rows.
+LinkMatrix ScatterPass(const NeighborGraph& graph,
+                       const PackedLinkOptions& options) {
+  const size_t n = graph.size();
+  const size_t words = (n + 63) / 64;
+  const size_t num_threads = ResolveThreads(options.num_threads);
+  diag::AddCounter(options.metrics, "links.scatter_pass", 1);
+  std::vector<UpperRow> upper(n);
+  std::vector<uint64_t> found(std::max<size_t>(num_threads, 1), 0);
+  std::atomic<size_t> next{0};
+  const size_t chunk = std::max<size_t>(1, options.row_chunk);
+  ParallelInvoke(num_threads, [&](size_t worker) {
+    std::vector<LinkCount> count(n, 0);
+    std::vector<uint64_t> touched(words, 0);
+    while (true) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const size_t end = std::min(begin + chunk, n);
+      for (size_t p = begin; p < end; ++p) {
+        const auto& nbrs = graph.nbrlist[p];
+        if (nbrs.empty()) continue;
+        const auto pi = static_cast<PointIndex>(p);
+        for (const PointIndex i : nbrs) {
+          const auto& ni = graph.nbrlist[i];
+          // Partners q > p form a suffix of the ascending adjacency list.
+          for (auto it = std::upper_bound(ni.begin(), ni.end(), pi);
+               it != ni.end(); ++it) {
+            const size_t q = *it;
+            ++count[q];
+            touched[q >> 6] |= uint64_t{1} << (q & 63);
+          }
+        }
+        UpperRow& out = upper[p];
+        for (size_t w = p >> 6; w < words; ++w) {
+          uint64_t bits = touched[w];
+          touched[w] = 0;
+          while (bits != 0) {
+            const auto q = static_cast<PointIndex>(
+                (w << 6) + static_cast<size_t>(std::countr_zero(bits)));
+            bits &= bits - 1;
+            out.emplace_back(q, count[q]);
+            count[q] = 0;
+          }
+        }
+        found[worker] += out.size();
+      }
+    }
+  });
+  uint64_t candidates = 0;
+  for (const uint64_t f : found) candidates += f;
+  diag::AddCounter(options.metrics, "links.candidate_pairs", candidates);
+  diag::AddCounter(options.metrics, "links.pairs_counted", candidates);
+  return AssembleFromUpper(n, upper);
+}
+
 }  // namespace
 
 LinkMatrix ComputeLinksPacked(const NeighborGraph& graph,
@@ -47,22 +138,48 @@ LinkMatrix ComputeLinksPacked(const NeighborGraph& graph,
     return links;
   }
   const size_t words = (n + 63) / 64;
+
+  PackedLinkStrategy strategy = options.strategy;
+  if (strategy == PackedLinkStrategy::kAuto) {
+    // Scatter iff its exact total increment count undercuts the plane's
+    // OR-mask word reads alone — a certain win, and a data-only choice, so
+    // the decision (and every links.* metric) is identical at any thread
+    // count.
+    uint64_t scatter_ops = 0;
+    uint64_t degree_sum = 0;
+    for (const auto& nbrs : graph.nbrlist) {
+      const auto m = static_cast<uint64_t>(nbrs.size());
+      scatter_ops += m * (m - (m > 0 ? 1 : 0)) / 2;
+      degree_sum += m;
+    }
+    strategy = scatter_ops < degree_sum * words
+                   ? PackedLinkStrategy::kScatter
+                   : PackedLinkStrategy::kPlane;
+  }
+  if (strategy == PackedLinkStrategy::kScatter) {
+    return ScatterPass(graph, options);
+  }
   if (words > options.pack_budget_bytes / sizeof(uint64_t) / n) {
     return FallbackHashed(graph, options);
   }
 
   // Plane: row i holds N(i) as an n-bit set. Rows are the adjacency matrix
   // rows, so popcount(row_p AND row_q) = |N(p) ∩ N(q)| = link(p, q).
+  // Rows write disjoint plane segments, so packing shards cleanly.
   std::vector<uint64_t> plane;
   {
     diag::ScopedTimer pack_timer(options.metrics, "stage.links.pack");
     plane.assign(n * words, 0);
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t* row = plane.data() + i * words;
-      for (const PointIndex q : graph.nbrlist[i]) {
-        row[q >> 6] |= uint64_t{1} << (q & 63);
-      }
-    }
+    ParallelChunks(options.num_threads, n,
+                   std::max<size_t>(1, options.row_chunk),
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       uint64_t* row = plane.data() + i * words;
+                       for (const PointIndex q : graph.nbrlist[i]) {
+                         row[q >> 6] |= uint64_t{1} << (q & 63);
+                       }
+                     }
+                   });
   }
 
   // Per-row pass over the upper triangle. Candidates q > p are the set bits
@@ -121,32 +238,7 @@ LinkMatrix ComputeLinksPacked(const NeighborGraph& graph,
   // two counters agree on this path; they differ only on the fallback.
   diag::AddCounter(options.metrics, "links.pairs_counted", candidates);
 
-  // Serial mirror + CSR assembly. Row r receives its mirrored partners
-  // p < r while the outer loop passes p = 0..r−1 (ascending) and then its
-  // own upper partners q > r (ascending), so every row comes out strictly
-  // ascending — the exact layout LinkMatrix::Freeze() produces.
-  std::vector<size_t> sizes(n, 0);
-  for (size_t p = 0; p < n; ++p) {
-    sizes[p] += upper[p].size();
-    for (const auto& [q, c] : upper[p]) ++sizes[q];
-  }
-  std::vector<size_t> offsets(n + 1, 0);
-  for (size_t p = 0; p < n; ++p) offsets[p + 1] = offsets[p] + sizes[p];
-  std::vector<PointIndex> partners(offsets[n]);
-  std::vector<LinkCount> counts(offsets[n]);
-  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (size_t p = 0; p < n; ++p) {
-    for (const auto& [q, c] : upper[p]) {
-      partners[cursor[p]] = q;
-      counts[cursor[p]] = c;
-      ++cursor[p];
-      partners[cursor[q]] = static_cast<PointIndex>(p);
-      counts[cursor[q]] = c;
-      ++cursor[q];
-    }
-  }
-  return LinkMatrix::FromCsr(n, std::move(offsets), std::move(partners),
-                             std::move(counts));
+  return AssembleFromUpper(n, upper);
 }
 
 }  // namespace rock

@@ -15,6 +15,25 @@
 // exactly the pairs with link > 0 — so no popcount sweep is ever wasted on
 // a zero pair.
 //
+// The plane degrades quadratically, though: every popcount sweeps ⌈n/64⌉
+// words whatever the counts, and the OR-mask enumeration alone costs
+// Σ mᵢ · ⌈n/64⌉ word reads. So the engine carries a second exact pass for
+// scale:
+//
+//   * dense ScanCount scatter — per row p, walk each neighbor's adjacency
+//     suffix beyond p and increment a dense per-worker count array, marking
+//     first touches in a ⌈n/64⌉-word bitmap whose sweep then emits the
+//     row's partners in ascending order. Total work is exactly Σᵢ C(mᵢ, 2)
+//     increments (each witness i contributes its within-neighborhood pair
+//     count) — the Fig. 4 op count with array writes instead of hash-map
+//     updates, and O(n) scratch per worker instead of an O(n²/64) plane.
+//
+// kAuto picks the scatter exactly when its total increment count undercuts
+// the plane's OR-mask word reads alone (Σᵢ C(mᵢ, 2) < Σᵢ mᵢ · ⌈n/64⌉ — a
+// certain win, both sides exact and data-only), which in practice flips
+// from plane to scatter once average degree falls below ~2·⌈n/64⌉. Both
+// passes produce the same UpperRow stream.
+//
 // Every row's candidate set and counts depend only on the input graph, and
 // the mirror/CSR assembly pass is serial and index-ordered, so the frozen
 // CSR rows are byte-identical to LinkMatrix::Freeze() of the Fig. 4 hashed
@@ -22,8 +41,9 @@
 //
 // Packing is gated by a memory budget (kDefaultPackedBytes, shared with the
 // neighbor engine): an n-point graph needs n·⌈n/64⌉ plane words, and when
-// that exceeds the budget the engine falls back to the hashed scatter and
-// says so via the links.fallback_hashed counter.
+// the plane is selected but exceeds the budget the engine falls back to
+// the hashed scatter and says so via the links.fallback_hashed counter
+// (the dense scatter needs no plane and ignores the budget).
 
 #ifndef ROCK_GRAPH_LINK_ENGINE_H_
 #define ROCK_GRAPH_LINK_ENGINE_H_
@@ -37,24 +57,43 @@
 
 namespace rock {
 
+/// Which counting pass ComputeLinksPacked runs. Both are exact and emit
+/// byte-identical frozen rows; only speed and memory differ.
+enum class PackedLinkStrategy {
+  /// Cost-model choice between the two (see the header comment); the
+  /// default outside tests and benches.
+  kAuto,
+  /// Bit-plane popcount sweep. Over the packing budget this degrades to
+  /// the hashed Fig. 4 oracle (links.fallback_hashed), preserving the
+  /// historical contract for callers that pinned the plane.
+  kPlane,
+  /// Dense ScanCount scatter; O(n) scratch per worker, no budget gate.
+  kScatter,
+};
+
 /// Options for the packed link engine.
 struct PackedLinkOptions {
-  /// Worker threads for the per-row popcount pass; 0 = hardware
+  /// Worker threads for the per-row counting pass; 0 = hardware
   /// concurrency. Results are identical at any count.
   size_t num_threads = 1;
 
   /// Rows claimed per scheduling step by the parallel pass.
   size_t row_chunk = 16;
 
-  /// Cap on total plane bytes (n · ⌈n/64⌉ words). Over budget the engine
-  /// falls back to the hashed Fig. 4 scatter.
+  /// Counting-pass selection; kAuto outside tests.
+  PackedLinkStrategy strategy = PackedLinkStrategy::kAuto;
+
+  /// Cap on total plane bytes (n · ⌈n/64⌉ words). Over budget the plane
+  /// pass falls back to the hashed Fig. 4 scatter; the dense scatter pass
+  /// is not affected.
   size_t pack_budget_bytes = kDefaultPackedBytes;
 
-  /// Metrics sink (may be null): links.candidate_pairs (popcount sweeps;
-  /// candidate enumeration is exact, so this equals the stored non-zero
-  /// pairs), links.pairs_counted (stored non-zero pairs),
-  /// links.fallback_hashed (1 when the budget forced the hashed path) and
-  /// the stage.links.pack timer.
+  /// Metrics sink (may be null): links.candidate_pairs (pairs sharing ≥ 1
+  /// neighbor; candidate enumeration is exact on both passes, so this
+  /// equals the stored non-zero pairs), links.pairs_counted (stored
+  /// non-zero pairs), links.scatter_pass (1 when the dense ScanCount pass
+  /// ran), links.fallback_hashed (1 when the budget forced the hashed
+  /// path) and the stage.links.pack timer.
   diag::MetricsRegistry* metrics = nullptr;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -9,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
+#include "common/status.h"
 #include "diag/metrics.h"
 #include "graph/parallel.h"
 #include "similarity/batch.h"
@@ -220,6 +223,156 @@ NeighborGraph CandidatePass(const BatchSimilarity& batch, double theta,
   return ScatterEdges(n, edges);
 }
 
+// MinHash LSH banding pass: per-row signatures → per-band bucket keys →
+// bucket co-membership candidates → sorted dedup → exact θ-verification of
+// every candidate through the packed kernel. Precision is 1 by
+// construction; recall follows LshCollisionProbability. Every stage is
+// sharded over the thread pool, and every stage's output is a function of
+// the data + seed alone (per-band buffers, a scheduling-independent sorted
+// dedup, and the same ScatterEdges assembly as the exact passes), so the
+// graph is deterministic for a fixed seed at any thread count.
+NeighborGraph LshPass(const BatchSimilarity& batch, double theta,
+                      const PackedNeighborOptions& options,
+                      uint64_t* pairs_evaluated, uint64_t* candidates_out,
+                      uint64_t* skipped_empty) {
+  const size_t n = batch.size();
+  const SparseItemView& view = *batch.items();
+  const std::vector<uint32_t>* sizes = batch.prune_sizes();
+  const size_t bands = options.lsh.num_bands;
+  const size_t rows_per_band = options.lsh.rows_per_band;
+  const size_t sig_len = bands * rows_per_band;
+  const size_t num_threads = ResolveThreads(options.num_threads);
+  const size_t workers = std::max<size_t>(num_threads, 1);
+  const auto row_empty = [&view](size_t r) {
+    return view.row_offsets[r + 1] == view.row_offsets[r];
+  };
+
+  // Signatures, sharded by row into flat storage. Empty rows are skipped
+  // outright: their all-max signatures would all collide with each other
+  // in every band — a quadratic candidate blow-up in one bucket at scale —
+  // yet their exact similarity is 0 < θ with everything, so for the θ > 0
+  // this pass requires, skipping them loses no edge.
+  std::vector<uint64_t> sigs(n * sig_len);
+  const MinHasher hasher(sig_len, options.lsh.seed);
+  size_t empty_rows = 0;
+  for (size_t r = 0; r < n; ++r) {
+    if (row_empty(r)) ++empty_rows;
+  }
+  *skipped_empty = empty_rows;
+  ParallelChunks(num_threads, n, std::max<size_t>(1, options.row_chunk),
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = begin; r < end; ++r) {
+                     if (row_empty(r)) continue;
+                     const uint64_t off = view.row_offsets[r];
+                     hasher.SignatureInto(
+                         view.items.data() + off,
+                         static_cast<size_t>(view.row_offsets[r + 1] - off),
+                         sigs.data() + r * sig_len);
+                   }
+                 });
+
+  // Banding, sharded by band: rows sorted by bucket key, each equal-key run
+  // emits its C(m, 2) member pairs as (lo << 32) | hi keys into that band's
+  // buffer. Output is keyed by band — not by worker — so the concatenation
+  // below is schedule-independent.
+  std::vector<std::vector<uint64_t>> band_pairs(bands);
+  ParallelChunks(num_threads, bands, 1, [&](size_t b0, size_t b1) {
+    std::vector<std::pair<uint64_t, uint32_t>> keys;
+    keys.reserve(n - empty_rows);
+    for (size_t band = b0; band < b1; ++band) {
+      keys.clear();
+      for (size_t r = 0; r < n; ++r) {
+        if (row_empty(r)) continue;
+        keys.emplace_back(
+            LshBandKey(sigs.data() + r * sig_len + band * rows_per_band,
+                       rows_per_band, band),
+            static_cast<uint32_t>(r));
+      }
+      std::sort(keys.begin(), keys.end());
+      std::vector<uint64_t>& out = band_pairs[band];
+      size_t lo = 0;
+      while (lo < keys.size()) {
+        size_t hi = lo + 1;
+        while (hi < keys.size() && keys[hi].first == keys[lo].first) ++hi;
+        // Members ascend within the run (ties sort by row), so a < b below.
+        for (size_t a = lo; a < hi; ++a) {
+          for (size_t b = a + 1; b < hi; ++b) {
+            out.push_back((uint64_t{keys[a].second} << 32) | keys[b].second);
+          }
+        }
+        lo = hi;
+      }
+    }
+  });
+  sigs.clear();
+  sigs.shrink_to_fit();
+
+  // Cross-band dedup: one sorted unique candidate list. Sorting also groups
+  // the verification batches by their lower row.
+  size_t raw = 0;
+  for (const auto& bp : band_pairs) raw += bp.size();
+  std::vector<uint64_t> candidates;
+  candidates.reserve(raw);
+  for (auto& bp : band_pairs) {
+    candidates.insert(candidates.end(), bp.begin(), bp.end());
+    bp.clear();
+    bp.shrink_to_fit();
+  }
+  SortUniqueParallel(&candidates, num_threads);
+  *candidates_out = candidates.size();
+
+  // Exact verification, sharded over the candidate array. Runs of equal
+  // lower row become one packed batch call; a run split across chunk
+  // boundaries just becomes two calls with identical results. The θ length
+  // bound prunes a candidate before it reaches the kernel (exact, same
+  // argument as the window pass).
+  std::vector<EdgeList> edges(workers);
+  std::vector<uint64_t> evaluated(workers, 0);
+  std::atomic<size_t> next{0};
+  constexpr size_t kVerifyChunk = 1024;
+  ParallelInvoke(num_threads, [&](size_t worker) {
+    EdgeList& local = edges[worker];
+    std::vector<uint32_t> js;
+    std::vector<double> vals;
+    while (true) {
+      const size_t begin = next.fetch_add(kVerifyChunk);
+      if (begin >= candidates.size()) break;
+      const size_t end = std::min(begin + kVerifyChunk, candidates.size());
+      size_t p = begin;
+      while (p < end) {
+        const auto i = static_cast<PointIndex>(candidates[p] >> 32);
+        size_t run = p;
+        js.clear();
+        while (run < end && static_cast<PointIndex>(candidates[run] >> 32) ==
+                                i) {
+          const auto j =
+              static_cast<uint32_t>(candidates[run] & 0xffffffffu);
+          if (sizes == nullptr ||
+              SizeBound(std::min((*sizes)[i], (*sizes)[j]),
+                        std::max((*sizes)[i], (*sizes)[j])) >= theta) {
+            js.push_back(j);
+          }
+          ++run;
+        }
+        if (!js.empty()) {
+          vals.resize(js.size());
+          batch.SimilarityBatch(i, js.data(), js.size(), vals.data());
+          evaluated[worker] += js.size();
+          for (size_t t = 0; t < js.size(); ++t) {
+            if (vals[t] >= theta) {
+              local.emplace_back(i, static_cast<PointIndex>(js[t]));
+            }
+          }
+        }
+        p = run;
+      }
+    }
+  });
+  *pairs_evaluated = 0;
+  for (const uint64_t e : evaluated) *pairs_evaluated += e;
+  return ScatterEdges(n, edges);
+}
+
 // The window pass's exact evaluated-pair count, in O(n log n): same sorted
 // order + binary searches over sizes alone.
 uint64_t WindowPairsExact(const BatchSimilarity& batch, double theta) {
@@ -257,6 +410,47 @@ uint64_t CandidateScanOps(const SparseItemView& view) {
   return ops;
 }
 
+// Estimated LSH-pass op count, in the same rough one-memory-touch units as
+// the two exact estimates above. The fixed part (signature build + per-band
+// bucketing) follows from the shapes alone; the data-dependent part — raw
+// bucket collisions to dedup and unique candidates to verify — is the
+// banding curve integrated over the similarity distribution, estimated
+// from a small deterministic sample of pairs (seeded by the LSH seed).
+// This is how kAuto sees density and θ, not just n, and it is a function
+// of data + seed alone, so the choice is identical at any thread count.
+uint64_t LshOpsEstimate(const BatchSimilarity& batch, const LshOptions& lsh,
+                        uint64_t nnz, uint64_t words) {
+  const size_t n = batch.size();
+  const auto b = static_cast<double>(lsh.num_bands);
+  const auto r = static_cast<double>(lsh.rows_per_band);
+  const uint64_t sig_len = lsh.num_bands * lsh.rows_per_band;
+  double ops = static_cast<double>(nnz * sig_len) +
+               static_cast<double>(n) * b;
+  constexpr size_t kSamples = 256;
+  if (n >= 2) {
+    SplitMix64 sm(lsh.seed ^ (uint64_t{n} * 0x9e3779b97f4a7c15ULL));
+    double raw = 0.0;
+    double cand = 0.0;
+    for (size_t s = 0; s < kSamples; ++s) {
+      const auto i = static_cast<size_t>(sm.Next() % n);
+      auto j = static_cast<uint32_t>(sm.Next() % (n - 1));
+      if (j >= i) ++j;
+      double v = 0.0;
+      batch.SimilarityBatch(i, &j, 1, &v);
+      const double per_band = std::pow(std::clamp(v, 0.0, 1.0), r);
+      raw += b * per_band;                        // duplicate collisions
+      cand += 1.0 - std::pow(1.0 - per_band, b);  // unique candidate?
+    }
+    const double scale = static_cast<double>(TotalPairs(n)) /
+                         static_cast<double>(kSamples);
+    // Dedup charges ~log₂(raw) comparisons per raw pair (call it 8); every
+    // unique candidate pays one popcount sweep.
+    ops += scale * (raw * 8.0 + cand * static_cast<double>(words));
+  }
+  return ops >= 1e19 ? std::numeric_limits<uint64_t>::max()
+                     : static_cast<uint64_t>(ops);
+}
+
 }  // namespace
 
 Result<NeighborGraph> ComputeNeighborsPacked(
@@ -265,6 +459,8 @@ Result<NeighborGraph> ComputeNeighborsPacked(
   if (!(theta >= 0.0 && theta <= 1.0)) {
     return Status::InvalidArgument("theta must be in [0, 1]");
   }
+  diag::SetGauge(options.metrics, "graph.threads",
+                 static_cast<double>(ResolveThreads(options.num_threads)));
   std::unique_ptr<BatchSimilarity> batch;
   {
     diag::ScopedTimer pack_timer(options.metrics, "stage.neighbors.pack");
@@ -291,6 +487,11 @@ Result<NeighborGraph> ComputeNeighborsPacked(
   const uint64_t total = TotalPairs(n);
   PackedStrategy strategy = options.strategy;
   const bool candidates_ok = theta > 0.0 && batch->items() != nullptr;
+  if (candidates_ok && (strategy == PackedStrategy::kLsh ||
+                        (strategy == PackedStrategy::kAuto &&
+                         options.allow_lsh))) {
+    ROCK_RETURN_IF_ERROR(options.lsh.Validate());
+  }
   if (!candidates_ok) {
     // θ = 0 needs the complete graph (nothing shares an item with an empty
     // row, yet everything neighbors it), so only the window pass is exact.
@@ -307,14 +508,34 @@ Result<NeighborGraph> ComputeNeighborsPacked(
         window_pairs > std::numeric_limits<uint64_t>::max() / words
             ? std::numeric_limits<uint64_t>::max()
             : window_pairs * words;
-    strategy = CandidateScanOps(*batch->items()) < window_cost
-                   ? PackedStrategy::kCandidates
-                   : PackedStrategy::kWindow;
+    const uint64_t scan_ops = CandidateScanOps(*batch->items());
+    strategy = scan_ops < window_cost ? PackedStrategy::kCandidates
+                                      : PackedStrategy::kWindow;
+    if (options.allow_lsh) {
+      const uint64_t lsh_ops = LshOpsEstimate(
+          *batch, options.lsh, batch->items()->items.size(), words);
+      const uint64_t exact_ops = std::min(window_cost, scan_ops);
+      if (lsh_ops <
+              std::numeric_limits<uint64_t>::max() / kLshAutoFactor &&
+          exact_ops > kLshAutoFactor * lsh_ops) {
+        strategy = PackedStrategy::kLsh;
+      }
+    }
   }
 
   uint64_t evaluated = 0;
   NeighborGraph graph;
-  if (strategy == PackedStrategy::kCandidates) {
+  if (strategy == PackedStrategy::kLsh) {
+    uint64_t lsh_candidates = 0;
+    uint64_t skipped_empty = 0;
+    graph = LshPass(*batch, theta, options, &evaluated, &lsh_candidates,
+                    &skipped_empty);
+    diag::AddCounter(options.metrics, "neighbors.lsh_pass", 1);
+    diag::AddCounter(options.metrics, "neighbors.lsh_candidates",
+                     lsh_candidates);
+    diag::AddCounter(options.metrics, "neighbors.lsh_skipped_empty",
+                     skipped_empty);
+  } else if (strategy == PackedStrategy::kCandidates) {
     graph = CandidatePass(*batch, theta, options, &evaluated);
     diag::AddCounter(options.metrics, "neighbors.candidate_pass", 1);
   } else {

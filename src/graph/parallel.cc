@@ -1,6 +1,8 @@
 #include "graph/parallel.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 
 #include "util/thread_pool.h"
 
@@ -56,6 +58,47 @@ Result<NeighborGraph> ComputeNeighborsParallel(const PointSimilarity& sim,
   }
   for (auto& l : graph.nbrlist) std::sort(l.begin(), l.end());
   return graph;
+}
+
+void SortUniqueParallel(std::vector<uint64_t>* keys, size_t num_threads) {
+  num_threads = ResolveThreads(num_threads);
+  const size_t n = keys->size();
+  // Below ~64k keys the fork-join overhead beats the sort it would shard.
+  if (num_threads <= 1 || n < (size_t{1} << 16)) {
+    std::sort(keys->begin(), keys->end());
+    keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+    return;
+  }
+
+  // Near-equal segments, sorted in parallel.
+  std::vector<size_t> bounds(num_threads + 1);
+  for (size_t t = 0; t <= num_threads; ++t) bounds[t] = n * t / num_threads;
+  ParallelInvoke(num_threads, [&](size_t t) {
+    std::sort(keys->begin() + static_cast<ptrdiff_t>(bounds[t]),
+              keys->begin() + static_cast<ptrdiff_t>(bounds[t + 1]));
+  });
+
+  // Merge ladder: segment width doubles per round, each merge claimed by
+  // one worker. The final sorted order is independent of scheduling.
+  for (size_t width = 1; width < num_threads; width *= 2) {
+    std::vector<std::array<size_t, 3>> merges;  // {lo, mid, hi}
+    for (size_t t = 0; t + width < num_threads; t += 2 * width) {
+      merges.push_back({bounds[t], bounds[t + width],
+                        bounds[std::min(t + 2 * width, num_threads)]});
+    }
+    std::atomic<size_t> next{0};
+    ParallelInvoke(std::min(num_threads, merges.size()), [&](size_t) {
+      while (true) {
+        const size_t m = next.fetch_add(1);
+        if (m >= merges.size()) break;
+        const auto [lo, mid, hi] = merges[m];
+        std::inplace_merge(keys->begin() + static_cast<ptrdiff_t>(lo),
+                           keys->begin() + static_cast<ptrdiff_t>(mid),
+                           keys->begin() + static_cast<ptrdiff_t>(hi));
+      }
+    });
+  }
+  keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
 }
 
 LinkMatrix ComputeLinksParallel(const NeighborGraph& graph,

@@ -18,6 +18,9 @@
 #ifndef ROCK_GRAPH_PARALLEL_H_
 #define ROCK_GRAPH_PARALLEL_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "graph/links.h"
 #include "graph/neighbors.h"
 #include "similarity/similarity.h"
@@ -42,6 +45,13 @@ Result<NeighborGraph> ComputeNeighborsParallel(
 /// memory is the same as the serial dense path regardless of thread count.
 LinkMatrix ComputeLinksParallel(const NeighborGraph& graph,
                                 const ParallelOptions& options = {});
+
+/// Sorts `keys` ascending and drops duplicates, sharded over `num_threads`
+/// workers (segment sorts in parallel, then a serial merge ladder). The
+/// result is the sorted unique multiset — identical at any thread count —
+/// which is what the LSH candidate dedup in the packed neighbor engine
+/// relies on for its determinism contract.
+void SortUniqueParallel(std::vector<uint64_t>* keys, size_t num_threads);
 
 }  // namespace rock
 

@@ -40,6 +40,24 @@ std::vector<uint64_t> MinHasher::Signature(const Transaction& tx) const {
   return sig;
 }
 
+void MinHasher::SignatureInto(const uint32_t* items, size_t count,
+                              uint64_t* out) const {
+  std::fill(out, out + mix_.size(), std::numeric_limits<uint64_t>::max());
+  for (size_t i = 0; i < count; ++i) {
+    const auto item = static_cast<uint64_t>(items[i]);
+    for (size_t k = 0; k < mix_.size(); ++k) {
+      const uint64_t h = Mix64(item ^ mix_[k]);
+      out[k] = std::min(out[k], h);
+    }
+  }
+}
+
+uint64_t LshBandKey(const uint64_t* slice, size_t rows, size_t band) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (band * 0xff51afd7ed558ccdULL);
+  for (size_t r = 0; r < rows; ++r) h = Mix64(h ^ slice[r]);
+  return h;
+}
+
 double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
                                   const std::vector<uint64_t>& b) {
   if (a.empty() || a.size() != b.size()) return 0.0;
@@ -55,6 +73,31 @@ Status LshOptions::Validate() const {
     return Status::InvalidArgument("num_bands and rows_per_band must be >= 1");
   }
   return Status::OK();
+}
+
+LshOptions TuneLshOptions(double theta, uint64_t seed) {
+  LshOptions tuned;
+  tuned.seed = seed;
+  if (!(theta > 0.0 && theta < 1.0)) return tuned;
+  constexpr double kTargetMiss = 5e-4;  // recall ≥ 99.95% at s = θ
+  constexpr size_t kMaxSignature = 256;
+  bool found = false;
+  for (size_t r = 1; r <= 16; ++r) {
+    const double per_band = std::pow(theta, static_cast<double>(r));
+    const size_t b = static_cast<size_t>(
+        std::ceil(std::log(kTargetMiss) / std::log(1.0 - per_band)));
+    if (b == 0 || b * r > kMaxSignature) continue;
+    // Candidates with larger r keep overwriting: the largest feasible r
+    // gives the sharpest filter at the same recall target.
+    tuned.num_bands = b;
+    tuned.rows_per_band = r;
+    found = true;
+  }
+  if (!found) {
+    tuned.num_bands = kMaxSignature;
+    tuned.rows_per_band = 1;
+  }
+  return tuned;
 }
 
 double LshCollisionProbability(double s, const LshOptions& options) {
@@ -84,17 +127,22 @@ Result<NeighborGraph> ComputeNeighborsLsh(const TransactionDataset& dataset,
   // Banding: bucket each point by the hash of every band slice; points
   // sharing any bucket become candidates. Candidate pairs are collected
   // with duplicates and batch-deduplicated (sort + unique) before the
-  // exact verification pass.
+  // exact verification pass. Empty transactions never enter a bucket:
+  // their all-max signatures would all collide with each other in every
+  // band (a quadratic candidate blow-up in one bucket at scale) even
+  // though their exact Jaccard is 0 < θ with everything, so for θ > 0
+  // skipping them loses no edge; at θ = 0 they neighbor everything and
+  // no banding scheme can see that, which is why callers needing θ = 0
+  // use the exact engines.
   std::vector<uint64_t> candidates;  // (lo << 32) | hi
   std::unordered_map<uint64_t, std::vector<PointIndex>> buckets;
   for (size_t band = 0; band < options.num_bands; ++band) {
     buckets.clear();
     for (size_t i = 0; i < n; ++i) {
-      // Hash the band slice.
-      uint64_t h = 0x9e3779b97f4a7c15ULL ^ (band * 0xff51afd7ed558ccdULL);
-      for (size_t r = 0; r < options.rows_per_band; ++r) {
-        h = Mix64(h ^ signatures[i][band * options.rows_per_band + r]);
-      }
+      if (dataset.transaction(i).empty()) continue;
+      const uint64_t h =
+          LshBandKey(signatures[i].data() + band * options.rows_per_band,
+                     options.rows_per_band, band);
       buckets[h].push_back(static_cast<PointIndex>(i));
     }
     for (const auto& [_, members] : buckets) {

@@ -33,6 +33,12 @@ class MinHasher {
   /// item value. Empty transactions get all-max signatures.
   std::vector<uint64_t> Signature(const Transaction& tx) const;
 
+  /// Signature of an item-id array into caller storage (`out` must hold
+  /// num_hashes() words). Same function as Signature(), minus the
+  /// allocation — the packed neighbor engine calls this once per row.
+  void SignatureInto(const uint32_t* items, size_t count,
+                     uint64_t* out) const;
+
   /// Fraction of matching positions — an unbiased estimate of Jaccard.
   static double EstimateJaccard(const std::vector<uint64_t>& a,
                                 const std::vector<uint64_t>& b);
@@ -67,6 +73,22 @@ Result<NeighborGraph> ComputeNeighborsLsh(const TransactionDataset& dataset,
 /// under the banding parameters: 1 − (1 − s^r)^b. Exposed for tests and
 /// for tuning recall targets.
 double LshCollisionProbability(double s, const LshOptions& options);
+
+/// Picks banding parameters for a threshold θ: the sharpest S-curve (the
+/// largest rows-per-band r, with the band count b sized so that a pair at
+/// similarity exactly θ is still recalled with probability ≥ 99.95%) that
+/// fits a bounded signature length b·r ≤ 256. Larger r steepens the curve,
+/// so below-θ pairs generate fewer junk candidates at the same recall.
+/// For θ where no r fits the budget (θ → 0) the whole budget goes to
+/// single-row bands, the best recall the budget buys. θ ≤ 0 or θ ≥ 1 get
+/// the LshOptions defaults (banding cannot help those thresholds).
+LshOptions TuneLshOptions(double theta, uint64_t seed);
+
+/// Bucket key of one band slice (`rows` consecutive signature words),
+/// salted by the band index so equal slices in different bands land in
+/// distinct bucket spaces. Shared by ComputeNeighborsLsh and the packed
+/// neighbor engine's LSH pass so both bucket identically.
+uint64_t LshBandKey(const uint64_t* slice, size_t rows, size_t band);
 
 }  // namespace rock
 

@@ -389,6 +389,7 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "diag.invariant_violations",
       "graph.points",    "graph.edges",
       "graph.max_degree",
+      "graph.threads",
       "prune.isolated_points",
       "links.nonzero_pairs",
       "links.total",

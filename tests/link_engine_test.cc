@@ -162,6 +162,117 @@ TEST_P(LinkEngineSeedTest, ThreadCountsAgreeByteForByteAcrossSeeds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LinkEngineSeedTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
 
+// ------------------------------------------------------- strategy forcing --
+
+// Both counting passes, forced explicitly, must match every oracle on the
+// same graphs the grid exercises — independent of which one kAuto would
+// have picked — and must report themselves through the metric catalog.
+class LinkEngineStrategyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(LinkEngineStrategyTest, ForcedScatterAndPlaneBothMatchOracles) {
+  const auto [theta, threads] = GetParam();
+  const uint64_t seed = 20260808;
+  ROCK_TRACE_SEED(seed);
+  const NeighborGraph graph = RandomGraph(seed, theta);
+
+  for (const PackedLinkStrategy strategy :
+       {PackedLinkStrategy::kPlane, PackedLinkStrategy::kScatter}) {
+    const bool scatter = strategy == PackedLinkStrategy::kScatter;
+    SCOPED_TRACE(scatter ? "scatter" : "plane");
+    diag::MetricsRegistry registry;
+    PackedLinkOptions opt;
+    opt.num_threads = threads;
+    opt.row_chunk = 3;
+    opt.strategy = strategy;
+    opt.metrics = &registry;
+    const LinkMatrix packed = ComputeLinksPacked(graph, opt);
+    ASSERT_TRUE(packed.frozen());
+    ExpectMatchesAllOracles(graph, packed);
+
+    const diag::RunMetrics m = registry.Snapshot();
+    EXPECT_EQ(m.CounterOr("links.scatter_pass"), scatter ? 1u : 0u);
+    EXPECT_EQ(m.CounterOr("links.fallback_hashed"), 0u);
+    EXPECT_EQ(m.CounterOr("links.candidate_pairs"),
+              m.CounterOr("links.pairs_counted"))
+        << "candidate enumeration must be exact on both passes";
+    EXPECT_EQ(m.CounterOr("links.pairs_counted"), packed.NumNonZeroPairs());
+    // Only the plane pass packs; the scatter needs no plane, so it must
+    // not charge pack time.
+    EXPECT_EQ(m.FindTimer("stage.links.pack") != nullptr, !scatter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaByThreads, LinkEngineStrategyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5, 0.8),
+                       ::testing::Values(size_t{1}, size_t{4})),
+    [](const ::testing::TestParamInfo<LinkEngineStrategyTest::ParamType>&
+           param) {
+      const double theta = std::get<0>(param.param);
+      return "theta" + std::to_string(static_cast<int>(theta * 10)) +
+             "_threads" + std::to_string(std::get<1>(param.param));
+    });
+
+// The scatter pass carries no plane, so it must ignore the packing budget
+// entirely: a zero budget that forces the plane into the hashed fallback
+// leaves a forced scatter untouched.
+TEST(LinkEngineStrategyTest, ScatterIgnoresPackBudget) {
+  const uint64_t seed = 42;
+  ROCK_TRACE_SEED(seed);
+  const NeighborGraph graph = RandomGraph(seed, 0.5);
+  LinkMatrix oracle = ComputeLinks(graph);
+  oracle.Freeze();
+
+  diag::MetricsRegistry registry;
+  PackedLinkOptions opt;
+  opt.strategy = PackedLinkStrategy::kScatter;
+  opt.pack_budget_bytes = 0;
+  opt.metrics = &registry;
+  ExpectFrozenRowsIdentical(ComputeLinksPacked(graph, opt), oracle);
+  const diag::RunMetrics m = registry.Snapshot();
+  EXPECT_EQ(m.CounterOr("links.fallback_hashed"), 0u);
+  EXPECT_EQ(m.CounterOr("links.scatter_pass"), 1u);
+}
+
+// kAuto's pass choice is a pure function of the graph (never the thread
+// count or budget), pinned here on the two extremes: a sparse chain (tiny
+// neighborhoods → scatter) and a dense clique-like graph (plane).
+TEST(LinkEngineStrategyTest, AutoChoiceDependsOnlyOnGraphShape) {
+  NeighborGraph chain;
+  chain.nbrlist.resize(200);
+  for (size_t i = 0; i + 1 < chain.nbrlist.size(); ++i) {
+    chain.nbrlist[i].push_back(static_cast<PointIndex>(i + 1));
+    chain.nbrlist[i + 1].push_back(static_cast<PointIndex>(i));
+  }
+  NeighborGraph clique;
+  clique.nbrlist.resize(200);
+  for (size_t i = 0; i < clique.nbrlist.size(); ++i) {
+    for (size_t j = 0; j < clique.nbrlist.size(); ++j) {
+      if (i != j) clique.nbrlist[i].push_back(static_cast<PointIndex>(j));
+    }
+  }
+
+  const std::tuple<const char*, const NeighborGraph*, uint64_t> cases[] = {
+      {"sparse_chain", &chain, 1},
+      {"dense_clique", &clique, 0},
+  };
+  for (const auto& [label, graph, want_scatter] : cases) {
+    SCOPED_TRACE(label);
+    for (size_t threads : {1u, 4u}) {
+      SCOPED_TRACE(::testing::Message() << "threads = " << threads);
+      diag::MetricsRegistry registry;
+      PackedLinkOptions opt;
+      opt.num_threads = threads;
+      opt.metrics = &registry;
+      const LinkMatrix links = ComputeLinksPacked(*graph, opt);
+      ExpectMatchesAllOracles(*graph, links);
+      EXPECT_EQ(registry.Snapshot().CounterOr("links.scatter_pass"),
+                want_scatter);
+    }
+  }
+}
+
 // ------------------------------------------------------------ graph shapes --
 
 NeighborGraph StarGraph(size_t n) {

@@ -158,6 +158,59 @@ TEST(LshTest, RecallDegradesGracefullyWithFewBands) {
   EXPECT_LE(lsh_edges, true_edges);
 }
 
+TEST(LshTest, TuneLshOptionsHitsRecallTargetWithinSignatureBudget) {
+  size_t prev_rows = 0;
+  for (const double theta : {0.1, 0.3, 0.5, 0.73, 0.9}) {
+    SCOPED_TRACE(::testing::Message() << "theta = " << theta);
+    const LshOptions tuned = TuneLshOptions(theta, /*seed=*/99);
+    EXPECT_EQ(tuned.seed, 99u);
+    EXPECT_TRUE(tuned.Validate().ok());
+    EXPECT_LE(tuned.num_bands * tuned.rows_per_band, 256u)
+        << "signature length must stay within the budget";
+    EXPECT_GE(LshCollisionProbability(theta, tuned), 0.9995)
+        << "a pair at similarity exactly θ must still be recalled";
+    // Higher thresholds afford sharper S-curves (more rows per band), so
+    // below-θ pairs generate fewer junk candidates.
+    EXPECT_GE(tuned.rows_per_band, prev_rows);
+    prev_rows = tuned.rows_per_band;
+  }
+  // Out-of-range thresholds (complete graph at θ = 0, exact-match at
+  // θ = 1) cannot be helped by banding: fall back to the defaults.
+  const LshOptions defaults;
+  for (const double theta : {0.0, 1.0}) {
+    const LshOptions tuned = TuneLshOptions(theta, /*seed=*/7);
+    EXPECT_EQ(tuned.num_bands, defaults.num_bands);
+    EXPECT_EQ(tuned.rows_per_band, defaults.rows_per_band);
+    EXPECT_EQ(tuned.seed, 7u);
+  }
+}
+
+TEST(LshTest, EmptyTransactionsAreSkippedAtBandingTime) {
+  // Empty transactions carry all-max signatures, so before the banding
+  // skip they collided with each other in every band — a quadratic
+  // candidate blow-up that exact verification silently absorbed. The skip
+  // must isolate them without dropping any genuine edge.
+  TransactionDataset ds;
+  for (int r = 0; r < 50; ++r) ds.AddTransaction(Transaction{});
+  for (int r = 0; r < 3; ++r) ds.AddTransaction(Transaction{1, 2, 3});
+  ds.AddTransaction(Transaction{7, 8, 9, 10});
+  ds.AddTransaction(Transaction{7, 8, 9, 11});
+
+  const auto lsh = ComputeNeighborsLsh(ds, 0.5);
+  ASSERT_TRUE(lsh.ok());
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_TRUE(lsh->nbrlist[r].empty()) << "empty row " << r;
+  }
+  // Identical rows always collide (identical signatures), so the triple
+  // must come back fully connected; the 3/5-overlap pair likewise clears
+  // θ = 0.5 and the default banding recalls it with certainty ≈ 1.
+  EXPECT_EQ(lsh->nbrlist[50], (std::vector<PointIndex>{51, 52}));
+  EXPECT_EQ(lsh->nbrlist[51], (std::vector<PointIndex>{50, 52}));
+  EXPECT_EQ(lsh->nbrlist[52], (std::vector<PointIndex>{50, 51}));
+  EXPECT_EQ(lsh->nbrlist[53], (std::vector<PointIndex>{54}));
+  EXPECT_EQ(lsh->nbrlist[54], (std::vector<PointIndex>{53}));
+}
+
 TEST(LshTest, Deterministic) {
   BasketGeneratorOptions gen;
   gen.cluster_sizes = {100};

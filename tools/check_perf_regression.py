@@ -3,6 +3,7 @@
 
 Usage: check_perf_regression.py CURRENT.json BASELINE.json
            [--tolerance=0.25] [--engines=NEW,OLD] [--stage=STAGE]
+           [--min-recall=R [--recall-counter=NAME]]
 
 Both files follow the BENCH_rock.json schema (docs/OBSERVABILITY.md §2b) and
 must come from a --compare-engines bench run, which emits one entry per
@@ -20,6 +21,12 @@ Defaults match the merge-engine gate (bench_fig5_scalability):
 --engines=flat,hashed --stage=stage.merge. The neighbor-engine gate
 (bench_neighbors_ablation) uses --engines=packed,scalar
 --stage=stage.neighbors.
+
+--min-recall=R additionally floors an accuracy counter in the CURRENT
+report: every NEW-engine entry carrying --recall-counter (default
+neighbors.lsh_recall_ppm, parts per million) must report at least
+R * 1e6. The graph-scale gate (bench_graph_scale) uses it to pin the LSH
+candidate recall at >= 0.999 alongside the lsh/baseline time ratio.
 
 Exit status: 0 pass, 1 regression, 2 bad input.
 """
@@ -63,10 +70,37 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def check_recall(path, engine, counter, min_recall):
+    """Floors counter (ppm) on every entry of `engine`; returns pass."""
+    with open(path) as f:
+        report = json.load(f)
+    floor_ppm = min_recall * 1e6
+    checked = 0
+    ok = True
+    for entry in report.get("entries", []):
+        if entry.get("params", {}).get("engine") != engine:
+            continue
+        ppm = entry.get("counters", {}).get(counter)
+        if ppm is None:
+            continue
+        checked += 1
+        verdict = "OK" if ppm >= floor_ppm else "RECALL REGRESSION"
+        print(f"{entry.get('label', '?')}: {counter} {ppm} "
+              f"(floor {floor_ppm:.0f}) -> {verdict}")
+        ok = ok and ppm >= floor_ppm
+    if checked == 0:
+        print(f"perf-smoke: no {engine} entries with {counter} in {path}",
+              file=sys.stderr)
+        return False
+    return ok
+
+
 def main(argv):
     tolerance = 0.25
     new_engine, old_engine = "flat", "hashed"
     stage = "stage.merge"
+    min_recall = None
+    recall_counter = "neighbors.lsh_recall_ppm"
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
@@ -79,6 +113,10 @@ def main(argv):
             new_engine, old_engine = pair
         elif arg.startswith("--stage="):
             stage = arg.split("=", 1)[1]
+        elif arg.startswith("--min-recall="):
+            min_recall = float(arg.split("=", 1)[1])
+        elif arg.startswith("--recall-counter="):
+            recall_counter = arg.split("=", 1)[1]
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -113,7 +151,16 @@ def main(argv):
     verdict = "OK" if cur >= floor else "REGRESSION"
     print(f"geometric mean: current {cur:.2f}x, baseline {base:.2f}x, "
           f"floor {floor:.2f}x ({tolerance:.0%} tolerance) -> {verdict}")
-    return 0 if cur >= floor else 1
+
+    recall_ok = True
+    if min_recall is not None:
+        try:
+            recall_ok = check_recall(paths[0], new_engine, recall_counter,
+                                     min_recall)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"perf-smoke: {e}", file=sys.stderr)
+            return 2
+    return 0 if cur >= floor and recall_ok else 1
 
 
 if __name__ == "__main__":

@@ -21,6 +21,11 @@
 #      assignments verified identical); gates on the direct/serve
 #      stage.label_query ratio vs bench/baselines/BENCH_serve_smoke.json,
 #      plus an absolute ≥ 10k QPS floor on the served answers.
+#   5. graph scale — bench_graph_scale at n = 20k, θ = 0.73 (LSH-candidate
+#      neighbors + kAuto links vs the all-pairs single-thread baseline,
+#      LSH edges verified an exact subgraph); gates on the lsh/baseline
+#      stage.graph ratio vs bench/baselines/BENCH_graph_smoke.json AND
+#      floors the LSH candidate recall at 0.999.
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 #
@@ -30,7 +35,8 @@
 #     cp build/BENCH_neighbors_smoke.json \
 #         bench/baselines/BENCH_neighbors_smoke.json && \
 #     cp build/BENCH_links_smoke.json bench/baselines/BENCH_links_smoke.json && \
-#     cp build/BENCH_serve_smoke.json bench/baselines/BENCH_serve_smoke.json
+#     cp build/BENCH_serve_smoke.json bench/baselines/BENCH_serve_smoke.json && \
+#     cp build/BENCH_graph_smoke.json bench/baselines/BENCH_graph_smoke.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,9 +51,12 @@ LNK_BASELINE=bench/baselines/BENCH_links_smoke.json
 LNK_REPORT="$BUILD_DIR/BENCH_links_smoke.json"
 SRV_BASELINE=bench/baselines/BENCH_serve_smoke.json
 SRV_REPORT="$BUILD_DIR/BENCH_serve_smoke.json"
+GRF_BASELINE=bench/baselines/BENCH_graph_smoke.json
+GRF_REPORT="$BUILD_DIR/BENCH_graph_smoke.json"
 
 cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability \
-    bench_neighbors_ablation bench_links_ablation bench_serve
+    bench_neighbors_ablation bench_links_ablation bench_serve \
+    bench_graph_scale
 
 echo "=== perf-smoke: bench_fig5_scalability $SCALE --compare-engines ==="
 ROCK_BENCH_JSON="$REPORT" \
@@ -87,3 +96,15 @@ echo "=== perf-smoke: bench_serve --min-qps=10000 ==="
 echo "=== perf-smoke: gate vs $SRV_BASELINE ==="
 python3 tools/check_perf_regression.py "$SRV_REPORT" "$SRV_BASELINE" \
     --engines=serve,direct --stage=stage.label_query
+
+# Graph-scale gate: LSH-candidate generation vs the all-pairs packed
+# baseline at n = 20k (the bench differentially verifies every engine
+# against the exact graph before timing counts), plus the 0.999 candidate
+# recall floor at θ = 0.73 with tuned banding.
+echo "=== perf-smoke: bench_graph_scale --ns=20000 ==="
+ROCK_BENCH_JSON="$GRF_REPORT" \
+    "$BUILD_DIR/bench/bench_graph_scale" --ns=20000 --threads=8
+
+echo "=== perf-smoke: gate vs $GRF_BASELINE ==="
+python3 tools/check_perf_regression.py "$GRF_REPORT" "$GRF_BASELINE" \
+    --engines=lsh,baseline --stage=stage.graph --min-recall=0.999
