@@ -1,0 +1,258 @@
+// bench_stream — appended-row labeling throughput of the streaming session
+// vs a direct single-thread Assign loop, on the Figure-5 synthetic
+// database.
+//
+// The database is split 80/20: the first 80% becomes the base store the
+// model is built from (exactly as `rock build` does — sample 5000 at scale
+// 1, θ = 0.73, k = 10), the held-out 20% becomes the append stream. Both
+// engines label every held-out row:
+//
+//   direct — one thread calling TransactionLabeler::Assign in a loop; no
+//            store I/O, no drift accounting. The physics bound for the
+//            labeling half of an append.
+//   stream — StreamingSession::Append in batches: crash-safe copy-on-append
+//            store commits + §4.6 labeling + drift window updates. Each
+//            rep restarts from a fresh copy of the base store.
+//
+// Both engines must produce bit-identical cluster assignments (checked
+// every run); the streaming_test suite carries the fine-grained
+// differential. Writes the BENCH_rock.json perf report ($ROCK_BENCH_JSON);
+// CI's sixth perf-smoke gate compares the direct/stream stage.append_label
+// ratio against bench/baselines/BENCH_stream_smoke.json and floors the
+// absolute stream.rows_per_sec counter.
+//
+// Usage: bench_stream [scale] [--reps=K] [--batch=B] [--min-rows-per-sec=N]
+//   scale      — multiplies the generated database size (default 0.1)
+//   --reps     — best-of-K timing per engine (default 3)
+//   --batch    — rows per Append call (default 512)
+//   --min-rows-per-sec — fail (exit 1) below this stream throughput;
+//                0 = report only (default)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/labeling.h"
+#include "core/pipeline.h"
+#include "data/disk_store.h"
+#include "serve/model_handle.h"
+#include "serve/stream.h"
+#include "synth/basket_generator.h"
+
+namespace {
+
+struct EngineRun {
+  double seconds = 0.0;  ///< best rep
+  double rows_per_sec = 0.0;
+  std::vector<rock::ClusterIndex> assignments;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rock;
+  namespace fs = std::filesystem;
+  bench::Banner("streaming append throughput — session vs direct Assign");
+
+  double scale = 0.1;
+  double min_rows_per_sec = 0.0;
+  int reps = 3;
+  size_t batch = 512;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[a] + 7);
+    } else if (std::strncmp(argv[a], "--batch=", 8) == 0) {
+      batch = static_cast<size_t>(std::atoll(argv[a] + 8));
+    } else if (std::strncmp(argv[a], "--min-rows-per-sec=", 19) == 0) {
+      min_rows_per_sec = std::atof(argv[a] + 19);
+    } else {
+      scale = std::atof(argv[a]);
+    }
+  }
+  if (reps < 1) reps = 1;
+  if (batch < 1) batch = 1;
+
+  BasketGeneratorOptions gen;
+  for (auto& s : gen.cluster_sizes) {
+    s = static_cast<size_t>(static_cast<double>(s) * scale);
+  }
+  gen.num_outliers =
+      static_cast<size_t>(static_cast<double>(gen.num_outliers) * scale);
+  auto ds = GenerateBasketData(gen);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+
+  // 80/20 split: model + base store vs the append stream.
+  const size_t total = ds->size();
+  const size_t base_rows = total * 8 / 10;
+  TransactionDataset base;
+  std::vector<Transaction> stream_rows;
+  for (size_t i = 0; i < total; ++i) {
+    if (i < base_rows) {
+      base.AddTransaction(ds->transaction(i));
+      base.labels().Append(ds->labels().Name(ds->labels().label(i)));
+    } else {
+      stream_rows.push_back(ds->transaction(i));
+    }
+  }
+
+  const std::string base_path = "bench_stream_base.bin";
+  const std::string work_path = "bench_stream_work.bin";
+  const std::string model_path = "bench_stream_model.bin";
+  const auto cleanup = [&] {
+    std::remove(base_path.c_str());
+    std::remove(work_path.c_str());
+    std::remove(model_path.c_str());
+  };
+  if (Status s = WriteDatasetToStore(base, base_path); !s.ok()) {
+    std::fprintf(stderr, "store write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The Fig. 5 model over the base store.
+  ModelBuildOptions build;
+  build.pipeline.rock.theta = 0.73;
+  build.pipeline.rock.num_clusters = 10;
+  build.pipeline.rock.outlier_stop_multiple = 3.0;
+  build.pipeline.rock.min_cluster_support = 5;
+  build.pipeline.sample_size = 5000;
+  build.model_path = model_path;
+  auto built = BuildModel(base_path, build);
+  if (!built.ok()) {
+    std::fprintf(stderr, "BuildModel failed: %s\n",
+                 built.status().ToString().c_str());
+    cleanup();
+    return 1;
+  }
+  const size_t sample_n = built->sample_rows.size();
+  std::printf("database: %zu transactions (%zu base + %zu appended); "
+              "model: sample=%zu clusters=%zu (build %.2fs)\n",
+              total, base_rows, stream_rows.size(), sample_n,
+              built->bundle.labeling_sets.size(),
+              built->cluster_seconds + built->build_seconds);
+
+  auto handle = ModelHandle::FromBundle(std::move(built->bundle));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "FromBundle failed: %s\n",
+                 handle.status().ToString().c_str());
+    cleanup();
+    return 1;
+  }
+
+  const size_t rows = stream_rows.size();
+  EngineRun direct;
+  EngineRun stream;
+
+  // Engine "direct": the labeling-only oracle.
+  {
+    TransactionLabeler::Scratch scratch;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<ClusterIndex> assignments(rows, kUnassigned);
+      Timer timer;
+      for (size_t i = 0; i < rows; ++i) {
+        assignments[i] =
+            handle->labeler().Assign(stream_rows[i], &scratch, nullptr);
+      }
+      const double secs = timer.ElapsedSeconds();
+      if (rep == 0 || secs < direct.seconds) {
+        direct.seconds = secs;
+        direct.assignments = std::move(assignments);
+      }
+    }
+    direct.rows_per_sec = static_cast<double>(rows) / direct.seconds;
+  }
+
+  // Engine "stream": crash-safe appends + labeling + drift, batched.
+  for (int rep = 0; rep < reps; ++rep) {
+    std::error_code ec;
+    fs::copy_file(base_path, work_path, fs::copy_options::overwrite_existing,
+                  ec);
+    if (ec) {
+      std::fprintf(stderr, "store copy failed: %s\n", ec.message().c_str());
+      cleanup();
+      return 1;
+    }
+    StreamOptions options;
+    options.build = build;
+    auto session = StreamingSession::Open(work_path, model_path, options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "session open failed: %s\n",
+                   session.status().ToString().c_str());
+      cleanup();
+      return 1;
+    }
+    std::vector<ClusterIndex> assignments;
+    assignments.reserve(rows);
+    Timer timer;
+    for (size_t at = 0; at < rows; at += batch) {
+      const size_t n = std::min(batch, rows - at);
+      const auto first =
+          stream_rows.begin() + static_cast<std::ptrdiff_t>(at);
+      const std::vector<Transaction> slice(
+          first, first + static_cast<std::ptrdiff_t>(n));
+      auto appended = (*session)->Append(slice, nullptr);
+      if (!appended.ok()) {
+        std::fprintf(stderr, "append failed: %s\n",
+                     appended.status().ToString().c_str());
+        cleanup();
+        return 1;
+      }
+      for (const auto& oc : appended->outcomes) {
+        assignments.push_back(oc.cluster);
+      }
+    }
+    const double secs = timer.ElapsedSeconds();
+    if (rep == 0 || secs < stream.seconds) {
+      stream.seconds = secs;
+      stream.assignments = std::move(assignments);
+    }
+  }
+  stream.rows_per_sec = static_cast<double>(rows) / stream.seconds;
+
+  if (stream.assignments != direct.assignments) {
+    std::fprintf(stderr,
+                 "FATAL: streamed assignments differ from the direct loop\n");
+    cleanup();
+    return 1;
+  }
+  cleanup();
+
+  bench::Section("append results (best of reps)");
+  std::printf("%-8s %12s %14s\n", "engine", "seconds", "rows/s");
+  std::printf("%-8s %12.4f %14.0f\n", "direct", direct.seconds,
+              direct.rows_per_sec);
+  std::printf("%-8s %12.4f %14.0f\n", "stream", stream.seconds,
+              stream.rows_per_sec);
+  std::printf("stream/direct overhead: %.2fx (store I/O + drift window)\n",
+              direct.seconds > 0.0 ? stream.seconds / direct.seconds : 0.0);
+
+  bench::PerfJsonWriter perf("bench_stream");
+  for (const auto* run : {&direct, &stream}) {
+    const bool is_stream = run == &stream;
+    perf.BeginEntry(std::string("n=") + std::to_string(rows) + " θ=0.73 " +
+                    (is_stream ? "stream" : "direct"));
+    perf.Param("n", std::to_string(rows));
+    perf.Param("theta", "0.73");
+    perf.Param("engine", is_stream ? "stream" : "direct");
+    perf.Timer("stage.append_label", run->seconds);
+    perf.Counter("stream.rows_per_sec",
+                 static_cast<uint64_t>(run->rows_per_sec));
+  }
+  perf.Write();
+
+  if (min_rows_per_sec > 0.0 && stream.rows_per_sec < min_rows_per_sec) {
+    std::fprintf(stderr,
+                 "FAIL: stream sustained %.0f rows/s < required %.0f\n",
+                 stream.rows_per_sec, min_rows_per_sec);
+    return 1;
+  }
+  return 0;
+}

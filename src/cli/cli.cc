@@ -27,6 +27,8 @@
 #include "eval/profiles.h"
 #include "serve/model_handle.h"
 #include "serve/server.h"
+#include "serve/stream.h"
+#include "util/failpoint.h"
 #include "similarity/jaccard.h"
 #include "similarity/minhash.h"
 #include "synth/basket_generator.h"
@@ -1177,6 +1179,236 @@ int CmdQuery(const std::vector<std::string>& args, std::string* out,
   return 0;
 }
 
+int CmdAppend(const std::vector<std::string>& args, std::string* out,
+              bool help_only) {
+  std::string store;
+  std::string model_path;
+  std::string input_path;
+  std::string from_store;
+  std::string assignments_path;
+  std::string metrics_json_path;
+  std::string checkpoint_path;
+  bool resume = false;
+  bool rebuild_on_drift = false;
+  size_t drift_window = 256;
+  size_t drift_min = 64;
+  double drift_share = 0.25;
+  double drift_neighbor = 0.5;
+  PipelineFlagValues v;
+
+  FlagSet flags;
+  flags.AddString("store", &store,
+                  "transaction store to append to (crash-safe; see "
+                  "docs/DESIGN.md §11)");
+  flags.AddString("model", &model_path,
+                  "model bundle that labels the appended rows (and is "
+                  "rebuilt on drift with --rebuild-on-drift)");
+  flags.AddString("input", &input_path,
+                  "append one query line per row from this file (tokens as "
+                  "in `rock serve`: item names with a dictionary bundle, "
+                  "numeric ids otherwise; blank and '#' lines skipped)");
+  flags.AddString("from-store", &from_store,
+                  "append every row of this store file (item ids must come "
+                  "from the same dictionary as --store)");
+  flags.AddString("assignments", &assignments_path,
+                  "write row,cluster CSV for the appended rows here (rows "
+                  "are absolute store indices, so the file is the tail of "
+                  "a full `rock query --from-store` relabel)");
+  flags.AddString("checkpoint", &checkpoint_path,
+                  "crash-safe rebuilds: persist the rebuild's sample+cluster "
+                  "phase here (with --rebuild-on-drift)");
+  flags.AddBool("resume", &resume,
+                "resume a crashed rebuild from --checkpoint");
+  flags.AddBool("rebuild-on-drift", &rebuild_on_drift,
+                "re-cluster the grown store and atomically swap the model "
+                "bundle when drift trips");
+  flags.AddSize("drift-window", &drift_window,
+                "sliding window of labeled rows the drift detector compares "
+                "against the model profile");
+  flags.AddSize("drift-min", &drift_min,
+                "no drift verdict before this many rows are in the window");
+  flags.AddDouble("drift-share", &drift_share,
+                  "trip when the cluster-share TV distance exceeds this");
+  flags.AddDouble("drift-neighbor", &drift_neighbor,
+                  "trip when the window's mean winning neighbor count drops "
+                  "below this fraction of the profile's (0 = off)");
+  flags.AddString("metrics-json", &metrics_json_path,
+                  "write the stream.*/drift.* metrics report (JSON) here");
+  RegisterPipelineFlags(flags, &v);
+  if (help_only) {
+    EmitStr(out,
+            "rock append — append rows to a store and label them online\n"
+            "usage: rock append --store=S --model=M item1 item2 …\n"
+            "       rock append --store=S --model=M --input=queries.txt\n"
+            "       rock append --store=S --model=M --from-store=NEW\n" +
+                flags.Help());
+    return 0;
+  }
+  if (Status s = flags.Parse(args); !s.ok()) {
+    EmitStr(out, "error: " + s.ToString() + "\n" + flags.Help());
+    return 2;
+  }
+  if (store.empty() || model_path.empty()) {
+    EmitStr(out, "error: --store and --model are required\n");
+    return 2;
+  }
+  if (resume && checkpoint_path.empty()) {
+    EmitStr(out, "error: --resume requires --checkpoint\n");
+    return 2;
+  }
+  if (!v.failpoints.empty()) {
+    if (Status s = fail::Configure(v.failpoints); !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 2;
+    }
+  }
+
+  diag::MetricsRegistry registry;
+  StreamOptions stream_options;
+  if (int code = ApplyPipelineFlags(v, &stream_options.build.pipeline, out);
+      code != 0) {
+    return code;
+  }
+  stream_options.build.pipeline.checkpoint_path = checkpoint_path;
+  stream_options.build.pipeline.resume = resume;
+  stream_options.drift.window = drift_window;
+  stream_options.drift.min_observations = drift_min;
+  stream_options.drift.share_tolerance = drift_share;
+  stream_options.drift.neighbor_ratio = drift_neighbor;
+  stream_options.auto_rebuild = rebuild_on_drift;
+  // The CLI process exits after the append, so the drift rebuild runs
+  // inline — the command returns only once the swap is durable.
+  stream_options.background_rebuild = false;
+  stream_options.metrics = &registry;
+
+  auto session = StreamingSession::Open(store, model_path, stream_options);
+  if (!session.ok()) {
+    EmitStr(out, "error: " + session.status().ToString() + "\n");
+    return 1;
+  }
+
+  // Collect the rows to append. All three sources funnel into the same
+  // transaction vector; ParseQuery keeps name-mode inputs aligned with the
+  // model's dictionary (unknown items count toward |T| but never match).
+  std::vector<Transaction> rows;
+  std::vector<LabelId> labels;
+  const std::shared_ptr<const ModelHandle> parse_model =
+      (*session)->Acquire();
+  if (!flags.positional().empty()) {
+    std::string line;
+    for (const std::string& token : flags.positional()) {
+      if (!line.empty()) line += ' ';
+      line += token;
+    }
+    auto tx = parse_model->ParseQuery(line);
+    if (!tx.ok()) {
+      EmitStr(out, "error: " + tx.status().ToString() + "\n");
+      return 1;
+    }
+    rows.push_back(std::move(*tx));
+    labels.push_back(kNoLabel);
+  }
+  if (!input_path.empty()) {
+    std::ifstream in(input_path);
+    if (!in) {
+      EmitStr(out, "error: cannot open '" + input_path + "'\n");
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      auto tx = parse_model->ParseQuery(trimmed);
+      if (!tx.ok()) {
+        EmitStr(out, "error: " + tx.status().ToString() + "\n");
+        return 1;
+      }
+      rows.push_back(std::move(*tx));
+      labels.push_back(kNoLabel);
+    }
+  }
+  if (!from_store.empty()) {
+    auto reader = TransactionStoreReader::Open(from_store);
+    if (!reader.ok()) {
+      EmitStr(out, "error: " + reader.status().ToString() + "\n");
+      return 1;
+    }
+    while (reader->Next()) {
+      rows.push_back(reader->transaction());
+      labels.push_back(reader->label());
+    }
+    if (!reader->status().ok()) {
+      EmitStr(out, "error: " + reader->status().ToString() + "\n");
+      return 1;
+    }
+  }
+  if (rows.empty()) {
+    EmitStr(out,
+            "error: nothing to append (give item tokens, --input or "
+            "--from-store)\n");
+    return 2;
+  }
+
+  auto appended = (*session)->Append(rows, &labels);
+  if (!appended.ok()) {
+    EmitStr(out, "error: " + appended.status().ToString() + "\n");
+    return 1;
+  }
+
+  size_t outliers = 0;
+  for (const auto& oc : appended->outcomes) {
+    if (oc.cluster == kUnassigned) ++outliers;
+  }
+  Emit(out,
+       "append: +%zu rows (store %llu -> %llu, generation %llu), "
+       "%zu outliers\n",
+       rows.size(),
+       static_cast<unsigned long long>(appended->store.base_count),
+       static_cast<unsigned long long>(appended->store.new_count),
+       static_cast<unsigned long long>(appended->store.generation), outliers);
+  const DriftReport& drift = appended->drift;
+  Emit(out, "drift: tv=%.3f neighbors=%.1f/%.1f window=%zu%s\n",
+       drift.tv_distance, drift.window_mean_neighbors,
+       drift.profile_mean_neighbors, drift.window_fill,
+       drift.tripped ? "  ** TRIPPED **" : "");
+  if (appended->rebuild_started) {
+    if (Status s = (*session)->WaitForRebuild(); !s.ok()) {
+      EmitStr(out, "error: rebuild failed: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "rebuild: model re-clustered and swapped (%llu rebuilds)\n",
+         static_cast<unsigned long long>((*session)->rebuilds()));
+  }
+
+  if (!assignments_path.empty()) {
+    std::ofstream csv(assignments_path);
+    if (!csv) {
+      EmitStr(out, "error: cannot create '" + assignments_path + "'\n");
+      return 1;
+    }
+    csv << "row,cluster\n";
+    for (size_t i = 0; i < appended->outcomes.size(); ++i) {
+      csv << (appended->store.base_count + i) << ','
+          << appended->outcomes[i].cluster << '\n';
+    }
+    if (!csv) {
+      EmitStr(out, "error: write failure on '" + assignments_path + "'\n");
+      return 1;
+    }
+    Emit(out, "assignments written to %s\n", assignments_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    if (Status s =
+            WriteMetricsJson(metrics_json_path, registry.Snapshot(), "append");
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+    Emit(out, "metrics written to %s\n", metrics_json_path.c_str());
+  }
+  return 0;
+}
+
 int CmdSweep(const std::vector<std::string>& args, std::string* out,
              bool help_only) {
   std::string input;
@@ -1261,6 +1493,7 @@ const char kUsage[] =
     "  build     sample + cluster a store into a servable model bundle\n"
     "  serve     answer cluster queries over stdin/stdout from a model\n"
     "  query     one-shot cluster assignment (or label a whole store)\n"
+    "  append    append rows to a store, label them online, track drift\n"
     "  sweep     run ROCK across a theta grid and tabulate the outcomes\n"
     "  help      show this message\n"
     "\n"
@@ -1296,6 +1529,9 @@ int RunCli(const std::vector<std::string>& args, std::string* out,
   }
   if (command == "query") {
     return CmdQuery(rest, out, wants_help);
+  }
+  if (command == "append") {
+    return CmdAppend(rest, out, wants_help);
   }
   if (command == "sweep") {
     return CmdSweep(rest, out, wants_help);

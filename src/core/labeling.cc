@@ -131,9 +131,13 @@ ClusterIndex TransactionLabeler::AssignUnpruned(const Transaction& tx) const {
 ClusterIndex TransactionLabeler::Assign(const Transaction& tx,
                                         Scratch* scratch,
                                         AssignStats* stats) const {
+  return AssignDetailed(tx, scratch, stats).cluster;
+}
+
+TransactionLabeler::AssignOutcome TransactionLabeler::AssignDetailed(
+    const Transaction& tx, Scratch* scratch, AssignStats* stats) const {
   const size_t num_clusters = sets_.size();
-  ClusterIndex best = kUnassigned;
-  double best_score = 0.0;
+  AssignOutcome best;
 
   // θ = 0 accepts every pair (Jaccard ≥ 0 always holds), so neither filter
   // can prune anything; run the full scan.
@@ -147,9 +151,10 @@ ClusterIndex TransactionLabeler::Assign(const Transaction& tx,
       if (stats != nullptr) ++stats->clusters_scored;
       if (neighbors == 0) continue;
       const double score = static_cast<double>(neighbors) / normalizers_[c];
-      if (score > best_score) {
-        best_score = score;
-        best = static_cast<ClusterIndex>(c);
+      if (score > best.score) {
+        best.score = score;
+        best.neighbors = static_cast<uint32_t>(neighbors);
+        best.cluster = static_cast<ClusterIndex>(c);
       }
     }
     return best;
@@ -228,9 +233,10 @@ ClusterIndex TransactionLabeler::Assign(const Transaction& tx,
     const uint32_t neighbors = scratch->cluster_neighbors[c];
     if (neighbors == 0) continue;
     const double score = static_cast<double>(neighbors) / normalizers_[c];
-    if (score > best_score) {
-      best_score = score;
-      best = static_cast<ClusterIndex>(c);
+    if (score > best.score) {
+      best.score = score;
+      best.neighbors = neighbors;
+      best.cluster = static_cast<ClusterIndex>(c);
     }
   }
   return best;

@@ -84,6 +84,16 @@ class TransactionLabeler {
     void Merge(const AssignStats& other);
   };
 
+  /// Everything one §4.6 assignment decides: the winning cluster plus the
+  /// evidence behind it. `neighbors` is N_i(p) for the winning cluster i
+  /// (0 for outliers) and `score` the winning N_i(p)/(|L_i|+1)^f(θ) —
+  /// the per-row goodness the drift detector (eval/drift.h) profiles.
+  struct AssignOutcome {
+    ClusterIndex cluster = kUnassigned;
+    uint32_t neighbors = 0;
+    double score = 0.0;
+  };
+
   /// Cluster index for `tx`, or kUnassigned when tx has no neighbor in any
   /// labeling set.
   ClusterIndex Assign(const Transaction& tx) const;
@@ -100,6 +110,13 @@ class TransactionLabeler {
   /// is bit-identical to AssignUnpruned for every input.
   ClusterIndex Assign(const Transaction& tx, Scratch* scratch,
                       AssignStats* stats) const;
+
+  /// The same decision as Assign (identical code path, bit-identical
+  /// winner), additionally reporting the winning cluster's neighbor count
+  /// and score. This is the entry point the streaming layer uses so every
+  /// incremental label doubles as a drift observation.
+  AssignOutcome AssignDetailed(const Transaction& tx, Scratch* scratch,
+                               AssignStats* stats) const;
 
   /// Reference implementation: brute-force Jaccard against every labeling
   /// point of every cluster, exactly the pre-index engine. Kept as the

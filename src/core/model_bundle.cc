@@ -1,5 +1,6 @@
 #include "core/model_bundle.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/bytes.h"
@@ -11,7 +12,10 @@ namespace rock {
 namespace {
 
 constexpr uint64_t kModelMagic = 0x524f434b4d4f444cULL;  // "ROCKMODL"
-constexpr uint32_t kModelVersion = 1;
+// Version 2 appended the build-time profile (drift baseline). Version-1
+// files still load, with an empty profile.
+constexpr uint32_t kModelVersion = 2;
+constexpr uint32_t kMinModelVersion = 1;
 constexpr size_t kHeaderSize = sizeof(kModelMagic) + sizeof(kModelVersion) +
                                sizeof(uint64_t) + sizeof(uint32_t);
 
@@ -61,10 +65,45 @@ std::vector<uint8_t> SerializePayload(const ModelBundle& b) {
       w.Write(name.data(), name.size());
     }
   }
+
+  // Version 2: the build-time profile. Written even when empty (rows = 0)
+  // so the payload shape is a pure function of the version.
+  const ModelProfile& profile = b.profile;
+  w.Pod(profile.rows);
+  w.Pod(profile.outlier_share);
+  w.Pod(profile.mean_score);
+  w.Pod(static_cast<uint64_t>(profile.cluster_share.size()));
+  for (size_t c = 0; c < profile.cluster_share.size(); ++c) {
+    w.Pod(profile.cluster_share[c]);
+    w.Pod(c < profile.mean_neighbors.size() ? profile.mean_neighbors[c]
+                                            : 0.0);
+  }
   return std::move(w.buf);
 }
 
-Status ParsePayload(const uint8_t* data, size_t size, ModelBundle* b) {
+/// NaN-safe plausibility gate shared by save and load: a profile is either
+/// empty or a well-formed distribution over the bundle's clusters.
+bool ProfilePlausible(const ModelProfile& p, size_t num_clusters) {
+  if (p.empty()) {
+    return p.cluster_share.empty() && p.mean_neighbors.empty();
+  }
+  if (p.cluster_share.size() != num_clusters ||
+      p.mean_neighbors.size() != num_clusters) {
+    return false;
+  }
+  if (!(p.outlier_share >= 0.0 && p.outlier_share <= 1.0)) return false;
+  if (!(p.mean_score >= 0.0) || !std::isfinite(p.mean_score)) return false;
+  for (double s : p.cluster_share) {
+    if (!(s >= 0.0 && s <= 1.0)) return false;
+  }
+  for (double m : p.mean_neighbors) {
+    if (!(m >= 0.0) || !std::isfinite(m)) return false;
+  }
+  return true;
+}
+
+Status ParsePayload(const uint8_t* data, size_t size, uint32_t version,
+                    ModelBundle* b) {
   ByteReader r{data, size, 0, kReaderContext};
   CheckpointFingerprint& fp = b->fingerprint;
   ROCK_RETURN_IF_ERROR(r.Pod(&fp.store_count));
@@ -135,6 +174,29 @@ Status ParsePayload(const uint8_t* data, size_t size, ModelBundle* b) {
     }
   }
 
+  b->profile = ModelProfile{};
+  if (version >= 2) {
+    ModelProfile& profile = b->profile;
+    ROCK_RETURN_IF_ERROR(r.Pod(&profile.rows));
+    ROCK_RETURN_IF_ERROR(r.Pod(&profile.outlier_share));
+    ROCK_RETURN_IF_ERROR(r.Pod(&profile.mean_score));
+    uint64_t profile_clusters = 0;
+    ROCK_RETURN_IF_ERROR(r.Pod(&profile_clusters));
+    if (profile_clusters > kMaxModelClusters ||
+        profile_clusters > r.Remaining() / (2 * sizeof(double))) {
+      return Status::Corruption("implausible model profile size");
+    }
+    profile.cluster_share.resize(static_cast<size_t>(profile_clusters));
+    profile.mean_neighbors.resize(static_cast<size_t>(profile_clusters));
+    for (size_t c = 0; c < profile.cluster_share.size(); ++c) {
+      ROCK_RETURN_IF_ERROR(r.Pod(&profile.cluster_share[c]));
+      ROCK_RETURN_IF_ERROR(r.Pod(&profile.mean_neighbors[c]));
+    }
+    if (!ProfilePlausible(profile, b->labeling_sets.size())) {
+      return Status::Corruption("implausible model profile");
+    }
+  }
+
   if (r.Remaining() != 0) {
     return Status::Corruption("trailing bytes after model-bundle payload");
   }
@@ -143,12 +205,26 @@ Status ParsePayload(const uint8_t* data, size_t size, ModelBundle* b) {
 
 }  // namespace
 
+double ModelProfile::OverallMeanNeighbors() const {
+  double mass = 0.0;
+  double weighted = 0.0;
+  for (size_t c = 0; c < cluster_share.size(); ++c) {
+    mass += cluster_share[c];
+    weighted += cluster_share[c] *
+                (c < mean_neighbors.size() ? mean_neighbors[c] : 0.0);
+  }
+  return mass > 0.0 ? weighted / mass : 0.0;
+}
+
 Status SaveModelBundle(const ModelBundle& bundle, const std::string& path) {
   // Symmetric with the load-side plausibility gate: a bundle we would
   // refuse to load must never reach disk in the first place.
   if (!(bundle.theta >= 0.0 && bundle.theta <= 1.0) ||
       !(bundle.f_exponent >= 0.0)) {
     return Status::InvalidArgument("implausible model parameters");
+  }
+  if (!ProfilePlausible(bundle.profile, bundle.labeling_sets.size())) {
+    return Status::InvalidArgument("implausible model profile");
   }
   const std::vector<uint8_t> payload = SerializePayload(bundle);
 
@@ -206,7 +282,7 @@ Result<ModelBundle> LoadModelBundle(const std::string& path) {
     return Status::Corruption("'" + path + "' is not a model bundle");
   }
   ROCK_RETURN_IF_ERROR(header.Pod(&version));
-  if (version != kModelVersion) {
+  if (version < kMinModelVersion || version > kModelVersion) {
     return Status::Corruption("unsupported model-bundle version " +
                               std::to_string(version));
   }
@@ -223,8 +299,8 @@ Result<ModelBundle> LoadModelBundle(const std::string& path) {
   }
 
   ModelBundle bundle;
-  ROCK_RETURN_IF_ERROR(
-      ParsePayload(payload, static_cast<size_t>(payload_size), &bundle));
+  ROCK_RETURN_IF_ERROR(ParsePayload(payload, static_cast<size_t>(payload_size),
+                                    version, &bundle));
   return bundle;
 }
 

@@ -18,9 +18,14 @@
 //   u64 num_clusters; per cluster: u64 set_size;
 //       per transaction: u32 n, n × u32 item ids
 //   u64 dict_size; per entry: u32 len, len × u8 name bytes
+//   — version 2 appends the build-time profile (the drift baseline) —
+//   u64 profile_rows; f64 outlier_share; f64 mean_score;
+//   u64 num_clusters; per cluster: f64 share, f64 mean_neighbors
 // An empty dictionary is legal — stores persist only item ids, so bundles
 // built straight from a store answer queries in id-mode (queries are
-// numeric item ids, not names).
+// numeric item ids, not names). Version-1 bundles (no profile section)
+// still load; their profile reads as empty (rows = 0) and streaming
+// sessions simply run without a drift baseline.
 //
 // Writes are atomic-by-rename ("<path>.tmp" then rename) and consult the
 // "model.save" failpoint site with the same torn_write / crash shapes as
@@ -39,6 +44,30 @@
 #include "data/transaction.h"
 
 namespace rock {
+
+/// The model's build-time behavior baseline: how the §4.6 labeler assigned
+/// the very sample it was built from. BuildModel computes it by running
+/// AssignDetailed over every sample row; the drift detector (eval/drift.h)
+/// compares the same statistics over newly appended rows against it.
+struct ModelProfile {
+  /// Sample rows profiled. 0 = no profile (version-1 bundle).
+  uint64_t rows = 0;
+  /// Fraction of profiled rows labeled kUnassigned.
+  double outlier_share = 0.0;
+  /// Mean winning score over assigned (non-outlier) rows.
+  double mean_score = 0.0;
+  /// Per-cluster fraction of profiled rows (sums to 1 - outlier_share).
+  std::vector<double> cluster_share;
+  /// Per-cluster mean winning neighbor count N_i(p) over the rows assigned
+  /// to that cluster (0 for clusters that won no row).
+  std::vector<double> mean_neighbors;
+
+  bool empty() const { return rows == 0; }
+
+  /// Profile-wide mean winning neighbor count, weighted by cluster share
+  /// (the share mass excludes outliers). 0 when everything was an outlier.
+  double OverallMeanNeighbors() const;
+};
 
 /// A persisted clustered model: the output of BuildModel, the input of the
 /// serve layer.
@@ -60,6 +89,10 @@ struct ModelBundle {
   /// from an in-memory dataset. Empty when built from a bare store (stores
   /// persist ids only) — queries are then numeric ids.
   std::vector<std::string> dictionary;
+
+  /// Build-time assignment baseline for drift detection (empty when loaded
+  /// from a version-1 bundle).
+  ModelProfile profile;
 };
 
 /// Atomically writes `bundle` to `path` (tmp + rename). Consults the

@@ -371,10 +371,15 @@ Result<ModelBuildResult> BuildModel(const std::string& store_path,
   if (!p.rock.failpoints.empty()) {
     ROCK_RETURN_IF_ERROR(fail::Configure(p.rock.failpoints));
   }
+  if (p.resume && p.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "resume requires a checkpoint_path to resume from");
+  }
 
   diag::MetricsRegistry registry;
   const bool collect = p.rock.diag.collect_metrics;
   diag::MetricsRegistry* m = collect ? &registry : nullptr;
+  const bool checkpointing = !p.checkpoint_path.empty();
 
   ModelBuildResult out;
   RetryStats retry_stats;
@@ -391,13 +396,70 @@ Result<ModelBuildResult> BuildModel(const std::string& store_path,
   if (effective_sample < p.sample_size) {
     diag::AddCounter(m, "sample.clamped", 1);
   }
+  const CheckpointFingerprint fingerprint =
+      MakeFingerprint(store_count, effective_sample, p);
 
-  Result<SampledClustering> sc =
-      SampleAndCluster(store_path, p, effective_sample, &retry_stats);
-  if (!sc.ok()) return sc.status();
-  out.sample_rows = std::move(sc->rows);
-  out.sample_seconds = sc->sample_seconds;
-  out.cluster_seconds = sc->cluster_seconds;
+  // Model rebuilds ride the PR-4 checkpoint spine: the sample+cluster
+  // phase — the expensive part of a build — is persisted as a shard-free
+  // checkpoint, and a resumed build restores it bit-for-bit, so a rebuild
+  // interrupted between clustering and the bundle swap completes with a
+  // byte-identical bundle instead of re-clustering. Same fallback rules as
+  // RunRockPipeline: anything wrong with the checkpoint restarts cleanly.
+  PipelineCheckpoint cp;
+  bool have_checkpoint = false;
+  if (p.resume) {
+    auto loaded = LoadCheckpoint(p.checkpoint_path);
+    if (loaded.ok()) {
+      if (loaded->fingerprint == fingerprint) {
+        cp = std::move(*loaded);
+        have_checkpoint = true;
+      } else {
+        diag::AddCounter(m, "checkpoint.mismatch", 1);
+      }
+    } else if (fail::IsInjectedCrash(loaded.status())) {
+      return loaded.status();
+    } else if (loaded.status().IsCorruption()) {
+      diag::AddCounter(m, "checkpoint.invalid", 1);
+    } else if (loaded.status().IsIOError() || loaded.status().IsNotFound()) {
+      diag::AddCounter(m, "checkpoint.missing", 1);
+    } else {
+      return loaded.status();
+    }
+  }
+
+  TransactionDataset sample;
+  if (have_checkpoint) {
+    out.resumed = true;
+    diag::AddCounter(m, "build.resumed", 1);
+    for (const Transaction& tx : cp.sample) sample.AddTransaction(tx);
+    out.sample_rows = cp.sample_rows;
+    out.sample_result.clustering = cp.clustering;
+    out.sample_result.merges = cp.merges;
+    out.sample_result.stats = cp.stats;
+  } else {
+    Result<SampledClustering> sc =
+        SampleAndCluster(store_path, p, effective_sample, &retry_stats);
+    if (!sc.ok()) return sc.status();
+    sample = std::move(sc->sample);
+    out.sample_rows = std::move(sc->rows);
+    out.sample_seconds = sc->sample_seconds;
+    out.sample_result = std::move(sc->rock);
+    out.cluster_seconds = sc->cluster_seconds;
+    if (checkpointing) {
+      cp.fingerprint = fingerprint;
+      cp.sample_rows = out.sample_rows;
+      cp.sample = std::move(sc->picked);
+      cp.clustering = out.sample_result.clustering;
+      cp.merges = out.sample_result.merges;
+      cp.stats = out.sample_result.stats;
+      cp.num_shards = 0;  // no labeling scan: the row arrays stay blank
+      cp.assignments.assign(static_cast<size_t>(store_count), kUnassigned);
+      cp.ground_truth.assign(static_cast<size_t>(store_count), kNoLabel);
+      ROCK_RETURN_IF_ERROR(RetryTransient(
+          p.retry, [&] { return SaveCheckpoint(cp, p.checkpoint_path); },
+          &retry_stats, p.retry_sleeper));
+    }
+  }
 
   // Build the §4.6 labeler the same way the batch pipeline does, then
   // freeze its parts into the bundle. The serve layer reassembles it via
@@ -405,12 +467,10 @@ Result<ModelBuildResult> BuildModel(const std::string& store_path,
   // index identically — so serve answers match batch labels bit for bit.
   Timer build_timer;
   auto labeler = TransactionLabeler::Build(
-      sc->sample, sc->rock.clustering, p.rock, p.labeling);
+      sample, out.sample_result.clustering, p.rock, p.labeling);
   ROCK_RETURN_IF_ERROR(labeler.status());
-  out.sample_result = std::move(sc->rock);
 
-  out.bundle.fingerprint =
-      MakeFingerprint(store_count, effective_sample, p);
+  out.bundle.fingerprint = fingerprint;
   out.bundle.theta = labeler->theta();
   out.bundle.f_exponent = labeler->f_exponent();
   out.bundle.labeling_sets.reserve(labeler->num_clusters());
@@ -425,6 +485,47 @@ Result<ModelBuildResult> BuildModel(const std::string& store_path,
     }
   }
 
+  // Profile the model against its own sample: the per-cluster share and
+  // winning-neighbor-count distributions the drift detector compares
+  // appended rows against (eval/drift.h). Deterministic — AssignDetailed
+  // over a fixed sample — so resumed rebuilds freeze identical profiles.
+  {
+    ModelProfile& profile = out.bundle.profile;
+    const size_t num_clusters = labeler->num_clusters();
+    std::vector<uint64_t> won(num_clusters, 0);
+    std::vector<double> neighbor_sum(num_clusters, 0.0);
+    uint64_t outliers = 0;
+    double score_sum = 0.0;
+    TransactionLabeler::Scratch scratch;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      const TransactionLabeler::AssignOutcome outcome =
+          labeler->AssignDetailed(sample.transaction(i), &scratch, nullptr);
+      if (outcome.cluster == kUnassigned) {
+        ++outliers;
+      } else {
+        ++won[static_cast<size_t>(outcome.cluster)];
+        neighbor_sum[static_cast<size_t>(outcome.cluster)] +=
+            static_cast<double>(outcome.neighbors);
+        score_sum += outcome.score;
+      }
+    }
+    profile.rows = sample.size();
+    if (profile.rows > 0) {
+      const double rows = static_cast<double>(profile.rows);
+      profile.outlier_share = static_cast<double>(outliers) / rows;
+      profile.cluster_share.resize(num_clusters);
+      profile.mean_neighbors.resize(num_clusters);
+      for (size_t c = 0; c < num_clusters; ++c) {
+        profile.cluster_share[c] = static_cast<double>(won[c]) / rows;
+        profile.mean_neighbors[c] =
+            won[c] > 0 ? neighbor_sum[c] / static_cast<double>(won[c]) : 0.0;
+      }
+      const uint64_t assigned = profile.rows - outliers;
+      profile.mean_score =
+          assigned > 0 ? score_sum / static_cast<double>(assigned) : 0.0;
+    }
+  }
+
   if (!options.model_path.empty()) {
     ROCK_RETURN_IF_ERROR(RetryTransient(
         p.retry,
@@ -433,6 +534,28 @@ Result<ModelBuildResult> BuildModel(const std::string& store_path,
     diag::AddCounter(m, "model.saved", 1);
   }
   out.build_seconds = build_timer.ElapsedSeconds();
+
+  // The bundle is safely on disk (or was never requested): the rebuild
+  // checkpoint has nothing left to resume. Same non-fatal removal
+  // discipline as RunRockPipeline — only an injected crash propagates.
+  if (checkpointing) {
+    const Status removed = RetryTransient(
+        p.retry,
+        [&]() -> Status {
+          ROCK_RETURN_IF_ERROR(fail::ConsultRead("checkpoint.remove"));
+          if (std::remove(p.checkpoint_path.c_str()) != 0 &&
+              errno != ENOENT) {
+            return Status::IOError("cannot remove checkpoint '" +
+                                   p.checkpoint_path + "'");
+          }
+          return Status::OK();
+        },
+        &retry_stats, p.retry_sleeper);
+    if (fail::IsInjectedCrash(removed)) return removed;
+    diag::AddCounter(
+        m, removed.ok() ? "checkpoint.removed" : "checkpoint.remove_failed",
+        1);
+  }
 
   if (collect) {
     registry.RecordSeconds("stage.sample", out.sample_seconds);

@@ -97,9 +97,13 @@ Result<PipelineResult> RunRockPipeline(const std::string& store_path,
 
 /// Options for the build half of the pipeline.
 struct ModelBuildOptions {
-  /// Sampling, clustering and labeling-set parameters. The checkpoint and
-  /// resume fields are ignored — model builds are short (no whole-store
-  /// scan) and restart from scratch.
+  /// Sampling, clustering and labeling-set parameters. When
+  /// `pipeline.checkpoint_path` is set, the sample+cluster phase is
+  /// persisted there (shard-free checkpoint, core/checkpoint.h) before the
+  /// bundle is written, and `pipeline.resume` restores it — so a rebuild
+  /// that crashes between clustering and the model swap resumes without
+  /// re-clustering and produces a byte-identical bundle. The checkpoint is
+  /// removed once the bundle is safely on disk.
   PipelineOptions pipeline;
   /// When non-empty, the bundle is persisted here (atomic tmp+rename,
   /// retried under pipeline.retry). A failed save fails the build.
@@ -121,8 +125,11 @@ struct ModelBuildResult {
   std::vector<uint64_t> sample_rows;
   double sample_seconds = 0.0;
   double cluster_seconds = 0.0;
-  /// Labeler construction + bundle save.
+  /// Labeler construction + profile + bundle save.
   double build_seconds = 0.0;
+  /// True when the sample clustering was restored from a checkpoint
+  /// instead of recomputed (build.resumed).
+  bool resumed = false;
   /// stage.sample / stage.build timers, sample counters and the clusterer's
   /// report, as in PipelineResult::metrics.
   diag::RunMetrics metrics;

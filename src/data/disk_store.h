@@ -6,7 +6,8 @@
 // phase without ever materializing the whole database in memory.
 //
 // Format (little-endian, fixed magic + version header):
-//   [u64 magic][u32 version][u64 count][u32 crc32]
+//   [u64 magic][u32 version][u64 count][u32 crc32]          (version 2)
+//   [… same …][u64 generation][u64 base_count]              (version 3)
 //   count × { u32 label; u32 n; n × u32 item; }
 // `label` is the ground-truth class id (kNoLabel when absent) — carried for
 // evaluation (Table 6 counts misclassified transactions), never consulted by
@@ -21,6 +22,18 @@
 // instead. I/O paths carry the "store.read" / "store.append" failpoint
 // sites (util/failpoint.h) so the fault tests can inject errors, short
 // reads and torn writes deterministically.
+//
+// Version 3 (streaming, docs/DESIGN.md §11) adds two generation-stamp
+// fields: `generation` counts AppendToStore commits (0 for a freshly
+// written store) and `base_count` is the row count before the most recent
+// append — rows [base_count, count) are the latest appended batch. Readers
+// accept both versions (a v2 file reads as generation 0). Appends are
+// crash-safe: the whole store is re-written to "<path>.append.tmp" (the
+// copied payload's CRC is re-verified before anything new is added), the
+// new records go through the same "store.append" failpoint site as the
+// writer, and the final rename consults "store.commit" — a crash at either
+// site leaves the original store untouched, so a retried append never
+// duplicates rows.
 
 #ifndef ROCK_DATA_DISK_STORE_H_
 #define ROCK_DATA_DISK_STORE_H_
@@ -118,6 +131,15 @@ class TransactionStoreReader {
   /// for Open(), the range size for OpenRange().
   uint64_t count() const { return count_; }
 
+  /// Append-commit generation of the file (0 for a freshly written store
+  /// and for version-2 files, which predate the stamp).
+  uint64_t generation() const { return generation_; }
+
+  /// Row count before the most recent append: rows [base_count, count) are
+  /// the latest appended batch. Equals the header count when the store has
+  /// never been appended to.
+  uint64_t base_count() const { return base_count_; }
+
   /// Rewinds the stream to its first transaction — the file's first record
   /// for Open(), the range start for OpenRange(). (Labeling makes one pass,
   /// but multi-θ experiments rescan the same store.)
@@ -129,6 +151,8 @@ class TransactionStoreReader {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
   uint64_t count_ = 0;
   uint64_t read_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t base_count_ = 0;
   long start_offset_ = 0;  ///< byte offset Next() starts/rewinds at
   Transaction current_;
   LabelId label_ = kNoLabel;
@@ -140,6 +164,28 @@ class TransactionStoreReader {
   uint32_t expected_crc_ = 0;
   Crc32Accumulator crc_;
 };
+
+/// Outcome of one committed AppendToStore call.
+struct StoreAppendResult {
+  uint64_t base_count = 0;  ///< rows before the append
+  uint64_t new_count = 0;   ///< rows after the append
+  uint64_t generation = 0;  ///< generation stamp of the committed file
+};
+
+/// Atomically appends `rows` (with optional per-row ground-truth `labels`,
+/// nullptr = all kNoLabel) to the store at `path`.
+///
+/// The append is copy-on-write: the existing records are streamed to
+/// "<path>.append.tmp" while their CRC is re-verified (a corrupt store is
+/// refused, never extended), the new records are written through the
+/// "store.append" failpoint site, the header is stamped with the new
+/// count/CRC, generation+1 and base_count = old count, and the tmp file is
+/// renamed over `path` after consulting "store.commit". Any failure or
+/// crash before the rename leaves the original store byte-identical, so
+/// retrying the append after a crash cannot duplicate rows.
+Result<StoreAppendResult> AppendToStore(const std::string& path,
+                                        const std::vector<Transaction>& rows,
+                                        const std::vector<LabelId>* labels);
 
 /// Writes an in-memory dataset to a store file (convenience for tests and
 /// the synthetic-data benches).

@@ -1,0 +1,99 @@
+#include "eval/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "diag/metrics.h"
+
+namespace rock {
+
+DriftDetector::DriftDetector(ModelProfile profile,
+                             const DriftOptions& options)
+    : profile_(std::move(profile)), options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.min_observations == 0) options_.min_observations = 1;
+}
+
+void DriftDetector::Reset(ModelProfile profile) {
+  profile_ = std::move(profile);
+  window_.clear();
+  observed_ = 0;
+  report_ = DriftReport{};
+}
+
+void DriftDetector::Observe(
+    const TransactionLabeler::AssignOutcome& outcome) {
+  ++observed_;
+  window_.push_back(Observation{
+      outcome.cluster == kUnassigned ? int64_t{-1}
+                                     : static_cast<int64_t>(outcome.cluster),
+      outcome.neighbors});
+  while (window_.size() > options_.window) window_.pop_front();
+  Evaluate();
+
+  diag::AddCounter(options_.metrics, "drift.observed", 1);
+  diag::SetGauge(options_.metrics, "drift.tv_distance", report_.tv_distance);
+  diag::SetGauge(options_.metrics, "drift.neighbor_ratio",
+                 report_.profile_mean_neighbors > 0.0
+                     ? report_.window_mean_neighbors /
+                           report_.profile_mean_neighbors
+                     : 0.0);
+}
+
+void DriftDetector::Evaluate() {
+  report_.window_fill = window_.size();
+  if (profile_.empty() || window_.size() < options_.min_observations) {
+    return;
+  }
+
+  // Window distribution over {clusters…, outlier} and mean winning
+  // neighbor count, recomputed from the window each time — O(window) per
+  // row, and free of the incremental floating-point differences a running
+  // add/subtract sum would accumulate between runs that observed the same
+  // rows in different batch sizes.
+  const size_t num_clusters = profile_.cluster_share.size();
+  std::vector<uint64_t> won(num_clusters, 0);
+  uint64_t outliers = 0;
+  uint64_t assigned = 0;
+  double neighbor_sum = 0.0;
+  for (const Observation& o : window_) {
+    if (o.cluster < 0 || static_cast<size_t>(o.cluster) >= num_clusters) {
+      ++outliers;  // out-of-range clusters count as "not where they were"
+    } else {
+      ++won[static_cast<size_t>(o.cluster)];
+      ++assigned;
+      neighbor_sum += static_cast<double>(o.neighbors);
+    }
+  }
+  const double rows = static_cast<double>(window_.size());
+  double tv = std::abs(static_cast<double>(outliers) / rows -
+                       profile_.outlier_share);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    tv += std::abs(static_cast<double>(won[c]) / rows -
+                   profile_.cluster_share[c]);
+  }
+  tv *= 0.5;
+
+  const double window_mean =
+      assigned > 0 ? neighbor_sum / static_cast<double>(assigned) : 0.0;
+  const double profile_mean = profile_.OverallMeanNeighbors();
+
+  report_.tv_distance = tv;
+  report_.window_mean_neighbors = window_mean;
+  report_.profile_mean_neighbors = profile_mean;
+  const bool share_now = tv > options_.share_tolerance;
+  const bool neighbor_now =
+      options_.neighbor_ratio > 0.0 && profile_mean > 0.0 &&
+      window_mean < options_.neighbor_ratio * profile_mean;
+  report_.share_tripped = report_.share_tripped || share_now;
+  report_.neighbor_tripped = report_.neighbor_tripped || neighbor_now;
+  if (!report_.tripped && (share_now || neighbor_now)) {
+    report_.tripped = true;
+    ++trips_;
+    diag::AddCounter(options_.metrics, "drift.trips", 1);
+  }
+}
+
+}  // namespace rock

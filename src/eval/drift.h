@@ -1,0 +1,119 @@
+// librock — eval/drift.h
+//
+// Drift detection for the streaming layer (docs/DESIGN.md §11). A model is
+// built once from a sample; appended rows are labeled online against it.
+// The detector watches the §4.6 assignment evidence of newly labeled rows —
+// which cluster won and with how many labeling-set neighbors — over a
+// sliding window, and compares two statistics against the model's
+// build-time profile (core/model_bundle.h):
+//
+//   share drift    — total-variation distance between the window's
+//                    cluster-share distribution (outliers included as
+//                    their own bucket) and the profile's. New data landing
+//                    in different clusters, or turning into outliers, moves
+//                    this toward 1.
+//   neighbor drift — the window's mean winning neighbor count N_i(p)
+//                    falling below `neighbor_ratio` × the profile's mean.
+//                    Rows that still land in the right clusters but barely
+//                    qualify (goodness decay) trip this before the share
+//                    distribution moves.
+//
+// Either condition past its threshold trips the detector. Tripping is
+// sticky — it latches until Reset() installs a new baseline (after a
+// re-cluster swaps a fresh model in). A detector with an empty profile
+// (version-1 bundle) observes but never trips.
+//
+// Metrics (drift.*, docs/OBSERVABILITY.md): drift.observed, drift.trips,
+// drift.tv_distance, drift.neighbor_ratio.
+
+#ifndef ROCK_EVAL_DRIFT_H_
+#define ROCK_EVAL_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "core/labeling.h"
+#include "core/model_bundle.h"
+
+namespace rock {
+
+namespace diag {
+class MetricsRegistry;
+}  // namespace diag
+
+/// Thresholds for the drift decision.
+struct DriftOptions {
+  /// Sliding window: the most recent `window` labeled rows are compared
+  /// against the profile.
+  size_t window = 256;
+  /// No verdict before this many rows are in the window — a handful of
+  /// unlucky rows must not trip a re-cluster.
+  size_t min_observations = 64;
+  /// Trip when the total-variation distance between the window's and the
+  /// profile's cluster-share distributions exceeds this (0..1).
+  double share_tolerance = 0.25;
+  /// Trip when the window's mean winning neighbor count drops below this
+  /// fraction of the profile's mean. 0 disables the neighbor check.
+  double neighbor_ratio = 0.5;
+  /// When non-null, Observe records the drift.* metrics here. Single
+  /// writer: the registry must only be fed from the appending thread.
+  diag::MetricsRegistry* metrics = nullptr;
+};
+
+/// The detector's current verdict and the evidence behind it.
+struct DriftReport {
+  bool tripped = false;           ///< sticky: latched until Reset
+  bool share_tripped = false;     ///< TV distance crossed share_tolerance
+  bool neighbor_tripped = false;  ///< neighbor mean fell under the ratio
+  double tv_distance = 0.0;
+  double window_mean_neighbors = 0.0;
+  double profile_mean_neighbors = 0.0;
+  size_t window_fill = 0;         ///< rows currently in the window
+};
+
+/// Streams AssignDetailed outcomes and decides when incremental labeling
+/// has degraded enough to warrant a background re-cluster. Not thread-safe;
+/// the streaming session serializes Observe/Reset.
+class DriftDetector {
+ public:
+  DriftDetector() = default;
+  DriftDetector(ModelProfile profile, const DriftOptions& options);
+
+  /// Installs a new baseline (after a model swap) and clears the window
+  /// and the latch.
+  void Reset(ModelProfile profile);
+
+  /// Feeds one newly labeled row's assignment evidence.
+  void Observe(const TransactionLabeler::AssignOutcome& outcome);
+
+  /// True once either drift condition has fired since the last Reset.
+  bool tripped() const { return report_.tripped; }
+
+  /// The current verdict + evidence.
+  const DriftReport& report() const { return report_; }
+
+  /// Rows observed since the last Reset (window evictions included).
+  uint64_t observed() const { return observed_; }
+
+  /// True when the baseline profile is empty (detector can never trip).
+  bool disabled() const { return profile_.empty(); }
+
+ private:
+  void Evaluate();
+
+  ModelProfile profile_;
+  DriftOptions options_;
+  /// (cluster, winning neighbors) per windowed row; cluster -1 = outlier.
+  struct Observation {
+    int64_t cluster;
+    uint32_t neighbors;
+  };
+  std::deque<Observation> window_;
+  uint64_t observed_ = 0;
+  uint64_t trips_ = 0;
+  DriftReport report_;
+};
+
+}  // namespace rock
+
+#endif  // ROCK_EVAL_DRIFT_H_

@@ -17,6 +17,7 @@ Result<ModelHandle> ModelHandle::FromBundle(ModelBundle bundle) {
   if (!labeler.ok()) return labeler.status();
 
   ModelHandle handle(std::move(*labeler), bundle.fingerprint);
+  handle.profile_ = std::move(bundle.profile);
   handle.name_to_id_.reserve(bundle.dictionary.size());
   for (size_t i = 0; i < bundle.dictionary.size(); ++i) {
     handle.name_to_id_.emplace(std::move(bundle.dictionary[i]),

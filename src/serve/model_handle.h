@@ -50,6 +50,10 @@ class ModelHandle {
   /// Identity of the build run this model came from.
   const CheckpointFingerprint& fingerprint() const { return fingerprint_; }
 
+  /// Build-time assignment profile carried by version-2 bundles (empty for
+  /// version-1 bundles). The drift detector's baseline.
+  const ModelProfile& profile() const { return profile_; }
+
   size_t num_clusters() const { return labeler_.num_clusters(); }
 
   /// True when the bundle carries item names (name-mode queries).
@@ -68,6 +72,7 @@ class ModelHandle {
 
   TransactionLabeler labeler_;
   CheckpointFingerprint fingerprint_;
+  ModelProfile profile_;
   std::unordered_map<std::string, ItemId> name_to_id_;
   /// First id past the dictionary — per-query unknown names map to
   /// unknown_base_ + k so they stay distinct from every known item.

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "diag/metrics.h"
+#include "serve/stream.h"
 #include "util/thread_pool.h"
 
 namespace rock {
@@ -15,6 +17,13 @@ namespace rock {
 LabelServer::LabelServer(const ModelHandle* model,
                          const ServeOptions& options)
     : model_(model), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+}
+
+LabelServer::LabelServer(const SwappableModel* model,
+                         const ServeOptions& options)
+    : model_(nullptr), swappable_(model), options_(options) {
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.max_queue == 0) options_.max_queue = 1;
 }
@@ -76,9 +85,17 @@ void LabelServer::WorkerLoop(size_t /*worker*/) {
     }
     batches_.fetch_add(1, std::memory_order_relaxed);
     batch_items_.fetch_add(block.size(), std::memory_order_relaxed);
+    // Swap-aware mode: one snapshot answers the whole popped block, so a
+    // model swap takes effect between blocks, never inside one.
+    std::shared_ptr<const ModelHandle> snapshot;
+    const ModelHandle* model = model_;
+    if (swappable_ != nullptr) {
+      snapshot = swappable_->Acquire();
+      model = snapshot.get();
+    }
     for (Request& request : block) {
       const ClusterIndex cluster =
-          model_->labeler().Assign(request.tx, &scratch, nullptr);
+          model->labeler().Assign(request.tx, &scratch, nullptr);
       if (cluster == kUnassigned) {
         outliers_.fetch_add(1, std::memory_order_relaxed);
       }

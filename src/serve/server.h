@@ -45,6 +45,8 @@
 
 namespace rock {
 
+class SwappableModel;  // serve/stream.h
+
 namespace diag {
 class MetricsRegistry;
 }  // namespace diag
@@ -70,6 +72,14 @@ class LabelServer {
  public:
   /// `model` is borrowed and must outlive the server.
   LabelServer(const ModelHandle* model, const ServeOptions& options);
+
+  /// Swap-aware variant for the streaming layer (serve/stream.h): each
+  /// worker acquires one model snapshot per popped batch and answers the
+  /// whole batch from it. A Swap() landing mid-batch takes effect at the
+  /// next pop — every individual query is answered entirely by the old
+  /// model or the new one, never a mix, and snapshots keep the old model
+  /// alive until its last in-flight batch finishes.
+  LabelServer(const SwappableModel* model, const ServeOptions& options);
 
   /// Stops and joins if still running.
   ~LabelServer();
@@ -119,7 +129,8 @@ class LabelServer {
 
   void WorkerLoop(size_t worker);
 
-  const ModelHandle* model_;
+  const ModelHandle* model_;              // fixed-model mode (else null)
+  const SwappableModel* swappable_ = nullptr;  // swap-aware mode (else null)
   ServeOptions options_;
 
   std::mutex mu_;

@@ -1,0 +1,246 @@
+#include "serve/stream.h"
+
+#include <utility>
+
+#include "diag/metrics.h"
+#include "util/failpoint.h"
+
+namespace rock {
+
+Result<std::unique_ptr<StreamingSession>> StreamingSession::Open(
+    std::string store_path, std::string model_path, StreamOptions options) {
+  Result<ModelHandle> handle = ModelHandle::Load(model_path);
+  if (!handle.ok()) return handle.status();
+
+  Result<TransactionStoreReader> reader =
+      TransactionStoreReader::Open(store_path);
+  if (!reader.ok()) return reader.status();
+
+  // Drift and stream metrics share one registry, written only under mu_.
+  options.drift.metrics = options.metrics;
+
+  std::unique_ptr<StreamingSession> session(new StreamingSession(
+      std::move(store_path), std::move(model_path), std::move(options)));
+  session->generation_ = reader->generation();
+  session->store_rows_ = reader->count();
+  auto shared = std::make_shared<const ModelHandle>(std::move(*handle));
+  session->drift_ = DriftDetector(shared->profile(), session->options_.drift);
+  session->model_.Swap(std::move(shared));
+  diag::SetGauge(session->options_.metrics, "stream.generation",
+                 static_cast<double>(session->generation_));
+  diag::SetGauge(session->options_.metrics, "stream.store_rows",
+                 static_cast<double>(session->store_rows_));
+  return session;
+}
+
+StreamingSession::~StreamingSession() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t = std::move(rebuild_thread_);
+  }
+  if (t.joinable()) t.join();
+}
+
+Result<StreamAppendResult> StreamingSession::Append(
+    const std::vector<Transaction>& rows, const std::vector<LabelId>* labels) {
+  StreamAppendResult out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+
+    StoreAppendResult committed;
+    const Status append_status = RetryTransient(
+        options_.build.pipeline.retry,
+        [&] {
+          Result<StoreAppendResult> r = AppendToStore(store_path_, rows, labels);
+          if (!r.ok()) return r.status();
+          committed = *r;
+          return Status::OK();
+        },
+        &retry_stats_, options_.build.pipeline.retry_sleeper);
+    if (!append_status.ok()) return append_status;
+
+    generation_ = committed.generation;
+    store_rows_ = committed.new_count;
+    out.store = committed;
+
+    // One snapshot labels the whole batch: a swap landing mid-append can
+    // never mix two models' answers within one batch.
+    const std::shared_ptr<const ModelHandle> snapshot = model_.Acquire();
+    out.outcomes.reserve(rows.size());
+    uint64_t outliers = 0;
+    for (const Transaction& tx : rows) {
+      const TransactionLabeler::AssignOutcome oc =
+          snapshot->labeler().AssignDetailed(tx, &scratch_, nullptr);
+      if (oc.cluster == kUnassigned) ++outliers;
+      drift_.Observe(oc);
+      out.outcomes.push_back(oc);
+    }
+    out.drift = drift_.report();
+    out.drift_tripped = out.drift.tripped;
+
+    diag::AddCounter(options_.metrics, "stream.appends", 1);
+    diag::AddCounter(options_.metrics, "stream.rows_appended", rows.size());
+    diag::AddCounter(options_.metrics, "stream.labeled", rows.size());
+    diag::AddCounter(options_.metrics, "stream.outliers", outliers);
+    diag::SetGauge(options_.metrics, "stream.generation",
+                   static_cast<double>(generation_));
+    diag::SetGauge(options_.metrics, "stream.store_rows",
+                   static_cast<double>(store_rows_));
+  }
+
+  // Outside mu_: the trigger path re-locks (and an inline rebuild must not
+  // run under the append lock).
+  if (out.drift_tripped && options_.auto_rebuild) {
+    out.rebuild_started = MaybeStartRebuild();
+  }
+  return out;
+}
+
+TransactionLabeler::AssignOutcome StreamingSession::Label(
+    const Transaction& tx) {
+  const std::shared_ptr<const ModelHandle> snapshot = model_.Acquire();
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot->labeler().AssignDetailed(tx, &scratch_, nullptr);
+}
+
+Status StreamingSession::RebuildNow() {
+  ModelBuildOptions build = options_.build;
+  build.model_path = model_path_;
+  Result<ModelBuildResult> built = BuildModel(store_path_, build);
+  if (!built.ok()) return built.status();
+
+  // The bundle is durable on disk (atomic tmp+rename inside BuildModel).
+  // A crash here is the "published but not yet serving" window: reopening
+  // the session — or MaybeReload — finds the new fingerprint and installs
+  // it, so resume converges on the new model without relabeling anything.
+  switch (fail::Consult("model.swap")) {
+    case fail::Action::kNone:
+      break;
+    case fail::Action::kCrash:
+      return fail::InjectedCrash("model.swap");
+    case fail::Action::kError:
+    case fail::Action::kShortRead:
+    case fail::Action::kTornWrite:
+      return fail::InjectedError("model.swap");
+  }
+
+  Result<ModelHandle> handle = ModelHandle::FromBundle(std::move(built->bundle));
+  if (!handle.ok()) return handle.status();
+  auto shared = std::make_shared<const ModelHandle>(std::move(*handle));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  drift_.Reset(shared->profile());
+  model_.Swap(std::move(shared));
+  ++rebuilds_;
+  diag::AddCounter(options_.metrics, "stream.rebuilds", 1);
+  diag::SetGauge(options_.metrics, "stream.swaps",
+                 static_cast<double>(model_.swaps()));
+  return Status::OK();
+}
+
+Status StreamingSession::Rebuild() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rebuild_inflight_) {
+      return Status::FailedPrecondition("a rebuild is already in flight");
+    }
+    rebuild_inflight_ = true;
+  }
+  Status s = RebuildNow();
+  std::lock_guard<std::mutex> lock(mu_);
+  rebuild_inflight_ = false;
+  rebuild_status_ = s;
+  return s;
+}
+
+bool StreamingSession::MaybeStartRebuild() {
+  std::thread stale;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rebuild_inflight_) return false;
+    rebuild_inflight_ = true;
+    // A previous background rebuild has finished (inflight is false) but
+    // its thread handle may still need joining before we reuse the slot.
+    stale = std::move(rebuild_thread_);
+  }
+  if (stale.joinable()) stale.join();
+
+  if (!options_.background_rebuild) {
+    Status s = RebuildNow();
+    std::lock_guard<std::mutex> lock(mu_);
+    rebuild_inflight_ = false;
+    rebuild_status_ = s;
+    return true;
+  }
+
+  std::thread worker([this] {
+    Status s = RebuildNow();
+    std::lock_guard<std::mutex> lock(mu_);
+    rebuild_inflight_ = false;
+    rebuild_status_ = s;
+  });
+  std::lock_guard<std::mutex> lock(mu_);
+  rebuild_thread_ = std::move(worker);
+  return true;
+}
+
+Status StreamingSession::WaitForRebuild() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t = std::move(rebuild_thread_);
+  }
+  if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuild_status_;
+}
+
+bool StreamingSession::rebuild_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuild_inflight_;
+}
+
+Result<bool> StreamingSession::MaybeReload() {
+  Result<ModelHandle> fresh = ModelHandle::Load(model_path_);
+  if (!fresh.ok()) return fresh.status();
+  const std::shared_ptr<const ModelHandle> current = model_.Acquire();
+  if (current != nullptr && fresh->fingerprint() == current->fingerprint()) {
+    return false;
+  }
+  auto shared = std::make_shared<const ModelHandle>(std::move(*fresh));
+  std::lock_guard<std::mutex> lock(mu_);
+  drift_.Reset(shared->profile());
+  model_.Swap(std::move(shared));
+  diag::AddCounter(options_.metrics, "stream.reloads", 1);
+  diag::SetGauge(options_.metrics, "stream.swaps",
+                 static_cast<double>(model_.swaps()));
+  return true;
+}
+
+DriftReport StreamingSession::drift_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_.report();
+}
+
+uint64_t StreamingSession::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+uint64_t StreamingSession::store_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_rows_;
+}
+
+uint64_t StreamingSession::rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuilds_;
+}
+
+RetryStats StreamingSession::retry_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_stats_;
+}
+
+}  // namespace rock

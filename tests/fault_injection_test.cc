@@ -21,9 +21,12 @@
 #include "common/status.h"
 #include "core/labeling.h"
 #include "core/options.h"
+#include "core/pipeline.h"
 #include "data/dataset.h"
 #include "data/disk_store.h"
 #include "data/transaction.h"
+#include "serve/model_handle.h"
+#include "serve/stream.h"
 #include "test_support.h"
 #include "util/failpoint.h"
 #include "util/retry.h"
@@ -557,6 +560,176 @@ TEST_F(FailpointTest, ReaderLatchesItsFirstError) {
   const std::string first = r->status().ToString();
   EXPECT_FALSE(r->Next()) << "a failed reader must stay failed";
   EXPECT_EQ(r->status().ToString(), first);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming appends and model swaps (DESIGN §11): a fault or crash at any
+// injected site must leave the store byte-identical and the model either
+// fully old or fully new — and a retry/resume must converge without
+// duplicating or mixing labels.
+
+/// Two fresh in-distribution rows for appending to the 24-row fixture store.
+std::vector<Transaction> TwoAppendRows() {
+  return {Transaction({1, 2, 3, 4}), Transaction({101, 102, 103})};
+}
+
+TEST_F(StoreFaultTest, AppendTornWriteLeavesStoreByteIdentical) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  Track(path_ + ".append.tmp");
+  const std::vector<unsigned char> before = ReadAllBytes(path_);
+
+  ASSERT_TRUE(fail::Configure("store.append=fire_on_hit_1:torn_write").ok());
+  auto torn = AppendToStore(path_, TwoAppendRows(), nullptr);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsIOError()) << torn.status().ToString();
+  EXPECT_EQ(ReadAllBytes(path_), before)
+      << "a torn append must not disturb the committed store";
+
+  // Retrying after the fault clears commits the batch exactly once.
+  fail::Clear();
+  auto retried = AppendToStore(path_, TwoAppendRows(), nullptr);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->base_count, 24u);
+  EXPECT_EQ(retried->new_count, 26u);
+  EXPECT_EQ(retried->generation, 1u);
+  auto r = TransactionStoreReader::Open(path_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count(), 26u);
+}
+
+TEST_F(StoreFaultTest, AppendCrashBeforeRenameLeavesStoreByteIdentical) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  Track(path_ + ".append.tmp");
+  const std::vector<unsigned char> before = ReadAllBytes(path_);
+
+  // Crash at the commit (rename) boundary: the fully written tmp file never
+  // replaces the original.
+  ASSERT_TRUE(fail::Configure("store.commit=fire_on_hit_1:crash").ok());
+  auto crashed = AppendToStore(path_, TwoAppendRows(), nullptr);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(fail::IsInjectedCrash(crashed.status()))
+      << crashed.status().ToString();
+  EXPECT_EQ(ReadAllBytes(path_), before);
+
+  // Resume-after-crash: the retry appends the rows once — never twice.
+  fail::Clear();
+  auto retried = AppendToStore(path_, TwoAppendRows(), nullptr);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->new_count, 26u);
+  EXPECT_EQ(retried->generation, 1u);
+  size_t rows = 0;
+  auto r = TransactionStoreReader::Open(path_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  while (r->Next()) ++rows;
+  ASSERT_TRUE(r->status().ok()) << r->status().ToString();
+  EXPECT_EQ(rows, 26u) << "a crashed-then-retried append must not duplicate";
+}
+
+TEST_F(StoreFaultTest, AppendRefusesToExtendACorruptStore) {
+  ROCK_SEEDED_RNG(rng, 0xc0bb);
+  std::vector<unsigned char> bytes = ReadAllBytes(path_);
+  // Flip one payload bit: the copy-on-append CRC re-verify must refuse to
+  // extend (and thereby re-checksum, masking the damage) a corrupt store.
+  const size_t pos =
+      48 + static_cast<size_t>(rng.UniformUint64(bytes.size() - 48));
+  bytes[pos] ^= 0x10;
+  WriteAllBytes(path_, bytes);
+
+  auto appended = AppendToStore(path_, TwoAppendRows(), nullptr);
+  ASSERT_FALSE(appended.ok());
+  EXPECT_TRUE(appended.status().IsCorruption())
+      << appended.status().ToString();
+  EXPECT_EQ(ReadAllBytes(path_), bytes)
+      << "a refused append must leave the (corrupt) file for forensics";
+}
+
+class StreamFaultTest : public StoreFaultTest {
+ protected:
+  void SetUp() override {
+    StoreFaultTest::SetUp();
+    model_path_ = Track(TempPath("rock_stream_fault_model"));
+    Track(model_path_ + ".tmp");
+    Track(path_ + ".append.tmp");
+    checkpoint_path_ = Track(TempPath("rock_stream_fault_ckpt"));
+    Track(checkpoint_path_ + ".tmp");
+  }
+
+  ModelBuildOptions BuildOptions() const {
+    ModelBuildOptions opt;
+    opt.pipeline.rock.theta = 0.3;
+    opt.pipeline.rock.num_clusters = 3;
+    opt.pipeline.sample_size = 24;
+    opt.pipeline.seed = 99;
+    opt.pipeline.labeling.seed = 5;
+    opt.model_path = model_path_;
+    return opt;
+  }
+
+  std::string model_path_;
+  std::string checkpoint_path_;
+};
+
+TEST_F(StreamFaultTest, ModelSwapCrashPublishesButKeepsServingOldModel) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(BuildModel(path_, BuildOptions()).ok());
+
+  StreamOptions opt;
+  opt.build = BuildOptions();
+  opt.background_rebuild = false;
+  auto session = StreamingSession::Open(path_, model_path_, opt);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto appended = (*session)->Append(TwoAppendRows(), nullptr);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+
+  // Crash in the "published but not yet serving" window: the re-clustered
+  // bundle is durable on disk, the in-process model is still entirely the
+  // old one.
+  ASSERT_TRUE(fail::Configure("model.swap=fire_on_hit_1:crash").ok());
+  Status swap = (*session)->Rebuild();
+  ASSERT_FALSE(swap.ok());
+  EXPECT_TRUE(fail::IsInjectedCrash(swap)) << swap.ToString();
+  fail::Clear();
+
+  EXPECT_EQ((*session)->Acquire()->fingerprint().store_count, 24u)
+      << "the session must keep serving the old model after a swap crash";
+  auto on_disk = ModelHandle::Load(model_path_);
+  ASSERT_TRUE(on_disk.ok()) << on_disk.status().ToString();
+  EXPECT_EQ(on_disk->fingerprint().store_count, 26u)
+      << "the rebuilt bundle must already be durable on disk";
+
+  // Resume: MaybeReload finds the published fingerprint and converges.
+  auto reloaded = (*session)->MaybeReload();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(*reloaded);
+  EXPECT_EQ((*session)->Acquire()->fingerprint().store_count, 26u);
+}
+
+TEST_F(StreamFaultTest, RebuildResumeAfterModelSaveCrashIsByteIdentical) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  // Reference: an uninterrupted build of the same store.
+  const std::string reference = Track(TempPath("rock_stream_fault_ref"));
+  Track(reference + ".tmp");
+  ModelBuildOptions ref = BuildOptions();
+  ref.model_path = reference;
+  ASSERT_TRUE(BuildModel(path_, ref).ok());
+
+  // Crash while freezing the bundle; the labeling checkpoint survives.
+  ModelBuildOptions crash = BuildOptions();
+  crash.pipeline.checkpoint_path = checkpoint_path_;
+  ASSERT_TRUE(fail::Configure("model.save=fire_on_hit_1:crash").ok());
+  auto crashed = BuildModel(path_, crash);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(fail::IsInjectedCrash(crashed.status()))
+      << crashed.status().ToString();
+  fail::Clear();
+
+  ModelBuildOptions resume = crash;
+  resume.pipeline.resume = true;
+  auto resumed = BuildModel(path_, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed) << "the rebuild must ride the checkpoint";
+  EXPECT_EQ(ReadAllBytes(model_path_), ReadAllBytes(reference))
+      << "a resumed rebuild must freeze a byte-identical bundle";
 }
 
 }  // namespace

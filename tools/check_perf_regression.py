@@ -4,6 +4,7 @@
 Usage: check_perf_regression.py CURRENT.json BASELINE.json
            [--tolerance=0.25] [--engines=NEW,OLD] [--stage=STAGE]
            [--min-recall=R [--recall-counter=NAME]]
+           [--min-counter=NAME:FLOOR ...]
 
 Both files follow the BENCH_rock.json schema (docs/OBSERVABILITY.md §2b) and
 must come from a --compare-engines bench run, which emits one entry per
@@ -27,6 +28,11 @@ report: every NEW-engine entry carrying --recall-counter (default
 neighbors.lsh_recall_ppm, parts per million) must report at least
 R * 1e6. The graph-scale gate (bench_graph_scale) uses it to pin the LSH
 candidate recall at >= 0.999 alongside the lsh/baseline time ratio.
+
+--min-counter=NAME:FLOOR floors a raw counter the same way (repeatable).
+The streaming gate (bench_stream) uses it to pin an absolute
+stream.rows_per_sec floor on the appended-row labeling throughput
+alongside the direct/stream time ratio.
 
 Exit status: 0 pass, 1 regression, 2 bad input.
 """
@@ -70,29 +76,34 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def check_recall(path, engine, counter, min_recall):
-    """Floors counter (ppm) on every entry of `engine`; returns pass."""
+def check_counter_floor(path, engine, counter, floor, what="COUNTER"):
+    """Floors a raw counter on every entry of `engine`; returns pass."""
     with open(path) as f:
         report = json.load(f)
-    floor_ppm = min_recall * 1e6
     checked = 0
     ok = True
     for entry in report.get("entries", []):
         if entry.get("params", {}).get("engine") != engine:
             continue
-        ppm = entry.get("counters", {}).get(counter)
-        if ppm is None:
+        value = entry.get("counters", {}).get(counter)
+        if value is None:
             continue
         checked += 1
-        verdict = "OK" if ppm >= floor_ppm else "RECALL REGRESSION"
-        print(f"{entry.get('label', '?')}: {counter} {ppm} "
-              f"(floor {floor_ppm:.0f}) -> {verdict}")
-        ok = ok and ppm >= floor_ppm
+        verdict = "OK" if value >= floor else f"{what} REGRESSION"
+        print(f"{entry.get('label', '?')}: {counter} {value} "
+              f"(floor {floor:.0f}) -> {verdict}")
+        ok = ok and value >= floor
     if checked == 0:
         print(f"perf-smoke: no {engine} entries with {counter} in {path}",
               file=sys.stderr)
         return False
     return ok
+
+
+def check_recall(path, engine, counter, min_recall):
+    """Floors counter (ppm) on every entry of `engine`; returns pass."""
+    return check_counter_floor(path, engine, counter, min_recall * 1e6,
+                               what="RECALL")
 
 
 def main(argv):
@@ -101,6 +112,7 @@ def main(argv):
     stage = "stage.merge"
     min_recall = None
     recall_counter = "neighbors.lsh_recall_ppm"
+    counter_floors = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
@@ -117,6 +129,19 @@ def main(argv):
             min_recall = float(arg.split("=", 1)[1])
         elif arg.startswith("--recall-counter="):
             recall_counter = arg.split("=", 1)[1]
+        elif arg.startswith("--min-counter="):
+            spec = arg.split("=", 1)[1]
+            name, _, floor = spec.rpartition(":")
+            if not name:
+                print("perf-smoke: --min-counter wants NAME:FLOOR",
+                      file=sys.stderr)
+                return 2
+            try:
+                counter_floors.append((name, float(floor)))
+            except ValueError:
+                print(f"perf-smoke: bad --min-counter floor {floor!r}",
+                      file=sys.stderr)
+                return 2
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -160,7 +185,15 @@ def main(argv):
         except (OSError, ValueError, json.JSONDecodeError) as e:
             print(f"perf-smoke: {e}", file=sys.stderr)
             return 2
-    return 0 if cur >= floor and recall_ok else 1
+    floors_ok = True
+    for name, counter_floor in counter_floors:
+        try:
+            floors_ok = check_counter_floor(
+                paths[0], new_engine, name, counter_floor) and floors_ok
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"perf-smoke: {e}", file=sys.stderr)
+            return 2
+    return 0 if cur >= floor and recall_ok and floors_ok else 1
 
 
 if __name__ == "__main__":

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # tools/perf_smoke.sh — CI's engine perf gates.
 #
-# Three gates, all comparing speedup *ratios* (never absolute seconds, so
+# Six gates, all comparing speedup *ratios* (never absolute seconds, so
 # the gate holds across machines) against checked-in baselines, failing on
 # a >25% regression of the geometric-mean ratio:
 #
@@ -26,6 +26,11 @@
 #      LSH edges verified an exact subgraph); gates on the lsh/baseline
 #      stage.graph ratio vs bench/baselines/BENCH_graph_smoke.json AND
 #      floors the LSH candidate recall at 0.999.
+#   6. streaming appends — bench_stream (StreamingSession::Append vs the
+#      direct Assign loop over the same held-out rows, assignments
+#      verified identical); gates on the direct/stream stage.append_label
+#      ratio vs bench/baselines/BENCH_stream_smoke.json, plus an absolute
+#      ≥ 10k rows/s floor on appended-row labeling throughput.
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 #
@@ -36,7 +41,9 @@
 #         bench/baselines/BENCH_neighbors_smoke.json && \
 #     cp build/BENCH_links_smoke.json bench/baselines/BENCH_links_smoke.json && \
 #     cp build/BENCH_serve_smoke.json bench/baselines/BENCH_serve_smoke.json && \
-#     cp build/BENCH_graph_smoke.json bench/baselines/BENCH_graph_smoke.json
+#     cp build/BENCH_graph_smoke.json bench/baselines/BENCH_graph_smoke.json && \
+#     cp build/BENCH_stream_smoke.json \
+#         bench/baselines/BENCH_stream_smoke.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -53,10 +60,12 @@ SRV_BASELINE=bench/baselines/BENCH_serve_smoke.json
 SRV_REPORT="$BUILD_DIR/BENCH_serve_smoke.json"
 GRF_BASELINE=bench/baselines/BENCH_graph_smoke.json
 GRF_REPORT="$BUILD_DIR/BENCH_graph_smoke.json"
+STRM_BASELINE=bench/baselines/BENCH_stream_smoke.json
+STRM_REPORT="$BUILD_DIR/BENCH_stream_smoke.json"
 
 cmake --build "$BUILD_DIR" -j --target bench_fig5_scalability \
     bench_neighbors_ablation bench_links_ablation bench_serve \
-    bench_graph_scale
+    bench_graph_scale bench_stream
 
 echo "=== perf-smoke: bench_fig5_scalability $SCALE --compare-engines ==="
 ROCK_BENCH_JSON="$REPORT" \
@@ -108,3 +117,16 @@ ROCK_BENCH_JSON="$GRF_REPORT" \
 echo "=== perf-smoke: gate vs $GRF_BASELINE ==="
 python3 tools/check_perf_regression.py "$GRF_REPORT" "$GRF_BASELINE" \
     --engines=lsh,baseline --stage=stage.graph --min-recall=0.999
+
+# Streaming appends: the session labels every appended row through the
+# same §4.6 Assign path as the direct loop (differentially verified inside
+# the bench); gate on the direct/stream ratio plus an absolute
+# appended-row labeling throughput floor.
+echo "=== perf-smoke: bench_stream --reps=3 ==="
+(cd "$BUILD_DIR" && ROCK_BENCH_JSON=BENCH_stream_smoke.json \
+    ./bench/bench_stream "$SCALE" --reps=3)
+
+echo "=== perf-smoke: gate vs $STRM_BASELINE ==="
+python3 tools/check_perf_regression.py "$STRM_REPORT" "$STRM_BASELINE" \
+    --engines=stream,direct --stage=stage.append_label \
+    --min-counter=stream.rows_per_sec:10000
