@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <utility>
+
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -103,6 +106,29 @@ void BM_GoodnessMeasure(benchmark::State& state) {
 }
 BENCHMARK(BM_GoodnessMeasure);
 
+// The memoized size^{1+2f(θ)} table against the raw std::pow call it
+// replaces. The merge loop asks for these powers once per relinked row
+// entry — millions of times with sizes bounded by n — so a table hit must
+// cost a single L1 read. The memo arm is bit-identical to the pow arm by
+// construction (pinned in tests/rock_test.cc).
+void BM_ExpectedIntraLinks(benchmark::State& state) {
+  const bool memo = state.range(0) != 0;
+  RockOptions opt;
+  opt.theta = 0.5;
+  GoodnessMeasure g(opt);
+  g.Reserve(4096);
+  const double e = g.exponent();
+  size_t i = 1;
+  for (auto _ : state) {
+    const size_t size = (i % 4096) + 1;
+    const double v = memo ? g.ExpectedIntraLinks(size)
+                          : std::pow(static_cast<double>(size), e);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_ExpectedIntraLinks)->Arg(0)->Arg(1)->ArgName("memo");
+
 void BM_ReservoirSampling(benchmark::State& state) {
   const auto stream = static_cast<size_t>(state.range(0));
   Rng rng(3);
@@ -150,9 +176,10 @@ BENCHMARK(BM_RockClusterMetrics)
     ->ArgName("collect_metrics")
     ->Unit(benchmark::kMillisecond);
 
-// The two merge-engine layouts over an identical precomputed neighbor
-// graph: flat (CSR + sorted-merge relinking) vs hashed (unordered_map
-// oracle). Same merge sequence, different memory traffic.
+// The three merge-engine layouts over an identical precomputed neighbor
+// graph: hashed (unordered_map oracle), flat (CSR + sorted-merge
+// relinking), parallel (AoS rows + lazy best-cleaning + sharded relink).
+// Same merge sequence, different memory traffic and rescan counts.
 void BM_RockMergeEngine(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   TransactionDataset local = MakeBaskets(n);
@@ -161,8 +188,9 @@ void BM_RockMergeEngine(benchmark::State& state) {
   RockOptions opt;
   opt.theta = 0.5;
   opt.num_clusters = 4;
-  opt.merge_engine = state.range(1) != 0 ? MergeEngineKind::kFlat
-                                         : MergeEngineKind::kHashed;
+  opt.merge_engine = state.range(1) == 0   ? MergeEngineKind::kHashed
+                     : state.range(1) == 1 ? MergeEngineKind::kFlat
+                                           : MergeEngineKind::kParallel;
   RockClusterer clusterer(opt);
   for (auto _ : state) {
     auto result = clusterer.ClusterGraph(*graph);
@@ -172,9 +200,11 @@ void BM_RockMergeEngine(benchmark::State& state) {
 BENCHMARK(BM_RockMergeEngine)
     ->Args({512, 0})
     ->Args({512, 1})
+    ->Args({512, 2})
     ->Args({2048, 0})
     ->Args({2048, 1})
-    ->ArgNames({"n", "flat"})
+    ->Args({2048, 2})
+    ->ArgNames({"n", "engine"})
     ->Unit(benchmark::kMillisecond);
 
 // The merge loop's new heap primitives: rename-in-place vs the
@@ -240,27 +270,30 @@ void BM_MushroomGenerator(benchmark::State& state) {
 }
 BENCHMARK(BM_MushroomGenerator)->Unit(benchmark::kMillisecond);
 
-// Direct flat-vs-hashed measurement for the perf trajectory: one timed
+// Direct engine measurement for the perf trajectory: one timed
 // ClusterGraph per engine at each size, full diag metrics captured, written
 // to BENCH_rock.json ($ROCK_BENCH_JSON). Runs after the google-benchmark
 // suite so the JSON exists even when benchmarks are filtered out.
 void WritePerfTrajectory() {
   bench::PerfJsonWriter perf("bench_micro");
+  const std::pair<MergeEngineKind, const char*> kEngines[] = {
+      {MergeEngineKind::kParallel, "parallel"},
+      {MergeEngineKind::kFlat, "flat"},
+      {MergeEngineKind::kHashed, "hashed"},
+  };
   for (size_t n : {size_t{512}, size_t{2048}}) {
     TransactionDataset ds = MakeBaskets(n);
     TransactionJaccard sim(ds);
     auto graph = ComputeNeighbors(sim, 0.5);
-    for (bool flat : {true, false}) {
+    for (const auto& [kind, engine] : kEngines) {
       RockOptions opt;
       opt.theta = 0.5;
       opt.num_clusters = 4;
-      opt.merge_engine =
-          flat ? MergeEngineKind::kFlat : MergeEngineKind::kHashed;
+      opt.merge_engine = kind;
       Timer timer;
       auto result = RockClusterer(opt).ClusterGraph(*graph);
       const double seconds = timer.ElapsedSeconds();
       if (!result.ok()) continue;
-      const char* engine = flat ? "flat" : "hashed";
       perf.BeginEntry("merge_engine n=" + std::to_string(n) + " " + engine);
       perf.Param("n", std::to_string(n));
       perf.Param("engine", engine);

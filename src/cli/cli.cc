@@ -26,6 +26,7 @@
 #include "eval/metrics.h"
 #include "eval/profiles.h"
 #include "serve/model_handle.h"
+#include "serve/reload.h"
 #include "serve/server.h"
 #include "serve/stream.h"
 #include "util/failpoint.h"
@@ -398,7 +399,8 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
   size_t lsh_rows = 0;
   size_t lsh_seed = 0x5eed;
   std::string neighbors = "exact";
-  std::string merge_engine = "flat";
+  std::string merge_engine = "parallel";
+  size_t merge_threads = 1;
   std::string neighbor_engine = "packed";
   std::string link_engine = "packed";
 
@@ -449,8 +451,11 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
                   "exact | lsh (MinHash-accelerated; basket/store inputs, "
                   "rock only)");
   flags.AddString("merge-engine", &merge_engine,
-                  "flat | hashed merge-engine layout (rock; results are "
-                  "identical, flat is faster)");
+                  "parallel | flat | hashed merge-engine layout (rock; "
+                  "results are identical, parallel is fastest)");
+  flags.AddSize("merge-threads", &merge_threads,
+                "worker threads for the parallel merge engine's sharded "
+                "relink (0 = all cores; results are identical, rock)");
   flags.AddString("neighbor-engine", &neighbor_engine,
                   "packed | scalar | lsh | auto neighbor-graph engine "
                   "(rock; packed/scalar are exact and identical, lsh is "
@@ -508,7 +513,10 @@ int CmdCluster(const std::vector<std::string>& args, std::string* out,
       opt.lsh_rows = lsh_rows;
       opt.lsh_seed = lsh_seed;
       opt.diag.invariant_check_every = check_invariants;
-      if (merge_engine == "flat") {
+      opt.merge_threads = merge_threads;
+      if (merge_engine == "parallel") {
+        opt.merge_engine = MergeEngineKind::kParallel;
+      } else if (merge_engine == "flat") {
         opt.merge_engine = MergeEngineKind::kFlat;
       } else if (merge_engine == "hashed") {
         opt.merge_engine = MergeEngineKind::kHashed;
@@ -691,6 +699,8 @@ struct PipelineFlagValues {
   size_t lsh_seed = 0x5eed;
   int64_t seed = 42;
   std::string failpoints;
+  std::string merge_engine = "parallel";
+  size_t merge_threads = 1;
   std::string neighbor_engine = "packed";
   std::string link_engine = "packed";
 };
@@ -725,6 +735,12 @@ void RegisterPipelineFlags(FlagSet& flags, PipelineFlagValues* v) {
   flags.AddString("link-engine", &v->link_engine,
                   "packed | hashed link-count engine (link rows are "
                   "identical, packed is faster)");
+  flags.AddString("merge-engine", &v->merge_engine,
+                  "parallel | flat | hashed merge-engine layout (results "
+                  "are identical, parallel is fastest)");
+  flags.AddSize("merge-threads", &v->merge_threads,
+                "worker threads for the parallel merge engine's sharded "
+                "relink (0 = all cores; results are identical)");
   flags.AddSize("check-invariants", &v->check_invariants,
                 "validate merge bookkeeping every Nth merge (0 = off)");
   flags.AddDouble("theta", &v->theta, "neighbor threshold θ");
@@ -774,6 +790,17 @@ int ApplyPipelineFlags(const PipelineFlagValues& v, PipelineOptions* opt,
     opt->rock.link_engine = LinkEngineKind::kHashed;
   } else {
     EmitStr(out, "error: unknown --link-engine '" + v.link_engine + "'\n");
+    return 2;
+  }
+  opt->rock.merge_threads = v.merge_threads;
+  if (v.merge_engine == "parallel") {
+    opt->rock.merge_engine = MergeEngineKind::kParallel;
+  } else if (v.merge_engine == "flat") {
+    opt->rock.merge_engine = MergeEngineKind::kFlat;
+  } else if (v.merge_engine == "hashed") {
+    opt->rock.merge_engine = MergeEngineKind::kHashed;
+  } else {
+    EmitStr(out, "error: unknown --merge-engine '" + v.merge_engine + "'\n");
     return 2;
   }
   opt->sample_size = v.sample_size;
@@ -976,6 +1003,7 @@ int CmdServe(const std::vector<std::string>& args, std::string* out,
   size_t threads = 1;
   size_t max_batch = 64;
   size_t max_queue = 4096;
+  size_t reload_poll_ms = 0;
 
   FlagSet flags;
   flags.AddString("model", &model_path, "model bundle (see `rock build`)");
@@ -985,6 +1013,10 @@ int CmdServe(const std::vector<std::string>& args, std::string* out,
                 "most queries a worker coalesces per wake-up");
   flags.AddSize("max-queue", &max_queue,
                 "admission bound: queries queued beyond this are rejected");
+  flags.AddSize("reload-poll-ms", &reload_poll_ms,
+                "re-read --model every N ms and hot-swap it when its "
+                "fingerprint changes (0 = off; queries in flight finish on "
+                "the model that admitted them)");
   flags.AddString("metrics-json", &metrics_json_path,
                   "write the serve.* metrics report (JSON) here on exit");
   if (help_only) {
@@ -1022,10 +1054,26 @@ int CmdServe(const std::vector<std::string>& args, std::string* out,
   serve_options.max_batch = max_batch;
   serve_options.max_queue = max_queue;
   serve_options.metrics = &registry;
-  if (Status s = ServeLines(*model, serve_options, *stream_in, *stream_out);
-      !s.ok()) {
-    EmitStr(out, "error: " + s.ToString() + "\n");
-    return 1;
+  if (reload_poll_ms == 0) {
+    if (Status s = ServeLines(*model, serve_options, *stream_in, *stream_out);
+        !s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
+  } else {
+    SwappableModel swappable(
+        std::make_shared<const ModelHandle>(std::move(*model)));
+    ModelReloadPoller poller(&swappable,
+                             ReloadOptions{model_path, reload_poll_ms});
+    poller.Start();
+    const Status s =
+        ServeLines(swappable, serve_options, *stream_in, *stream_out);
+    poller.Stop();
+    poller.ExportMetrics(&registry);
+    if (!s.ok()) {
+      EmitStr(out, "error: " + s.ToString() + "\n");
+      return 1;
+    }
   }
   // Protocol answers went to the stream; keep *out clean so piping
   // `rock serve < queries > answers` yields answers only.

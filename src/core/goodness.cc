@@ -4,8 +4,17 @@
 
 namespace rock {
 
-double GoodnessMeasure::ExpectedIntraLinks(size_t n) const {
-  return std::pow(static_cast<double>(n), exponent_);
+double GoodnessMeasure::GrowAndGet(size_t n) const {
+  // Grow geometrically so a slowly rising size ceiling (cluster sizes climb
+  // one merge at a time) costs O(n) pow calls total, not O(n) per call.
+  size_t new_size = table_.empty() ? 16 : table_.size();
+  while (new_size <= n) new_size *= 2;
+  const size_t old_size = table_.size();
+  table_.resize(new_size);
+  for (size_t i = old_size; i < new_size; ++i) {
+    table_[i] = std::pow(static_cast<double>(i), exponent_);
+  }
+  return table_[n];
 }
 
 double GoodnessMeasure::ExpectedCrossLinks(size_t ni, size_t nj) const {

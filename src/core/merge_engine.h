@@ -1,16 +1,24 @@
 // librock — core/merge_engine.h (internal)
 //
-// The two interchangeable implementations of the Fig. 3 agglomerative merge
-// loop. Both consume a prebuilt neighbor graph, run the link phase, and
-// return a complete RockResult; they differ only in data layout:
+// The three interchangeable implementations of the Fig. 3 agglomerative
+// merge loop. All consume a prebuilt neighbor graph, run the link phase,
+// and return a complete RockResult; they differ only in data layout and
+// scheduling:
 //
-//   * flat   — CSR link rows (LinkMatrix::Freeze), sorted flat partner/count
-//              vectors per cluster with lazy dead-entry removal, per-run
-//              arena-allocated cluster slabs, and batched heap updates.
-//              The default engine (core/merge_flat.cc).
-//   * hashed — per-cluster std::unordered_map link tables, the original
-//              layout. Kept behind the same API as the reference oracle for
-//              differential tests and perf baselines (core/merge_hashed.cc).
+//   * parallel — interleaved (AoS) partner rows, elided no-op global-heap
+//                fixups, and a three-way sorted relink that shards into
+//                disjoint partner-id ranges over a persistent worker pool
+//                when RockOptions::merge_threads > 1. The default engine
+//                (core/merge_parallel.cc, DESIGN.md §12).
+//   * flat     — CSR link rows (LinkMatrix::Freeze), sorted flat
+//                partner/count vectors per cluster with lazy dead-entry
+//                removal, per-run arena-allocated cluster slabs, and
+//                batched heap updates (core/merge_flat.cc). Kept as a
+//                second oracle and the perf-gate baseline.
+//   * hashed   — per-cluster std::unordered_map link tables, the original
+//                layout. Kept behind the same API as the reference oracle
+//                for differential tests and perf baselines
+//                (core/merge_hashed.cc).
 //
 // Results are bit-identical: the merge sequence, clustering, stats, and
 // invariant-check outcomes agree element for element (enforced by
@@ -31,6 +39,11 @@ RockResult RunFlatMergeEngine(const NeighborGraph& graph,
 /// Runs the original hash-table merge engine (reference oracle).
 RockResult RunHashedMergeEngine(const NeighborGraph& graph,
                                 const RockOptions& options);
+
+/// Runs the parallel sharded merge engine (interleaved rows, elided heap
+/// fixups, relink fan-out over RockOptions::merge_threads) — the default.
+RockResult RunParallelMergeEngine(const NeighborGraph& graph,
+                                  const RockOptions& options);
 
 /// Link phase shared by both merge engines: dispatches on
 /// RockOptions::link_engine (bit-plane popcount engine vs the Fig. 4

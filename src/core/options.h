@@ -36,15 +36,21 @@ double MarketBasketF(double theta);
 double ConservativeMarketBasketF(double theta);
 
 /// Which data layout the Fig. 3 merge engine runs on. Results (merge
-/// sequence, clustering, stats) are bit-identical between the two; only
+/// sequence, clustering, stats) are bit-identical across all three; only
 /// memory layout and speed differ.
 enum class MergeEngineKind {
-  /// CSR link rows + sorted flat partner lists + batched heap updates —
-  /// the default, cache-friendly engine.
+  /// CSR link rows + sorted flat partner lists + batched heap updates.
+  /// Kept as a second oracle for differential tests and perf baselines.
   kFlat,
   /// The original per-cluster `unordered_map` link tables. Kept as the
   /// reference oracle for differential tests and perf baselines.
   kHashed,
+  /// Interleaved (AoS) partner rows, elided no-op heap fixups, and a
+  /// relink that fans out over disjoint partner-id shards when
+  /// merge_threads > 1 — the default engine (core/merge_parallel.cc).
+  /// The merge *sequence* stays serial, so results are byte-identical to
+  /// the other two at any thread count.
+  kParallel,
 };
 
 /// Which engine builds the θ-thresholded neighbor graph. kPacked and
@@ -156,9 +162,23 @@ struct RockOptions {
   /// functions of (data, banding, this seed) at any thread count.
   uint64_t lsh_seed = 0x5eed;
 
-  /// Merge-engine data layout; see MergeEngineKind. Both engines produce
+  /// Merge-engine data layout; see MergeEngineKind. All engines produce
   /// bit-identical results.
-  MergeEngineKind merge_engine = MergeEngineKind::kFlat;
+  MergeEngineKind merge_engine = MergeEngineKind::kParallel;
+
+  /// Worker threads for the parallel merge engine's per-merge work (the
+  /// sharded relink and the periodic compaction sweep; the merge sequence
+  /// itself is inherently serial). 1 = serial (default), 0 = hardware
+  /// concurrency. Results are byte-identical at any count. Ignored by the
+  /// flat and hashed engines.
+  size_t merge_threads = 1;
+
+  /// Minimum combined live-entry count of the two merged clusters' rows
+  /// for a relink to fan out over the shard pool; smaller relinks run the
+  /// serial loop (waking workers costs more than a tiny merge). Only
+  /// consulted when merge_threads > 1; determinism tests lower it to 1 to
+  /// force the sharded path on small inputs.
+  size_t merge_shard_min = 256;
 
   /// Neighbor-graph engine; see NeighborEngineKind. Both engines produce
   /// bit-identical graphs.

@@ -67,9 +67,11 @@ Result<RockResult> RockClusterer::ClusterGraph(
     case MergeEngineKind::kHashed:
       return internal::RunHashedMergeEngine(graph, options_);
     case MergeEngineKind::kFlat:
+      return internal::RunFlatMergeEngine(graph, options_);
+    case MergeEngineKind::kParallel:
       break;
   }
-  return internal::RunFlatMergeEngine(graph, options_);
+  return internal::RunParallelMergeEngine(graph, options_);
 }
 
 }  // namespace rock

@@ -1,0 +1,135 @@
+#include "serve/reload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "diag/metrics.h"
+#include "serve/model_handle.h"
+
+namespace rock {
+
+ModelReloadPoller::ModelReloadPoller(SwappableModel* model,
+                                     ReloadOptions options)
+    : model_(model), options_(std::move(options)) {}
+
+ModelReloadPoller::~ModelReloadPoller() { Stop(); }
+
+void ModelReloadPoller::Start() {
+  if (options_.poll_ms == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { PollLoop(); });
+}
+
+void ModelReloadPoller::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+Result<bool> ModelReloadPoller::PollOnce() {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  Result<ModelHandle> fresh = ModelHandle::Load(options_.model_path);
+  if (!fresh.ok()) {
+    // Most likely a publish in flight or no bundle yet — keep serving the
+    // current model and try again next tick.
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.status();
+  }
+  const std::shared_ptr<const ModelHandle> current = model_->Acquire();
+  if (current != nullptr && fresh->fingerprint() == current->fingerprint()) {
+    return false;
+  }
+  model_->Swap(std::make_shared<const ModelHandle>(std::move(*fresh)));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ModelReloadPoller::PollLoop() {
+  const auto period = std::chrono::milliseconds(options_.poll_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    lock.unlock();
+    (void)PollOnce();  // failures are counted, never fatal
+    lock.lock();
+  }
+}
+
+void ModelReloadPoller::ExportMetrics(diag::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->AddCounter("serve.reload.polls", polls());
+  registry->AddCounter("serve.reload.swaps", swaps());
+  registry->AddCounter("serve.reload.failures", failures());
+}
+
+Status ServeLines(const SwappableModel& model, const ServeOptions& options,
+                  std::istream& in, std::ostream& out) {
+  LabelServer server(&model, options);
+  ROCK_RETURN_IF_ERROR(server.Start());
+
+  // Identical order-preserving drain discipline to the fixed-model
+  // overload (serve/server.cc); the one difference is that each line is
+  // parsed against the model snapshot current at read time, matching the
+  // model its batch will (at the latest) be answered by.
+  struct Pending {
+    std::future<ClusterIndex> future;
+    bool is_error = false;
+    std::string error;
+  };
+  std::deque<Pending> pending;
+  const auto flush_front = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    if (p.is_error) {
+      out << "ERR: " << p.error << '\n';
+    } else {
+      out << p.future.get() << '\n';
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    Result<Transaction> tx = model.Acquire()->ParseQuery(line);
+    if (!tx.ok()) {
+      pending.push_back(Pending{{}, true, tx.status().message()});
+    } else {
+      const Transaction query = std::move(*tx);
+      while (true) {
+        Result<std::future<ClusterIndex>> future = server.Submit(query);
+        if (future.ok()) {
+          pending.push_back(Pending{std::move(*future), false, {}});
+          break;
+        }
+        if (pending.empty()) return future.status();
+        flush_front();
+      }
+    }
+    const size_t window = std::max<size_t>(1, options.max_queue);
+    while (pending.size() > window) flush_front();
+  }
+  while (!pending.empty()) flush_front();
+  server.Stop();
+  return Status::OK();
+}
+
+}  // namespace rock

@@ -1,0 +1,120 @@
+// librock — serve/reload.h
+//
+// Hot model reload for the long-lived label server (`rock serve
+// --reload-poll-ms`). A rebuilt bundle is published to disk atomically
+// (tmp + rename inside SaveModelBundle); this poller notices the new file
+// without restarting the server:
+//
+//   poll tick → ModelHandle::Load(model_path)   (CRC-verified, off to the
+//             → fingerprint == current? done     side — readers keep
+//             → SwappableModel::Swap(fresh)      answering the old model)
+//
+// The swap piggybacks on the SwappableModel snapshot discipline
+// (serve/stream.h): workers acquire one snapshot per batch, so a query in
+// flight during a swap is answered entirely by the old model or the new
+// one, never a mix. A failed load — most likely a read racing a publish,
+// or no bundle yet — is counted and retried at the next tick, never
+// fatal: the server keeps serving the model it has.
+//
+// PollOnce() is public so tests (and callers without a background thread)
+// can drive the reload check deterministically; Start() runs it on a
+// condvar-parked thread every poll_ms. Metrics (serve.reload.polls /
+// .swaps / .failures, docs/OBSERVABILITY.md) live in internal atomics and
+// are published by ExportMetrics after Stop — the diag registry is
+// single-writer.
+
+#ifndef ROCK_SERVE_RELOAD_H_
+#define ROCK_SERVE_RELOAD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/server.h"
+#include "serve/stream.h"
+
+namespace rock {
+
+namespace diag {
+class MetricsRegistry;
+}  // namespace diag
+
+/// Controls for a ModelReloadPoller.
+struct ReloadOptions {
+  /// Bundle file to watch (the path the build/rebuild publishes to).
+  std::string model_path;
+  /// Background poll period. 0 = no thread; the owner calls PollOnce().
+  uint64_t poll_ms = 0;
+};
+
+/// Watches a model bundle on disk and swaps it into a SwappableModel when
+/// its fingerprint changes. Thread-safe; at most one poll runs at a time.
+class ModelReloadPoller {
+ public:
+  /// `model` is borrowed and must outlive the poller.
+  ModelReloadPoller(SwappableModel* model, ReloadOptions options);
+
+  /// Stops and joins the poll thread if still running.
+  ~ModelReloadPoller();
+
+  ModelReloadPoller(const ModelReloadPoller&) = delete;
+  ModelReloadPoller& operator=(const ModelReloadPoller&) = delete;
+
+  /// Starts the background thread (no-op when poll_ms == 0).
+  void Start();
+
+  /// Stops and joins the background thread. Idempotent.
+  void Stop();
+
+  /// One reload check: loads the bundle, compares fingerprints, swaps on
+  /// change. Returns true when a new model was published to the
+  /// SwappableModel, false when the on-disk model is the one already
+  /// being served. A load failure is counted under failures() and
+  /// returned — the background thread treats it as retry-next-tick.
+  Result<bool> PollOnce();
+
+  /// Poll ticks executed (manual and background).
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  /// Polls that swapped a new model in.
+  uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  /// Polls whose bundle load failed (counted, never fatal).
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes serve.reload.* into `registry`. Call after Stop — the
+  /// registry is single-writer.
+  void ExportMetrics(diag::MetricsRegistry* registry) const;
+
+ private:
+  void PollLoop();
+
+  SwappableModel* const model_;
+  const ReloadOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;  // wakes the poll thread early on Stop
+  bool stopping_ = false;       // guarded by mu_
+  bool started_ = false;        // guarded by mu_
+  std::thread thread_;
+
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+/// ServeLines against a hot-swappable model: the same stdin/stdout line
+/// protocol as the fixed-model overload (serve/server.h), but queries are
+/// parsed and answered against whatever model the SwappableModel currently
+/// holds — a concurrent ModelReloadPoller (or StreamingSession rebuild)
+/// takes effect mid-stream without dropping or reordering answers.
+Status ServeLines(const SwappableModel& model, const ServeOptions& options,
+                  std::istream& in, std::ostream& out);
+
+}  // namespace rock
+
+#endif  // ROCK_SERVE_RELOAD_H_

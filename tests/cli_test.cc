@@ -363,7 +363,8 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
 
   // Stage list, with values unmasked — stages are stable across machines.
   EXPECT_NE(json.find("\"stages\": [\"links\", \"links.pack\", \"merge\", "
-                      "\"merge.heap\", \"merge.relink\", \"neighbors\", "
+                      "\"merge.heap\", \"merge.relink\", "
+                      "\"merge.relink.parallel\", \"neighbors\", "
                       "\"neighbors.pack\", \"total\"]"),
             std::string::npos)
       << json;
@@ -379,6 +380,7 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "stage.merge",
       "stage.merge.heap",
       "stage.merge.relink",
+      "stage.merge.relink.parallel",
       "stage.neighbors", "stage.neighbors.pack",
       "stage.total",
       "neighbors.pairs_evaluated",
@@ -404,6 +406,10 @@ TEST_F(CliTest, MetricsJsonGoldenSchema) {
       "merge.relink_dead_skipped",
       "merge.relink_compactions",
       "merge.relink_best_rescans",
+      "merge.shards",
+      "merge.parallel_relinks",
+      "merge.compact_sweeps",
+      "merge.threads",
       "weed.clusters",   "weed.points",
       "graph.average_degree",
       "criterion.value",

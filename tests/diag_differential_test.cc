@@ -291,6 +291,150 @@ TEST(MergeEngineEdgeCaseTest, DegenerateGraphsAgree) {
   }
 }
 
+// ---------------------------------------------- parallel-engine differential --
+
+// The parallel merge engine adds three layers on top of flat — sharded
+// relinking, lazy best-cleaning with upper-bound priorities, and periodic
+// dead-entry compaction — and every one of them must be invisible in the
+// output: same MergeRecords, same clustering, same stats as BOTH oracles,
+// at every thread count. merge_shard_min is dropped to 1 so the ~100-point
+// datasets actually exercise the sharded path rather than falling back to
+// the serial relink.
+
+RockOptions ParallelGridOptions(double theta, size_t threads, bool weeding) {
+  RockOptions opt;
+  opt.theta = theta;
+  opt.num_clusters = 3;
+  if (weeding) {
+    opt.outlier_stop_multiple = 3.0;
+    opt.min_cluster_support = 4;
+  }
+  opt.merge_threads = threads;
+  opt.merge_shard_min = 1;
+  opt.diag.invariant_check_every = 7;
+  return opt;
+}
+
+class ParallelEngineDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t, bool>> {};
+
+TEST_P(ParallelEngineDifferentialTest, ParallelMatchesBothOracles) {
+  const auto [theta, threads, weeding] = GetParam();
+  const uint64_t seed = 20260806;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 2);
+  TransactionJaccard sim(ds);
+
+  RockOptions opt = ParallelGridOptions(theta, threads, weeding);
+  opt.merge_engine = MergeEngineKind::kFlat;
+  auto flat = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(flat.ok());
+  opt.merge_engine = MergeEngineKind::kHashed;
+  auto hashed = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(hashed.ok());
+  opt.merge_engine = MergeEngineKind::kParallel;
+  auto parallel = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(parallel.ok());
+
+  ExpectRunsIdentical(*flat, *parallel);
+  ExpectRunsIdentical(*hashed, *parallel);
+  EXPECT_EQ(parallel->metrics.CounterOr("diag.invariant_violations"), 0u);
+  EXPECT_GT(parallel->metrics.CounterOr("diag.invariant_checks"), 0u);
+  if (threads > 1 && parallel->stats.num_merges > 0) {
+    // Sharding must actually have run — a silent serial fallback would
+    // make this grid vacuous.
+    EXPECT_GT(parallel->metrics.CounterOr("merge.shards"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThetaByThreadsByWeeding, ParallelEngineDifferentialTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(size_t{1}, size_t{4}, size_t{8}),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<
+        ParallelEngineDifferentialTest::ParamType>& param) {
+      const double theta = std::get<0>(param.param);
+      return "theta" + std::to_string(static_cast<int>(theta * 10)) +
+             "_threads" + std::to_string(std::get<1>(param.param)) +
+             (std::get<2>(param.param) ? "_weeded" : "_unweeded");
+    });
+
+// Varying datasets at the most adversarial grid point (8 threads on ~70
+// points, weeding on): different seeds shuffle the merge order, the dirty/
+// clean pattern of the lazy best-cleaning, and the shard boundaries.
+class ParallelEngineSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEngineSeedTest, ParallelMatchesFlatAcrossDatasets) {
+  const uint64_t seed = GetParam();
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset ds = RandomDataset(seed, 1);
+  TransactionJaccard sim(ds);
+
+  RockOptions opt = ParallelGridOptions(0.5, 8, true);
+  opt.outlier_stop_multiple = 2.0;
+  opt.min_cluster_support = 3;
+  opt.diag.invariant_check_every = 5;
+
+  opt.merge_engine = MergeEngineKind::kFlat;
+  auto flat = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(flat.ok());
+  opt.merge_engine = MergeEngineKind::kParallel;
+  auto parallel = RockClusterer(opt).Cluster(sim);
+  ASSERT_TRUE(parallel.ok());
+
+  ExpectRunsIdentical(*flat, *parallel);
+  EXPECT_EQ(parallel->metrics.CounterOr("diag.invariant_violations"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEngineSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// Degenerate graphs under the parallel engine: a link-free graph (every
+// merge candidate pruned away), the complete graph at θ = 0 (densest rows,
+// maximal shard counts), and a hub-and-spokes dataset where one point
+// neighbors everyone (one giant row next to width-1 rows — the worst case
+// for shard boundary placement).
+TEST(ParallelEngineEdgeCaseTest, DegenerateGraphsAgree) {
+  TransactionDataset disjoint;
+  for (int t = 0; t < 30; ++t) {
+    disjoint.AddTransaction({"item_" + std::to_string(2 * t),
+                             "item_" + std::to_string(2 * t + 1)});
+  }
+  const uint64_t seed = 100;
+  ROCK_TRACE_SEED(seed);
+  TransactionDataset dense = RandomDataset(seed, 1);
+  TransactionDataset star;
+  star.AddTransaction({"hub_a", "hub_b"});
+  for (int t = 0; t < 24; ++t) {
+    star.AddTransaction({"hub_a", "spoke_" + std::to_string(t)});
+  }
+
+  struct Case {
+    const char* name;
+    const TransactionDataset* ds;
+    double theta;
+  };
+  const Case cases[] = {{"disjoint", &disjoint, 0.5},
+                        {"complete", &dense, 0.0},
+                        {"star", &star, 0.3}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    TransactionJaccard sim(*c.ds);
+    RockOptions opt = ParallelGridOptions(c.theta, 8, false);
+    opt.num_clusters = 2;
+    opt.diag.invariant_check_every = 3;
+    opt.merge_engine = MergeEngineKind::kFlat;
+    auto flat = RockClusterer(opt).Cluster(sim);
+    ASSERT_TRUE(flat.ok());
+    opt.merge_engine = MergeEngineKind::kParallel;
+    auto parallel = RockClusterer(opt).Cluster(sim);
+    ASSERT_TRUE(parallel.ok());
+    ExpectRunsIdentical(*flat, *parallel);
+    EXPECT_EQ(parallel->metrics.CounterOr("diag.invariant_violations"), 0u);
+  }
+}
+
 // ------------------------------------------------- link-engine differential --
 
 // The bit-plane link engine must be invisible to everything downstream:
@@ -468,6 +612,61 @@ TEST_F(LinkEnginePipelineTest, CrossEngineResumeMatchesUninterruptedRun) {
   ASSERT_TRUE(fail::IsInjectedCrash(crashed2.status()));
   fail::Clear();
   auto resumed2_opt = Options(LinkEngineKind::kPacked);
+  resumed2_opt.checkpoint_path = ckpt_path_;
+  resumed2_opt.resume = true;
+  auto resumed2 = RunRockPipeline(store_path_, resumed2_opt);
+  ASSERT_TRUE(resumed2.ok()) << resumed2.status().ToString();
+  EXPECT_TRUE(resumed2->resumed);
+  ExpectPipelinesIdentical(*resumed2, *baseline);
+}
+
+// Crash/resume across *merge* engines: a run that crashes mid-pipeline
+// under the sharded parallel engine must resume under the flat oracle into
+// the exact uninterrupted result, and vice versa — the merge engine, like
+// the link engine, lives below the checkpoint fingerprint.
+TEST_F(LinkEnginePipelineTest, ParallelMergeResumeMatchesUninterruptedRun) {
+  if (!fail::BuildEnabled()) GTEST_SKIP() << "failpoints compiled out";
+  auto baseline_opt = Options(LinkEngineKind::kHashed);
+  baseline_opt.rock.merge_engine = MergeEngineKind::kFlat;
+  auto baseline = RunRockPipeline(store_path_, baseline_opt);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Crash a sharded parallel-engine run at its second checkpoint write...
+  auto crashed_opt = Options(LinkEngineKind::kHashed);
+  crashed_opt.rock.merge_engine = MergeEngineKind::kParallel;
+  crashed_opt.rock.merge_threads = 4;
+  crashed_opt.rock.merge_shard_min = 1;
+  crashed_opt.checkpoint_path = ckpt_path_;
+  crashed_opt.rock.failpoints = "pipeline.checkpoint=fire_on_hit_2:crash";
+  auto crashed = RunRockPipeline(store_path_, crashed_opt);
+  ASSERT_FALSE(crashed.ok()) << "the injected crash must abort the run";
+  ASSERT_TRUE(fail::IsInjectedCrash(crashed.status()))
+      << crashed.status().ToString();
+
+  // ...then resume it with the flat engine.
+  fail::Clear();
+  auto resumed_opt = Options(LinkEngineKind::kHashed);
+  resumed_opt.rock.merge_engine = MergeEngineKind::kFlat;
+  resumed_opt.checkpoint_path = ckpt_path_;
+  resumed_opt.resume = true;
+  auto resumed = RunRockPipeline(store_path_, resumed_opt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  ExpectPipelinesIdentical(*resumed, *baseline);
+
+  // Mirror image: flat crash, sharded parallel resume at 8 threads.
+  auto crashed2_opt = Options(LinkEngineKind::kHashed);
+  crashed2_opt.rock.merge_engine = MergeEngineKind::kFlat;
+  crashed2_opt.checkpoint_path = ckpt_path_;
+  crashed2_opt.rock.failpoints = "pipeline.checkpoint=fire_on_hit_2:crash";
+  auto crashed2 = RunRockPipeline(store_path_, crashed2_opt);
+  ASSERT_FALSE(crashed2.ok());
+  ASSERT_TRUE(fail::IsInjectedCrash(crashed2.status()));
+  fail::Clear();
+  auto resumed2_opt = Options(LinkEngineKind::kHashed);
+  resumed2_opt.rock.merge_engine = MergeEngineKind::kParallel;
+  resumed2_opt.rock.merge_threads = 8;
+  resumed2_opt.rock.merge_shard_min = 1;
   resumed2_opt.checkpoint_path = ckpt_path_;
   resumed2_opt.resume = true;
   auto resumed2 = RunRockPipeline(store_path_, resumed2_opt);

@@ -120,6 +120,45 @@ TEST(GoodnessTest, SingletonPairFormula) {
   EXPECT_NEAR(g.Goodness(3, 1, 1), 3.0 / (std::pow(2.0, e) - 2.0), 1e-12);
 }
 
+// Regression for the memoized power table: every slot must be *bit*
+// identical to the direct std::pow call the unmemoized code made, for any
+// θ and any access order (lazy growth, Reserve-then-read, descending
+// probes). The merge engines rely on this — a one-ULP drift in the
+// denominator can flip a goodness tie and change the merge sequence.
+TEST(GoodnessTest, MemoTableIsBitIdenticalToDirectPow) {
+  for (const double theta : {0.0, 0.2, 0.5, 0.73, 0.8, 1.0}) {
+    GoodnessMeasure lazy(theta, MarketBasketF(theta));
+    GoodnessMeasure reserved(theta, MarketBasketF(theta));
+    reserved.Reserve(4096);
+    const double e = lazy.exponent();
+    // Descending first touch exercises a single large growth; the reserved
+    // instance reads pre-filled slots. Both must match std::pow bitwise.
+    for (size_t n = 4096; n > 0; n /= 3) {
+      const double direct = std::pow(static_cast<double>(n), e);
+      EXPECT_EQ(lazy.ExpectedIntraLinks(n), direct) << "theta=" << theta
+                                                    << " n=" << n;
+      EXPECT_EQ(reserved.ExpectedIntraLinks(n), direct)
+          << "theta=" << theta << " n=" << n;
+    }
+    for (size_t n = 0; n <= 64; ++n) {
+      const double direct = std::pow(static_cast<double>(n), e);
+      EXPECT_EQ(lazy.ExpectedIntraLinks(n), direct) << "theta=" << theta
+                                                    << " n=" << n;
+    }
+    // And the composed kernel: the denominator must be assembled from the
+    // same three table reads in the same order as the scalar formula.
+    for (size_t ni : {size_t{1}, size_t{7}, size_t{120}}) {
+      for (size_t nj : {size_t{1}, size_t{33}, size_t{999}}) {
+        const double direct = std::pow(static_cast<double>(ni + nj), e) -
+                              std::pow(static_cast<double>(ni), e) -
+                              std::pow(static_cast<double>(nj), e);
+        EXPECT_EQ(lazy.ExpectedCrossLinks(ni, nj), direct)
+            << "theta=" << theta << " ni=" << ni << " nj=" << nj;
+      }
+    }
+  }
+}
+
 // -------------------------------------------------------------- Criterion --
 
 TEST(CriterionTest, IntraClusterLinkSum) {

@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <future>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +28,7 @@
 #include "data/transaction.h"
 #include "diag/metrics.h"
 #include "serve/model_handle.h"
+#include "serve/reload.h"
 #include "serve/server.h"
 #include "test_support.h"
 #include "util/failpoint.h"
@@ -467,6 +470,130 @@ TEST_F(ServeTest, ServedAnswersMatchPipelineBitForBit) {
         server.Stop();
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload: ModelReloadPoller + the SwappableModel ServeLines overload.
+
+TEST_F(ServeTest, ReloadPollerSwapsOnlyWhenFingerprintChanges) {
+  ASSERT_TRUE(SaveModelBundle(TinyBundle(), model_path_).ok());
+  auto handle = ModelHandle::Load(model_path_);
+  ASSERT_TRUE(handle.ok());
+  SwappableModel model(std::make_shared<const ModelHandle>(std::move(*handle)));
+
+  ModelReloadPoller poller(&model, ReloadOptions{model_path_, 0});
+
+  // Same bundle on disk → no swap, however often we poll.
+  for (int i = 0; i < 3; ++i) {
+    auto polled = poller.PollOnce();
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    EXPECT_FALSE(*polled);
+  }
+  EXPECT_EQ(poller.swaps(), 0u);
+  EXPECT_EQ(model.swaps(), 0u);
+
+  // Publish a bundle with a different fingerprint (as a rebuild would,
+  // atomically) and with the cluster order flipped so answers prove which
+  // model served them.
+  ModelBundle updated = TinyBundle();
+  std::swap(updated.labeling_sets[0], updated.labeling_sets[1]);
+  updated.fingerprint.store_count = 43;
+  ASSERT_TRUE(SaveModelBundle(updated, model_path_).ok());
+
+  auto polled = poller.PollOnce();
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_TRUE(*polled);
+  EXPECT_EQ(poller.swaps(), 1u);
+  EXPECT_EQ(model.swaps(), 1u);
+  EXPECT_EQ(model.Acquire()->fingerprint().store_count, 43u);
+
+  // Polling again settles: the new fingerprint is now the served one.
+  polled = poller.PollOnce();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(*polled);
+  EXPECT_EQ(poller.polls(), 5u);
+  EXPECT_EQ(poller.failures(), 0u);
+}
+
+TEST_F(ServeTest, ReloadPollerCountsFailedLoadsAndKeepsServing) {
+  ASSERT_TRUE(SaveModelBundle(TinyBundle(), model_path_).ok());
+  auto handle = ModelHandle::Load(model_path_);
+  ASSERT_TRUE(handle.ok());
+  SwappableModel model(std::make_shared<const ModelHandle>(std::move(*handle)));
+
+  // Point the poller at a path with no bundle: every poll fails, nothing
+  // swaps, and the in-memory model keeps serving.
+  ModelReloadPoller poller(&model, ReloadOptions{model_path_ + ".gone", 0});
+  auto polled = poller.PollOnce();
+  EXPECT_FALSE(polled.ok());
+  EXPECT_EQ(poller.failures(), 1u);
+  EXPECT_EQ(poller.swaps(), 0u);
+  EXPECT_EQ(model.Acquire()->fingerprint().store_count, 42u);
+
+  diag::MetricsRegistry registry;
+  poller.ExportMetrics(&registry);
+  const diag::RunMetrics snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterOr("serve.reload.polls"), 1u);
+  EXPECT_EQ(snap.CounterOr("serve.reload.failures"), 1u);
+  EXPECT_EQ(snap.CounterOr("serve.reload.swaps"), 0u);
+}
+
+TEST_F(ServeTest, BackgroundPollerHotSwapsAPublishedBundle) {
+  ASSERT_TRUE(SaveModelBundle(TinyBundle(), model_path_).ok());
+  auto handle = ModelHandle::Load(model_path_);
+  ASSERT_TRUE(handle.ok());
+  SwappableModel model(std::make_shared<const ModelHandle>(std::move(*handle)));
+
+  ModelReloadPoller poller(&model, ReloadOptions{model_path_, 2});
+  poller.Start();
+
+  ModelBundle updated = TinyBundle();
+  updated.fingerprint.store_count = 99;
+  ASSERT_TRUE(SaveModelBundle(updated, model_path_).ok());
+
+  // The poll thread should notice within a couple of ticks; bound the wait
+  // generously for slow CI machines.
+  for (int i = 0; i < 2000 && model.swaps() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  poller.Stop();
+  ASSERT_GE(model.swaps(), 1u);
+  EXPECT_EQ(model.Acquire()->fingerprint().store_count, 99u);
+  EXPECT_GE(poller.polls(), 1u);
+}
+
+TEST_F(ServeTest, SwappableServeLinesFollowsTheCurrentModel) {
+  auto handle = ModelHandle::FromBundle(TinyBundle());
+  ASSERT_TRUE(handle.ok());
+  SwappableModel model(std::make_shared<const ModelHandle>(std::move(*handle)));
+
+  ServeOptions options;
+  options.num_threads = 2;
+  options.max_batch = 2;
+
+  // Model A: items 1..4 are cluster 0.
+  {
+    std::istringstream in("1 2 3\n100 101\n");
+    std::ostringstream out;
+    ASSERT_TRUE(ServeLines(model, options, in, out).ok());
+    EXPECT_EQ(out.str(), "0\n1\n");
+  }
+
+  // Swap to a model with the clusters flipped: the same queries now get
+  // the flipped answers — the overload serves whatever the SwappableModel
+  // currently holds.
+  ModelBundle flipped = TinyBundle();
+  std::swap(flipped.labeling_sets[0], flipped.labeling_sets[1]);
+  auto flipped_handle = ModelHandle::FromBundle(std::move(flipped));
+  ASSERT_TRUE(flipped_handle.ok());
+  model.Swap(
+      std::make_shared<const ModelHandle>(std::move(*flipped_handle)));
+  {
+    std::istringstream in("1 2 3\n100 101\n");
+    std::ostringstream out;
+    ASSERT_TRUE(ServeLines(model, options, in, out).ok());
+    EXPECT_EQ(out.str(), "1\n0\n");
   }
 }
 
